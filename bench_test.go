@@ -1,0 +1,213 @@
+package netrs
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation (§V, Figures 4–7) plus ablations over the design choices
+// DESIGN.md calls out. Each sub-benchmark runs one (point, scheme) cell of
+// a figure and reports the paper's statistics as custom metrics
+// (mean_ms, p95_ms, p99_ms, p999_ms), so
+//
+//	go test -bench=Fig -benchmem
+//
+// prints the same series the figures plot. Absolute numbers depend on the
+// scaled-down request count; set NETRS_REQUESTS (and NETRS_SCALE=paper for
+// the full 1024-host topology) to approach the paper's 6 M-request depth.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"netrs/internal/selection"
+)
+
+// benchConfig returns the benchmark base configuration: the paper's
+// parameters on a medium cluster (k=8, 50 servers, 120 clients) unless
+// NETRS_SCALE=paper selects the full 16-ary fat-tree.
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	if os.Getenv("NETRS_SCALE") != "paper" {
+		cfg.FatTreeK = 10 // 250 hosts
+		cfg.Servers = 50
+		cfg.Clients = 120
+		cfg.Generators = 60
+	}
+	cfg.Requests = 20000
+	if env := os.Getenv("NETRS_REQUESTS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			cfg.Requests = n
+		}
+	}
+	return cfg
+}
+
+// reportSummary attaches the figure statistics to the benchmark result.
+func reportSummary(b *testing.B, s Summary) {
+	b.Helper()
+	b.ReportMetric(s.MeanMs, "mean_ms")
+	b.ReportMetric(s.P95Ms, "p95_ms")
+	b.ReportMetric(s.P99Ms, "p99_ms")
+	b.ReportMetric(s.P999Ms, "p999_ms")
+}
+
+// benchCell runs one (mutation, scheme) cell b.N times with distinct
+// seeds and reports the iteration-averaged summary, so cells remain
+// comparable even when the framework picks different iteration counts.
+func benchCell(b *testing.B, mutate func(*Config), scheme Scheme) {
+	b.Helper()
+	var sum Summary
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		mutate(&cfg)
+		cfg.Scheme = scheme
+		cfg.Seed = uint64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum.Count += res.Summary.Count
+		sum.MeanMs += res.Summary.MeanMs
+		sum.P95Ms += res.Summary.P95Ms
+		sum.P99Ms += res.Summary.P99Ms
+		sum.P999Ms += res.Summary.P999Ms
+	}
+	n := float64(b.N)
+	sum.MeanMs /= n
+	sum.P95Ms /= n
+	sum.P99Ms /= n
+	sum.P999Ms /= n
+	reportSummary(b, sum)
+}
+
+// benchFigure expands a sweep into point × scheme sub-benchmarks.
+func benchFigure(b *testing.B, sw Sweep) {
+	for _, pt := range sw.Points {
+		for _, scheme := range Schemes() {
+			name := fmt.Sprintf("x=%s/%s", pt.X, scheme)
+			pt, scheme := pt, scheme
+			b.Run(name, func(b *testing.B) { benchCell(b, pt.Mutate, scheme) })
+		}
+	}
+}
+
+// BenchmarkFig4NumClients regenerates Fig. 4: response latency versus the
+// number of clients (100–700). Expected shape: CliRS degrades as clients
+// grow; both NetRS schemes stay flat; NetRS-ILP lowest.
+func BenchmarkFig4NumClients(b *testing.B) { benchFigure(b, Figure4()) }
+
+// BenchmarkFig5DemandSkew regenerates Fig. 5: response latency versus
+// demand skewness (70–95% of requests from 20% of clients). Expected
+// shape: NetRS still wins but its margin narrows as skew grows.
+func BenchmarkFig5DemandSkew(b *testing.B) { benchFigure(b, Figure5()) }
+
+// BenchmarkFig6Utilization regenerates Fig. 6: response latency versus
+// system utilization (30–90%). Expected shape: all schemes grow with
+// load; NetRS-ILP's relative gain is largest at high utilization;
+// CliRS-R95 wins tail latency only at low utilization.
+func BenchmarkFig6Utilization(b *testing.B) { benchFigure(b, Figure6()) }
+
+// BenchmarkFig7ServiceTime regenerates Fig. 7: response latency versus
+// the mean service time (0.1–4 ms). Expected shape: NetRS-ILP's
+// mean-latency margin shrinks at small service times (fixed network and
+// accelerator overheads), while tail-latency gains persist.
+func BenchmarkFig7ServiceTime(b *testing.B) { benchFigure(b, Figure7()) }
+
+// BenchmarkAblationPlacement compares RSNode placements: the ILP plan,
+// the ToR-only plan, and client-side selection — the §V-B finding that
+// the ILP placement is a major contributor to NetRS's gains.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, scheme := range []Scheme{SchemeCliRS, SchemeNetRSToR, SchemeNetRSILP} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			benchCell(b, func(*Config) {}, scheme)
+		})
+	}
+}
+
+// BenchmarkAblationSelector swaps the replica-selection algorithm run at
+// the NetRS RSNodes (§IV-C supports arbitrary algorithms).
+func BenchmarkAblationSelector(b *testing.B) {
+	for _, algo := range []string{
+		selection.AlgoC3, selection.AlgoLeastOutstanding,
+		selection.AlgoTwoChoices, selection.AlgoRandom,
+	} {
+		algo := algo
+		b.Run(algo, func(b *testing.B) {
+			benchCell(b, func(c *Config) { c.OperatorAlgorithm = algo }, SchemeNetRSILP)
+		})
+	}
+}
+
+// BenchmarkAblationRateControl toggles C3's cubic rate control at the
+// RSNodes.
+func BenchmarkAblationRateControl(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		b.Run(fmt.Sprintf("rateControl=%v", on), func(b *testing.B) {
+			benchCell(b, func(c *Config) { c.RateControl = on }, SchemeNetRSILP)
+		})
+	}
+}
+
+// BenchmarkAblationGranularity compares rack-level against host-level
+// traffic groups (§III-A's granularity trade-off).
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, rack := range []bool{true, false} {
+		rack := rack
+		name := "rack-level"
+		if !rack {
+			name = "host-level"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, func(c *Config) { c.RackLevelGroups = rack }, SchemeNetRSILP)
+		})
+	}
+}
+
+// BenchmarkAblationCancellation compares CliRS-R95 with and without
+// cross-server cancellation of duplicates (Dean & Barroso's mechanism,
+// the paper's citation [9]) at high utilization, where redundancy load
+// hurts most.
+func BenchmarkAblationCancellation(b *testing.B) {
+	for _, cancel := range []bool{false, true} {
+		cancel := cancel
+		name := "reissue-only"
+		if cancel {
+			name = "with-cancellation"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, func(c *Config) {
+				c.Utilization = 0.95
+				c.CancelDuplicates = cancel
+			}, SchemeCliRSR95)
+		})
+	}
+}
+
+// BenchmarkAblationAccelerator sweeps the accelerator service time — the
+// sensitivity of in-network selection to device speed.
+func BenchmarkAblationAccelerator(b *testing.B) {
+	for _, us := range []float64{1, 5, 25, 100} {
+		us := us
+		b.Run(fmt.Sprintf("service=%.0fus", us), func(b *testing.B) {
+			benchCell(b, func(c *Config) {
+				c.Fabric.AccelService = Time(us * float64(Microsecond))
+			}, SchemeNetRSILP)
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed: simulated
+// requests per wall-clock second for a full NetRS-ILP run.
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scheme = SchemeNetRSILP
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Requests)*float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+}

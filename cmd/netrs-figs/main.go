@@ -1,0 +1,131 @@
+// Command netrs-figs regenerates the evaluation figures of the paper's §V
+// (Figures 4–7) as text tables: one row per swept value, one column per
+// scheme, one panel per statistic (Avg / 95th / 99th / 99.9th).
+//
+// Usage:
+//
+//	netrs-figs -fig all -requests 100000 -scale paper
+//	netrs-figs -fig 6 -requests 20000 -scale small -seeds 1
+//
+// The paper runs 6 M requests per point on a 1024-host fat-tree; that is
+// hours of simulation per figure. -requests and -scale trade statistical
+// depth for wall-clock time while preserving the comparisons' shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"netrs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netrs-figs:", err)
+		os.Exit(1)
+	}
+}
+
+// scaledConfig returns the base experiment at one of three sizes.
+func scaledConfig(scale string) (netrs.Config, error) {
+	cfg := netrs.DefaultConfig()
+	switch scale {
+	case "paper":
+		// Full 16-ary fat-tree, 100 servers, 500 clients.
+		return cfg, nil
+	case "medium":
+		cfg.FatTreeK = 10 // 250 hosts
+		cfg.Servers = 50
+		cfg.Clients = 120
+		cfg.Generators = 60
+		return cfg, nil
+	case "small":
+		cfg.FatTreeK = 8
+		cfg.Servers = 20
+		cfg.Clients = 40
+		cfg.Generators = 20
+		cfg.Keys = 1 << 20
+		cfg.VNodes = 16
+		return cfg, nil
+	default:
+		return cfg, fmt.Errorf("unknown scale %q (paper, medium, small)", scale)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netrs-figs", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7")
+	requests := fs.Int("requests", 50000, "measured requests per point (paper: 6000000; env NETRS_REQUESTS overrides)")
+	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated deployment seeds (paper repeats 3×)")
+	scale := fs.String("scale", "medium", "cluster scale: paper, medium, small")
+	chart := fs.Bool("chart", false, "also draw bar charts for the Avg and 99th panels")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if env := os.Getenv("NETRS_REQUESTS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			return fmt.Errorf("NETRS_REQUESTS=%q: %w", env, err)
+		}
+		*requests = n
+	}
+
+	base, err := scaledConfig(*scale)
+	if err != nil {
+		return err
+	}
+	base.Requests = *requests
+
+	var seeds []uint64
+	for _, s := range strings.Split(*seedsFlag, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed %q: %w", s, err)
+		}
+		seeds = append(seeds, v)
+	}
+
+	var sweeps []netrs.Sweep
+	if *fig == "all" {
+		sweeps = netrs.PaperFigures()
+	} else {
+		sw, err := netrs.FigureByID(*fig)
+		if err != nil {
+			return err
+		}
+		sweeps = []netrs.Sweep{sw}
+	}
+
+	for _, sw := range sweeps {
+		start := time.Now()
+		progress := func(x string, s netrs.Scheme) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "[%s] x=%-6s %-10s (%.0fs elapsed)\n",
+					sw.ID, x, s, time.Since(start).Seconds())
+			}
+		}
+		res, err := netrs.RunSweep(base, sw, seeds, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if *chart {
+			for _, panel := range []string{"Avg.", "99th Percentile"} {
+				drawn, err := res.Chart(panel)
+				if err != nil {
+					return err
+				}
+				fmt.Println(drawn)
+			}
+		}
+		fmt.Printf("NetRS-ILP vs CliRS: max mean reduction %.1f%%, max p99 reduction %.1f%%\n\n",
+			res.MaxReduction("Avg."), res.MaxReduction("99th Percentile"))
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestScaledConfigs(t *testing.T) {
+	for _, scale := range []string{"paper", "medium", "small"} {
+		cfg, err := scaledConfig(scale)
+		if err != nil {
+			t.Fatalf("%s: %v", scale, err)
+		}
+		hosts := cfg.FatTreeK * cfg.FatTreeK * cfg.FatTreeK / 4
+		if cfg.Servers+cfg.Clients > hosts {
+			t.Fatalf("%s oversubscribes: %d roles on %d hosts", scale, cfg.Servers+cfg.Clients, hosts)
+		}
+	}
+	if _, err := scaledConfig("galactic"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunOneFigureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 small simulations")
+	}
+	err := run([]string{
+		"-fig", "6", "-requests", "400", "-seeds", "1", "-scale", "small", "-quiet", "-chart",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "9"},
+		{"-seeds", "x"},
+		{"-scale", "bogus"},
+		{"-unknown"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestEnvRequestsOverride(t *testing.T) {
+	t.Setenv("NETRS_REQUESTS", "not-a-number")
+	if err := run([]string{"-fig", "4", "-scale", "small"}); err == nil {
+		t.Fatal("bad NETRS_REQUESTS accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestDemoRuns(t *testing.T) {
+	if err := run([]string{"demo", "-gets", "6", "-slow", "5ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"operator"}, // missing -servers
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

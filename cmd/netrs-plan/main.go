@@ -1,0 +1,150 @@
+// Command netrs-plan exercises the NetRS controller's RSNode-placement
+// algorithm (§III) in isolation: it builds a fat-tree, synthesizes
+// per-rack traffic with a given tier composition, solves the ILP (or the
+// heuristic), and prints the resulting Replica Selection Plan.
+//
+// Usage:
+//
+//	netrs-plan -k 16 -rate 90000 -budget-frac 0.2
+//	netrs-plan -k 4 -method exact -tier0 0.5 -tier1 0.3 -tier2 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"netrs/internal/placement"
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netrs-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netrs-plan", flag.ContinueOnError)
+	k := fs.Int("k", 16, "fat-tree arity")
+	rate := fs.Float64("rate", 90000, "aggregate request rate A (req/s), split evenly across racks")
+	tier0 := fs.Float64("tier0", 0.87, "fraction of cross-pod traffic")
+	tier1 := fs.Float64("tier1", 0.10, "fraction of intra-pod traffic")
+	tier2 := fs.Float64("tier2", 0.03, "fraction of intra-rack traffic")
+	budgetFrac := fs.Float64("budget-frac", 0.2, "extra-hop budget E as a fraction of A")
+	cores := fs.Int("accel-cores", 1, "accelerator cores")
+	svcUs := fs.Float64("accel-service-us", 5, "accelerator selection time (µs)")
+	maxUtil := fs.Float64("accel-util", 0.5, "accelerator utilization cap U")
+	method := fs.String("method", "auto", "solver: auto, exact, heuristic")
+	drs := fs.Bool("allow-drs", true, "degrade heaviest groups when infeasible")
+	dotPath := fs.String("dot", "", "also write the topology as a Graphviz file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if sum := *tier0 + *tier1 + *tier2; sum <= 0 {
+		return fmt.Errorf("tier fractions sum to %v", sum)
+	}
+
+	ft, err := topo.NewFatTree(*k)
+	if err != nil {
+		return err
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *dotPath, err)
+		}
+		if err := ft.WriteDOT(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+	perRack := *rate / float64(ft.Racks())
+	groups := make([]placement.Group, ft.Racks())
+	for r := range groups {
+		hosts, err := ft.HostsInRack(r)
+		if err != nil {
+			return err
+		}
+		groups[r] = placement.Group{
+			ID:    r,
+			Rack:  r,
+			Hosts: hosts,
+			TierTraffic: [3]float64{
+				perRack * *tier0,
+				perRack * *tier1,
+				perRack * *tier2,
+			},
+		}
+	}
+
+	accel := placement.AccelParams{
+		Cores:          *cores,
+		SelectionTime:  sim.FromUs(*svcUs),
+		MaxUtilization: *maxUtil,
+	}
+	problem, err := placement.BuildProblem(ft, groups, accel, *budgetFrac**rate)
+	if err != nil {
+		return err
+	}
+
+	var m placement.Method
+	switch *method {
+	case "auto":
+		m = placement.MethodAuto
+	case "exact":
+		m = placement.MethodExact
+	case "heuristic":
+		m = placement.MethodHeuristic
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	plan, err := placement.Solve(problem, placement.Options{Method: m, AllowDRS: *drs})
+	if err != nil {
+		return err
+	}
+
+	tmax, err := accel.MaxTraffic()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology        %s (%d racks, %d switches)\n", ft.Name(), ft.Racks(), len(ft.Switches()))
+	fmt.Printf("aggregate rate  %.0f req/s, extra-hop budget %.0f hops/s\n", *rate, *budgetFrac**rate)
+	fmt.Printf("accelerator cap %.0f req/s per operator\n", tmax)
+	fmt.Printf("solver          %v (optimal=%v)\n", plan.Method, plan.Optimal)
+	fmt.Printf("rsnodes         %d of %d candidate operators\n", len(plan.RSNodes), len(problem.Operators))
+	fmt.Printf("extra hops      %.0f of %.0f budget\n", plan.ExtraHops, problem.ExtraHopBudget)
+	fmt.Printf("degraded groups %d\n\n", len(plan.Degraded))
+
+	// Per-RSNode load table.
+	load := make(map[int]float64)
+	members := make(map[int]int)
+	for gi, oi := range plan.Assignment {
+		if oi < 0 {
+			continue
+		}
+		load[oi] += problem.Groups[gi].Total()
+		members[oi]++
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "RSNODE\tSWITCH\tTIER\tGROUPS\tLOAD(req/s)\tUTIL")
+	for _, oi := range plan.RSNodes {
+		op := problem.Operators[oi]
+		node, err := ft.Node(op.Switch)
+		if err != nil {
+			return err
+		}
+		tier := [3]string{"core", "agg", "tor"}[op.Tier]
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%.0f\t%.1f%%\n",
+			op.ID, node.Name, tier, members[oi], load[oi], 100*load[oi]/op.MaxTraffic)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunDefaultScale(t *testing.T) {
+	if err := run([]string{"-k", "8", "-rate", "90000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExactSmall(t *testing.T) {
+	if err := run([]string{"-k", "4", "-rate", "50000", "-method", "exact"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHeuristic(t *testing.T) {
+	if err := run([]string{"-k", "4", "-rate", "50000", "-method", "heuristic"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-k", "3"},
+		{"-method", "bogus"},
+		{"-tier0", "0", "-tier1", "0", "-tier2", "0"},
+		{"-unknown-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunInfeasibleWithoutDRS(t *testing.T) {
+	// Traffic beyond every accelerator with DRS disabled must error.
+	if err := run([]string{"-k", "4", "-rate", "10000000", "-allow-drs=false", "-accel-util", "0.1"}); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}

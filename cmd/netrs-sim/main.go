@@ -1,0 +1,134 @@
+// Command netrs-sim runs a single NetRS experiment and prints its latency
+// summary.
+//
+// Usage:
+//
+//	netrs-sim -scheme NetRS-ILP -requests 100000 -utilization 0.9
+//	netrs-sim -scheme CliRS -clients 700 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netrs"
+	"netrs/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netrs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netrs-sim", flag.ContinueOnError)
+	def := netrs.DefaultConfig()
+
+	scheme := fs.String("scheme", "NetRS-ILP", "scheme: CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP")
+	seed := fs.Uint64("seed", def.Seed, "random seed (deployment, workload, service times)")
+	k := fs.Int("k", def.FatTreeK, "fat-tree arity (k=16 → 1024 hosts)")
+	servers := fs.Int("servers", def.Servers, "number of replica servers (Ns)")
+	parallel := fs.Int("parallelism", def.Parallelism, "per-server parallelism (Np)")
+	serviceMs := fs.Float64("service-ms", def.MeanServiceTime.Float64Ms(), "mean service time tkv in ms")
+	clients := fs.Int("clients", def.Clients, "number of clients")
+	generators := fs.Int("generators", def.Generators, "number of Poisson workload generators")
+	skew := fs.Float64("skew", def.DemandSkew, "demand skew: fraction of requests from 20% of clients (0 = uniform)")
+	util := fs.Float64("utilization", def.Utilization, "target system utilization")
+	requests := fs.Int("requests", def.Requests, "measured requests (paper: 6000000)")
+	warmup := fs.Float64("warmup", def.WarmupFraction, "warmup fraction excluded from statistics")
+	rateControl := fs.Bool("rate-control", def.RateControl, "enable C3 cubic rate control")
+	rackGroups := fs.Bool("rack-groups", def.RackLevelGroups, "rack-level traffic groups (false = host-level)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	configPath := fs.String("config", "", "load the experiment from a JSON config file (flags are ignored)")
+	saveConfig := fs.String("save-config", "", "write the effective config to a JSON file and exit")
+	tracePath := fs.String("trace", "", "write per-request latencies (ms, one per line) to this CSV file")
+
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *configPath != "" {
+		cfg, err := netrs.LoadConfig(*configPath)
+		if err != nil {
+			return err
+		}
+		return execute(cfg, *jsonOut, *tracePath)
+	}
+
+	cfg := def
+	cfg.Seed = *seed
+	cfg.FatTreeK = *k
+	cfg.Servers = *servers
+	cfg.Parallelism = *parallel
+	cfg.MeanServiceTime = sim.FromMs(*serviceMs)
+	cfg.Clients = *clients
+	cfg.Generators = *generators
+	cfg.DemandSkew = *skew
+	cfg.Utilization = *util
+	cfg.Requests = *requests
+	cfg.WarmupFraction = *warmup
+	cfg.RateControl = *rateControl
+	cfg.RackLevelGroups = *rackGroups
+
+	s, err := netrs.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	cfg.Scheme = s
+
+	if *saveConfig != "" {
+		if err := netrs.SaveConfig(*saveConfig, cfg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *saveConfig)
+		return nil
+	}
+	return execute(cfg, *jsonOut, *tracePath)
+}
+
+// execute runs the experiment and prints the result.
+func execute(cfg netrs.Config, jsonOut bool, tracePath string) error {
+	if tracePath != "" {
+		cfg.KeepLatencyTrace = true
+	}
+	res, err := netrs.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		var b strings.Builder
+		b.WriteString("latency_ms\n")
+		for _, v := range res.TraceMs {
+			fmt.Fprintf(&b, "%.6f\n", v)
+		}
+		if err := os.WriteFile(tracePath, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("scheme      %s\n", res.Scheme)
+	fmt.Printf("latency     %s\n", res.Summary.String())
+	fmt.Printf("rsnodes     %d\n", res.RSNodes)
+	if res.Scheme == netrs.SchemeNetRSILP {
+		fmt.Printf("plan        %v (degraded groups: %d)\n", res.PlanMethod, res.DegradedGroups)
+	}
+	if res.RedundantSent > 0 {
+		fmt.Printf("redundant   %d duplicates\n", res.RedundantSent)
+	}
+	if res.DegradedResponses > 0 {
+		fmt.Printf("drs         %d responses via degraded replica selection\n", res.DegradedResponses)
+	}
+	fmt.Printf("simulated   %v for %d requests\n", res.SimulatedSpan, res.Completed)
+	fmt.Printf("accel util  %.1f%% (busiest accelerator)\n", 100*res.MaxAccelUtilization)
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-k", "8", "-servers", "16", "-clients", "24",
+		"-generators", "12", "-requests", "500",
+	}
+	return append(base, extra...)
+}
+
+func TestRunEachScheme(t *testing.T) {
+	for _, scheme := range []string{"CliRS", "CliRS-R95", "NetRS-ToR", "NetRS-ILP"} {
+		if err := run(tinyArgs("-scheme", scheme)); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	if err := run(tinyArgs("-json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-scheme", "Bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if err := run([]string{"-nonexistent-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(tinyArgs("-requests", "0")); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}
+
+func TestRunConfigRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := run(tinyArgs("-save-config", path)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "/does/not/exist.json"}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

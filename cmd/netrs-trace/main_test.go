@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGenAndStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{
+		"gen", "-out", path, "-requests", "2000", "-rate", "50000",
+		"-clients", "50", "-generators", "10", "-keys", "65536",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats", "-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"gen", "-requests", "0"},
+		{"stats", "-in", "/does/not/exist.csv"},
+		{"gen", "-unknown"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

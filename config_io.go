@@ -1,0 +1,149 @@
+package netrs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// configJSON is the serialized experiment configuration. It mirrors
+// Config with explicit unit-suffixed fields (per the convention that
+// serialized durations carry their unit in the name) so saved experiments
+// remain readable and stable.
+type configJSON struct {
+	Seed                   uint64  `json:"seed"`
+	FatTreeK               int     `json:"fatTreeK"`
+	Servers                int     `json:"servers"`
+	Parallelism            int     `json:"parallelism"`
+	MeanServiceTimeUs      float64 `json:"meanServiceTimeUs"`
+	FluctuationIntervalUs  float64 `json:"fluctuationIntervalUs"`
+	FluctuationRange       float64 `json:"fluctuationRange"`
+	Replication            int     `json:"replication"`
+	VNodes                 int     `json:"vnodes"`
+	Keys                   uint64  `json:"keys"`
+	ZipfTheta              float64 `json:"zipfTheta"`
+	Clients                int     `json:"clients"`
+	Generators             int     `json:"generators"`
+	DemandSkew             float64 `json:"demandSkew"`
+	HotClientFraction      float64 `json:"hotClientFraction"`
+	Utilization            float64 `json:"utilization"`
+	Requests               int     `json:"requests"`
+	WarmupFraction         float64 `json:"warmupFraction"`
+	Scheme                 string  `json:"scheme"`
+	RateControl            bool    `json:"rateControl"`
+	OperatorAlgorithm      string  `json:"operatorAlgorithm,omitempty"`
+	LinkLatencyUs          float64 `json:"linkLatencyUs"`
+	AccelRTTUs             float64 `json:"accelRttUs"`
+	AccelServiceUs         float64 `json:"accelServiceUs"`
+	AccelCores             int     `json:"accelCores"`
+	AccelMaxUtilization    float64 `json:"accelMaxUtilization"`
+	ExtraHopBudgetFraction float64 `json:"extraHopBudgetFraction"`
+	RackLevelGroups        bool    `json:"rackLevelGroups"`
+	RedundantPercentile    float64 `json:"redundantPercentile"`
+	FailRSNodeAt           float64 `json:"failRSNodeAt,omitempty"`
+	ReplayTracePath        string  `json:"replayTracePath,omitempty"`
+}
+
+// MarshalConfig serializes a Config to indented JSON.
+func MarshalConfig(cfg Config) ([]byte, error) {
+	j := configJSON{
+		Seed:                   cfg.Seed,
+		FatTreeK:               cfg.FatTreeK,
+		Servers:                cfg.Servers,
+		Parallelism:            cfg.Parallelism,
+		MeanServiceTimeUs:      cfg.MeanServiceTime.Float64Us(),
+		FluctuationIntervalUs:  cfg.FluctuationInterval.Float64Us(),
+		FluctuationRange:       cfg.FluctuationRange,
+		Replication:            cfg.Replication,
+		VNodes:                 cfg.VNodes,
+		Keys:                   cfg.Keys,
+		ZipfTheta:              cfg.ZipfTheta,
+		Clients:                cfg.Clients,
+		Generators:             cfg.Generators,
+		DemandSkew:             cfg.DemandSkew,
+		HotClientFraction:      cfg.HotClientFraction,
+		Utilization:            cfg.Utilization,
+		Requests:               cfg.Requests,
+		WarmupFraction:         cfg.WarmupFraction,
+		Scheme:                 cfg.Scheme.String(),
+		RateControl:            cfg.RateControl,
+		OperatorAlgorithm:      cfg.OperatorAlgorithm,
+		LinkLatencyUs:          cfg.Fabric.LinkLatency.Float64Us(),
+		AccelRTTUs:             cfg.Fabric.AccelRTT.Float64Us(),
+		AccelServiceUs:         cfg.Fabric.AccelService.Float64Us(),
+		AccelCores:             cfg.Fabric.AccelCores,
+		AccelMaxUtilization:    cfg.AccelMaxUtilization,
+		ExtraHopBudgetFraction: cfg.ExtraHopBudgetFraction,
+		RackLevelGroups:        cfg.RackLevelGroups,
+		RedundantPercentile:    cfg.RedundantPercentile,
+		FailRSNodeAt:           cfg.FailRSNodeAt,
+		ReplayTracePath:        cfg.ReplayTracePath,
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalConfig parses a Config from JSON produced by MarshalConfig.
+func UnmarshalConfig(data []byte) (Config, error) {
+	var j configJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Config{}, fmt.Errorf("netrs: parse config: %w", err)
+	}
+	scheme, err := ParseScheme(j.Scheme)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = j.Seed
+	cfg.FatTreeK = j.FatTreeK
+	cfg.Servers = j.Servers
+	cfg.Parallelism = j.Parallelism
+	cfg.MeanServiceTime = Time(j.MeanServiceTimeUs * float64(Microsecond))
+	cfg.FluctuationInterval = Time(j.FluctuationIntervalUs * float64(Microsecond))
+	cfg.FluctuationRange = j.FluctuationRange
+	cfg.Replication = j.Replication
+	cfg.VNodes = j.VNodes
+	cfg.Keys = j.Keys
+	cfg.ZipfTheta = j.ZipfTheta
+	cfg.Clients = j.Clients
+	cfg.Generators = j.Generators
+	cfg.DemandSkew = j.DemandSkew
+	cfg.HotClientFraction = j.HotClientFraction
+	cfg.Utilization = j.Utilization
+	cfg.Requests = j.Requests
+	cfg.WarmupFraction = j.WarmupFraction
+	cfg.Scheme = scheme
+	cfg.RateControl = j.RateControl
+	cfg.OperatorAlgorithm = j.OperatorAlgorithm
+	cfg.Fabric.LinkLatency = Time(j.LinkLatencyUs * float64(Microsecond))
+	cfg.Fabric.AccelRTT = Time(j.AccelRTTUs * float64(Microsecond))
+	cfg.Fabric.AccelService = Time(j.AccelServiceUs * float64(Microsecond))
+	cfg.Fabric.AccelCores = j.AccelCores
+	cfg.AccelMaxUtilization = j.AccelMaxUtilization
+	cfg.ExtraHopBudgetFraction = j.ExtraHopBudgetFraction
+	cfg.RackLevelGroups = j.RackLevelGroups
+	cfg.RedundantPercentile = j.RedundantPercentile
+	cfg.FailRSNodeAt = j.FailRSNodeAt
+	cfg.ReplayTracePath = j.ReplayTracePath
+	return cfg, nil
+}
+
+// SaveConfig writes a Config to a JSON file.
+func SaveConfig(path string, cfg Config) error {
+	data, err := MarshalConfig(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("netrs: write config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a Config from a JSON file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("netrs: read config: %w", err)
+	}
+	return UnmarshalConfig(data)
+}

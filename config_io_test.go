@@ -1,0 +1,93 @@
+package netrs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := DefaultConfig()
+	in.Seed = 42
+	in.Scheme = SchemeNetRSILP
+	in.DemandSkew = 0.8
+	in.OperatorAlgorithm = "lor"
+	in.FailRSNodeAt = 0.5
+	in.MeanServiceTime = Time(2.5 * float64(Millisecond))
+
+	data, err := MarshalConfig(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip differs:\n in %+v\nout %+v", in, out)
+	}
+	// The serialized form uses unit-suffixed keys.
+	for _, key := range []string{"meanServiceTimeUs", "linkLatencyUs", "scheme"} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("serialized config missing %q:\n%s", key, data)
+		}
+	}
+}
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.json")
+	in := DefaultConfig()
+	in.Scheme = SchemeCliRSR95
+	in.Requests = 777
+	if err := SaveConfig(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatal("file round trip differs")
+	}
+}
+
+func TestUnmarshalConfigErrors(t *testing.T) {
+	if _, err := UnmarshalConfig([]byte("{not json")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := UnmarshalConfig([]byte(`{"scheme":"Bogus"}`)); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if _, err := LoadConfig("/nonexistent/netrs.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSweepChart(t *testing.T) {
+	base := testConfig()
+	sw := Sweep{
+		ID:    "mini",
+		Title: "chart sweep",
+		XAxis: "Utilization",
+		Points: []SweepPoint{
+			{X: "50%", Mutate: func(c *Config) { c.Utilization = 0.5 }},
+		},
+		Schemes: []Scheme{SchemeCliRS, SchemeNetRSToR},
+	}
+	res, err := RunSweep(base, sw, []uint64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := res.Chart("Avg.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MINI", "CliRS", "NetRS-ToR", "█", "Utilization 50%"} {
+		if !strings.Contains(chart, want) {
+			t.Fatalf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	if _, err := res.Chart("nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}

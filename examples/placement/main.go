@@ -1,0 +1,108 @@
+// Placement: walk through the NetRS controller's RSNode-placement problem
+// (§III) on a small fat-tree — build the R matrix, solve the ILP exactly,
+// compare against the greedy heuristic and the naive ToR plan, and show
+// the Degraded Replica Selection fallback when the instance is infeasible.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"netrs/internal/placement"
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "placement:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ft, err := topo.NewFatTree(4) // 4 pods, 8 racks, 16 hosts
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %s — %d racks, %d candidate operators\n\n",
+		ft.Name(), ft.Racks(), len(ft.Switches()))
+
+	// One rack-level traffic group per rack: mostly cross-pod traffic
+	// with some intra-pod and intra-rack.
+	groups := make([]placement.Group, ft.Racks())
+	for r := range groups {
+		hosts, err := ft.HostsInRack(r)
+		if err != nil {
+			return err
+		}
+		groups[r] = placement.Group{
+			ID: r, Rack: r, Hosts: hosts,
+			TierTraffic: [3]float64{8000, 1500, 500}, // tier-0/1/2 req/s
+		}
+	}
+
+	// The paper's accelerators: 1 core, 5 µs per selection, 50% cap →
+	// 100 kreq/s per operator.
+	accel := placement.AccelParams{
+		Cores:          1,
+		SelectionTime:  5 * sim.Microsecond,
+		MaxUtilization: 0.5,
+	}
+	problem, err := placement.BuildProblem(ft, groups, accel, 25000)
+	if err != nil {
+		return err
+	}
+
+	show := func(name string, plan placement.Plan) {
+		tiers := map[int]int{}
+		for _, oi := range plan.RSNodes {
+			tiers[problem.Operators[oi].Tier]++
+		}
+		fmt.Printf("%-12s %2d RSNodes (core:%d agg:%d tor:%d)  extra hops %6.0f/s  optimal=%v\n",
+			name, len(plan.RSNodes),
+			tiers[topo.TierCore], tiers[topo.TierAgg], tiers[topo.TierToR],
+			plan.ExtraHops, plan.Optimal)
+	}
+
+	// 1. The NetRS-ToR baseline: one RSNode per rack.
+	torPlan, err := problem.ToRPlan()
+	if err != nil {
+		return err
+	}
+	show("ToR plan", torPlan)
+
+	// 2. The exact ILP (Eqs. 1–7): minimal RSNodes under capacity and hop
+	// budget.
+	exact, err := placement.Solve(problem, placement.Options{Method: placement.MethodExact})
+	if err != nil {
+		return err
+	}
+	show("exact ILP", exact)
+
+	// 3. The greedy heuristic used for topologies too large to solve
+	// exactly.
+	heur, err := placement.Solve(problem, placement.Options{Method: placement.MethodHeuristic})
+	if err != nil {
+		return err
+	}
+	show("heuristic", heur)
+
+	// 4. Degraded Replica Selection: make one rack's traffic exceed every
+	// accelerator — the controller degrades exactly that group (§III-C).
+	groups[3].TierTraffic = [3]float64{200000, 0, 0}
+	infeasible, err := placement.BuildProblem(ft, groups, accel, 25000)
+	if err != nil {
+		return err
+	}
+	if _, err := placement.Solve(infeasible, placement.Options{Method: placement.MethodExact}); err != nil {
+		fmt.Printf("\noversized rack 3: %v\n", err)
+	}
+	drs, err := placement.Solve(infeasible, placement.Options{Method: placement.MethodExact, AllowDRS: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("with DRS: %d RSNodes, degraded groups %v (clients of rack 3 pick their own replicas)\n",
+		len(drs.RSNodes), drs.Degraded)
+	return nil
+}

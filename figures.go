@@ -1,0 +1,284 @@
+package netrs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"netrs/internal/render"
+	"netrs/internal/sim"
+)
+
+// SweepPoint is one x-axis value of a figure: a label and the mutation it
+// applies to the base configuration.
+type SweepPoint struct {
+	// X is the axis label ("500", "90%", "4.0ms", …).
+	X string
+	// Mutate applies the point's parameter to a config.
+	Mutate func(*Config)
+}
+
+// Sweep describes one figure of the paper's evaluation: an x-axis
+// parameter sweep run for every scheme.
+type Sweep struct {
+	// ID names the figure ("fig4" … "fig7").
+	ID string
+	// Title is the figure caption's subject.
+	Title string
+	// XAxis labels the swept parameter.
+	XAxis string
+	// Points are the swept values in presentation order.
+	Points []SweepPoint
+	// Schemes lists the compared schemes; empty means all four.
+	Schemes []Scheme
+}
+
+// Figure4 sweeps the number of clients (Fig. 4: 100–700). The labels are
+// the paper's client counts; on scaled-down clusters the actual count is
+// proportional to the configured base (n/500 × Config.Clients), so the
+// sweep fits any topology while preserving the paper's x-axis.
+func Figure4() Sweep {
+	points := make([]SweepPoint, 0, 4)
+	for _, n := range []int{100, 300, 500, 700} {
+		n := n
+		points = append(points, SweepPoint{
+			X: fmt.Sprint(n),
+			Mutate: func(c *Config) {
+				scaled := n * c.Clients / 500
+				if scaled < 1 {
+					scaled = 1
+				}
+				c.Clients = scaled
+			},
+		})
+	}
+	return Sweep{ID: "fig4", Title: "Impact of the number of clients", XAxis: "Number of Clients", Points: points}
+}
+
+// Figure5 sweeps the demand skewness (Fig. 5: 70–95% of requests from 20%
+// of the clients).
+func Figure5() Sweep {
+	points := make([]SweepPoint, 0, 4)
+	for _, pct := range []int{70, 80, 90, 95} {
+		pct := pct
+		points = append(points, SweepPoint{
+			X:      fmt.Sprintf("%d%%", pct),
+			Mutate: func(c *Config) { c.DemandSkew = float64(pct) / 100 },
+		})
+	}
+	return Sweep{ID: "fig5", Title: "Impact of the demand skewness", XAxis: "Demand Skew", Points: points}
+}
+
+// Figure6 sweeps the system utilization (Fig. 6: 30–90%).
+func Figure6() Sweep {
+	points := make([]SweepPoint, 0, 4)
+	for _, pct := range []int{30, 50, 70, 90} {
+		pct := pct
+		points = append(points, SweepPoint{
+			X:      fmt.Sprintf("%d%%", pct),
+			Mutate: func(c *Config) { c.Utilization = float64(pct) / 100 },
+		})
+	}
+	return Sweep{ID: "fig6", Title: "Impact of the system utilization", XAxis: "Utilization", Points: points}
+}
+
+// Figure7 sweeps the mean service time (Fig. 7: 0.1–4 ms).
+func Figure7() Sweep {
+	points := make([]SweepPoint, 0, 5)
+	for _, ms := range []float64{0.1, 0.5, 1.0, 2.0, 4.0} {
+		ms := ms
+		points = append(points, SweepPoint{
+			X:      fmt.Sprintf("%.1f", ms),
+			Mutate: func(c *Config) { c.MeanServiceTime = sim.FromMs(ms) },
+		})
+	}
+	return Sweep{ID: "fig7", Title: "Impact of the service time", XAxis: "Service Time (ms)", Points: points}
+}
+
+// PaperFigures lists every evaluation figure of §V.
+func PaperFigures() []Sweep {
+	return []Sweep{Figure4(), Figure5(), Figure6(), Figure7()}
+}
+
+// FigureByID resolves "fig4".."fig7" (or "4".."7").
+func FigureByID(id string) (Sweep, error) {
+	id = strings.TrimPrefix(strings.ToLower(id), "fig")
+	for _, s := range PaperFigures() {
+		if strings.TrimPrefix(s.ID, "fig") == id {
+			return s, nil
+		}
+	}
+	return Sweep{}, fmt.Errorf("netrs: unknown figure %q", id)
+}
+
+// Cell is one (x, scheme) measurement of a sweep.
+type Cell struct {
+	X      string
+	Scheme Scheme
+	// Merged is the seed-averaged summary.
+	Merged Summary
+	// Runs are the per-seed results.
+	Runs []Result
+}
+
+// SweepResult is a fully evaluated figure.
+type SweepResult struct {
+	Sweep Sweep
+	Cells []Cell
+}
+
+// RunSweep evaluates a figure: every point × every scheme × every seed.
+// Progress (if non-nil) is invoked before each cell.
+func RunSweep(base Config, sw Sweep, seeds []uint64, progress func(x string, s Scheme)) (SweepResult, error) {
+	schemes := sw.Schemes
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	out := SweepResult{Sweep: sw}
+	for _, pt := range sw.Points {
+		for _, scheme := range schemes {
+			if progress != nil {
+				progress(pt.X, scheme)
+			}
+			cfg := base
+			pt.Mutate(&cfg)
+			cfg.Scheme = scheme
+			runs, merged, err := RunRepeated(cfg, seeds)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("%s x=%s %s: %w", sw.ID, pt.X, scheme, err)
+			}
+			out.Cells = append(out.Cells, Cell{X: pt.X, Scheme: scheme, Merged: merged, Runs: runs})
+		}
+	}
+	return out, nil
+}
+
+// Lookup returns the merged summary of one (x, scheme) cell.
+func (r SweepResult) Lookup(x string, s Scheme) (Summary, bool) {
+	for _, c := range r.Cells {
+		if c.X == x && c.Scheme == s {
+			return c.Merged, true
+		}
+	}
+	return Summary{}, false
+}
+
+// metric extracts one panel's statistic from a summary.
+type metric struct {
+	name string
+	get  func(Summary) float64
+}
+
+func panelMetrics() []metric {
+	return []metric{
+		{"Avg.", func(s Summary) float64 { return s.MeanMs }},
+		{"95th Percentile", func(s Summary) float64 { return s.P95Ms }},
+		{"99th Percentile", func(s Summary) float64 { return s.P99Ms }},
+		{"99.9th Percentile", func(s Summary) float64 { return s.P999Ms }},
+	}
+}
+
+// Table renders the figure as the four text panels the paper plots (Avg,
+// 95th, 99th, 99.9th), schemes as columns and swept values as rows, all in
+// milliseconds.
+func (r SweepResult) Table() string {
+	schemes := r.Sweep.Schemes
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(r.Sweep.ID), r.Sweep.Title)
+	for _, m := range panelMetrics() {
+		fmt.Fprintf(&b, "\n[%s] latency (ms)\n", m.name)
+		fmt.Fprintf(&b, "%-16s", r.Sweep.XAxis)
+		for _, s := range schemes {
+			fmt.Fprintf(&b, "%12s", s)
+		}
+		b.WriteByte('\n')
+		for _, pt := range r.Sweep.Points {
+			fmt.Fprintf(&b, "%-16s", pt.X)
+			for _, s := range schemes {
+				if sum, ok := r.Lookup(pt.X, s); ok {
+					fmt.Fprintf(&b, "%12.3f", m.get(sum))
+				} else {
+					fmt.Fprintf(&b, "%12s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Chart renders one panel of the figure as a grouped text bar chart.
+// metricName is one of "Avg.", "95th Percentile", "99th Percentile",
+// "99.9th Percentile".
+func (r SweepResult) Chart(metricName string) (string, error) {
+	var m metric
+	found := false
+	for _, cand := range panelMetrics() {
+		if cand.name == metricName {
+			m, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("netrs: unknown chart metric %q", metricName)
+	}
+	schemes := r.Sweep.Schemes
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	chart := render.BarChart{
+		Title:  fmt.Sprintf("%s — %s [%s]", strings.ToUpper(r.Sweep.ID), r.Sweep.Title, m.name),
+		XLabel: "latency ms",
+	}
+	for _, pt := range r.Sweep.Points {
+		chart.Labels = append(chart.Labels, fmt.Sprintf("%s %s", r.Sweep.XAxis, pt.X))
+	}
+	for _, s := range schemes {
+		series := render.Series{Name: s.String()}
+		for _, pt := range r.Sweep.Points {
+			if sum, ok := r.Lookup(pt.X, s); ok {
+				series.Values = append(series.Values, m.get(sum))
+			} else {
+				series.Values = append(series.Values, math.NaN())
+			}
+		}
+		chart.Series = append(chart.Series, series)
+	}
+	return chart.Render()
+}
+
+// Reductions summarizes NetRS-ILP's latency reduction relative to CliRS
+// across the sweep's points, as the paper headlines (up to 48.4% mean, up
+// to 68.7% p99). Keys are the metric names of the panels.
+func (r SweepResult) Reductions() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, m := range panelMetrics() {
+		var vals []float64
+		for _, pt := range r.Sweep.Points {
+			cli, ok1 := r.Lookup(pt.X, SchemeCliRS)
+			ilp, ok2 := r.Lookup(pt.X, SchemeNetRSILP)
+			if !ok1 || !ok2 || m.get(cli) == 0 {
+				continue
+			}
+			vals = append(vals, 100*(m.get(cli)-m.get(ilp))/m.get(cli))
+		}
+		out[m.name] = vals
+	}
+	return out
+}
+
+// MaxReduction returns the largest reduction (percent) for a metric name,
+// or 0 when absent.
+func (r SweepResult) MaxReduction(metricName string) float64 {
+	vals := r.Reductions()[metricName]
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)-1]
+}

@@ -1,0 +1,3 @@
+module netrs
+
+go 1.22

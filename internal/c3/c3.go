@@ -1,0 +1,416 @@
+// Package c3 implements the C3 adaptive replica-selection algorithm
+// (Suresh et al., "C3: Cutting Tail Latency in Cloud Data Stores via
+// Adaptive Replica Selection", NSDI 2015), the state-of-the-art algorithm
+// the NetRS paper runs at every RSNode.
+//
+// C3 has two cooperating pieces:
+//
+//   - Replica ranking: each RSNode keeps, per server, EWMAs of observed
+//     response times (R̄), of the piggybacked service times (S̄ = 1/µ̄),
+//     and of the piggybacked queue sizes (q̄), plus a count of its own
+//     outstanding requests (os). Servers are ranked by the cubic scoring
+//     function Ψ = R̄ − S̄ + q̂³·S̄ with q̂ = 1 + os·w + q̄, where w is the
+//     concurrency-compensation weight (the number of RSNodes sharing the
+//     servers). The cubic exponent penalizes long queues steeply, which
+//     prevents herding onto the momentarily fastest server.
+//
+//   - Cubic rate control: per server, the RSNode shapes its sending rate
+//     with a TCP-CUBIC-style window so it backs off multiplicatively when
+//     it sends faster than responses return and then re-grows along a
+//     cubic curve.
+package c3
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"netrs/internal/kv"
+	"netrs/internal/sim"
+	"netrs/internal/stats"
+)
+
+// ErrInvalidParam reports a configuration value outside its domain.
+var ErrInvalidParam = errors.New("c3: invalid parameter")
+
+// Config parameterizes a C3 instance. NewDefaultConfig supplies the values
+// used by the paper's experiments.
+type Config struct {
+	// Alpha is the EWMA smoothing factor for all moving averages.
+	Alpha float64
+	// ConcurrencyWeight is w, the multiplier on the RSNode's own
+	// outstanding requests inside q̂. C3 sets it to the number of
+	// selectors sharing the servers so that local outstanding counts
+	// approximate global queue contributions.
+	ConcurrencyWeight float64
+	// Exponent is the power applied to q̂ (3 in C3).
+	Exponent float64
+	// RateControl enables cubic send-rate shaping.
+	RateControl bool
+	// RateInterval is the rate-accounting window δ.
+	RateInterval sim.Time
+	// CubicBeta is the multiplicative decrease factor (0.2 in C3).
+	CubicBeta float64
+	// CubicGamma is the cubic growth scaling factor in rate units per
+	// interval³.
+	CubicGamma float64
+	// InitialRate is the per-server send allowance per interval before
+	// any feedback arrives.
+	InitialRate float64
+	// MaxRate caps the per-server send allowance per interval.
+	MaxRate float64
+}
+
+// NewDefaultConfig returns the C3 parameters used throughout the
+// reproduction: EWMA α 0.9, cubic exponent 3, 20 ms rate interval,
+// β 0.2.
+func NewDefaultConfig() Config {
+	return Config{
+		Alpha:             0.9,
+		ConcurrencyWeight: 1,
+		Exponent:          3,
+		RateControl:       true,
+		RateInterval:      20 * sim.Millisecond,
+		CubicBeta:         0.2,
+		CubicGamma:        0.1,
+		InitialRate:       10,
+		MaxRate:           5000,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("alpha %v: %w", c.Alpha, ErrInvalidParam)
+	}
+	if c.ConcurrencyWeight < 0 {
+		return fmt.Errorf("concurrency weight %v: %w", c.ConcurrencyWeight, ErrInvalidParam)
+	}
+	if c.Exponent < 1 {
+		return fmt.Errorf("exponent %v: %w", c.Exponent, ErrInvalidParam)
+	}
+	if c.RateControl {
+		if c.RateInterval <= 0 {
+			return fmt.Errorf("rate interval %v: %w", c.RateInterval, ErrInvalidParam)
+		}
+		if c.CubicBeta <= 0 || c.CubicBeta >= 1 {
+			return fmt.Errorf("cubic beta %v: %w", c.CubicBeta, ErrInvalidParam)
+		}
+		if c.CubicGamma <= 0 {
+			return fmt.Errorf("cubic gamma %v: %w", c.CubicGamma, ErrInvalidParam)
+		}
+		if c.InitialRate < 1 || c.MaxRate < c.InitialRate {
+			return fmt.Errorf("rates init=%v max=%v: %w", c.InitialRate, c.MaxRate, ErrInvalidParam)
+		}
+	}
+	return nil
+}
+
+// Clock supplies the current time to the rate controller. The simulation
+// passes its engine; real-network deployments (internal/kvnet) pass a
+// wall clock.
+type Clock interface {
+	Now() sim.Time
+}
+
+// serverState is the per-server view of one C3 instance.
+type serverState struct {
+	outstanding int
+	respTime    *stats.EWMA // R̄, ns
+	svcTime     *stats.EWMA // S̄, ns
+	queueSize   *stats.EWMA // q̄
+
+	// Rate control.
+	rate        float64 // allowance per interval
+	wMax        float64 // rate before the last decrease
+	lastDrop    sim.Time
+	interval    int64 // index of the interval the counters refer to
+	sentCur     int   // sends executed in the current interval
+	backlog     int   // sends booked into future intervals
+	recvCur     int   // responses in the current interval
+	everDropped bool
+}
+
+// Selector is one C3 instance: the replica-selection state an RSNode keeps.
+// It is not safe for concurrent use; the simulation is single-threaded and
+// real-network users serialize access externally.
+type Selector struct {
+	cfg     Config
+	clock   Clock
+	servers map[int]*serverState
+
+	picks     uint64
+	delayed   uint64
+	decreases uint64
+}
+
+// NewSelector returns a C3 instance bound to the engine's clock.
+func NewSelector(cfg Config, eng *sim.Engine) (*Selector, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("nil engine: %w", ErrInvalidParam)
+	}
+	return NewSelectorWithClock(cfg, eng)
+}
+
+// NewSelectorWithClock returns a C3 instance driven by an arbitrary clock.
+func NewSelectorWithClock(cfg Config, clock Clock) (*Selector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("nil clock: %w", ErrInvalidParam)
+	}
+	return &Selector{cfg: cfg, clock: clock, servers: make(map[int]*serverState)}, nil
+}
+
+func (s *Selector) state(server int) *serverState {
+	st, ok := s.servers[server]
+	if !ok {
+		respTime, _ := stats.NewEWMA(s.cfg.Alpha)
+		svcTime, _ := stats.NewEWMA(s.cfg.Alpha)
+		queueSize, _ := stats.NewEWMA(s.cfg.Alpha)
+		st = &serverState{
+			respTime:  respTime,
+			svcTime:   svcTime,
+			queueSize: queueSize,
+			rate:      s.cfg.InitialRate,
+			wMax:      s.cfg.InitialRate,
+		}
+		s.servers[server] = st
+	}
+	return st
+}
+
+// Score returns the C3 ranking function Ψ for a server; lower is better.
+func (s *Selector) Score(server int) float64 {
+	st := s.state(server)
+	rBar := st.respTime.Value()
+	sBar := st.svcTime.Value()
+	qBar := st.queueSize.Value()
+	qHat := 1 + float64(st.outstanding)*s.cfg.ConcurrencyWeight + qBar
+	return rBar - sBar + math.Pow(qHat, s.cfg.Exponent)*sBar
+}
+
+// Rank orders the candidate servers by ascending Ψ, breaking ties by
+// server ID for determinism. The input is not modified.
+func (s *Selector) Rank(candidates []int) []int {
+	out := make([]int, len(candidates))
+	copy(out, candidates)
+	scores := make(map[int]float64, len(out))
+	for _, c := range out {
+		scores[c] = s.Score(c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Pick chooses a replica for a request and reserves a send slot. The
+// returned delay is zero when the send may go out immediately; otherwise
+// the caller must hold the request for the delay (cubic rate shaping), as
+// C3 does with its backlog queues. Pick never fails: when every candidate
+// is rate-limited it picks the one whose limiter opens first.
+func (s *Selector) Pick(candidates []int) (int, sim.Time, error) {
+	if len(candidates) == 0 {
+		return 0, 0, fmt.Errorf("empty candidate set: %w", ErrInvalidParam)
+	}
+	s.picks++
+	ranked := s.Rank(candidates)
+	if !s.cfg.RateControl {
+		s.reserve(ranked[0], false)
+		return ranked[0], 0, nil
+	}
+	best := -1
+	var bestDelay sim.Time
+	for _, c := range ranked {
+		d := s.sendDelay(c)
+		if d == 0 {
+			s.reserve(c, false)
+			return c, 0, nil
+		}
+		if best == -1 || d < bestDelay {
+			best, bestDelay = c, d
+		}
+	}
+	s.delayed++
+	s.reserve(best, true)
+	return best, bestDelay, nil
+}
+
+// reserve books a send: into the current interval when it goes out now, or
+// into the backlog when the limiter holds it. Held sends are accounted in
+// the interval they actually leave, so the limiter's own queue never
+// masquerades as server overload.
+func (s *Selector) reserve(server int, held bool) {
+	st := s.state(server)
+	s.roll(st)
+	if held {
+		st.backlog++
+	} else {
+		st.sentCur++
+	}
+	st.outstanding++
+}
+
+// allowance is the integral per-interval send budget.
+func (s *Selector) allowance(st *serverState) int {
+	a := int(st.rate)
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// sendDelay computes how long a new send to the server must wait under the
+// current allowance, without reserving anything.
+func (s *Selector) sendDelay(server int) sim.Time {
+	st := s.state(server)
+	s.roll(st)
+	a := s.allowance(st)
+	if st.backlog == 0 && st.sentCur < a {
+		return 0
+	}
+	// The send joins the backlog and leaves k intervals ahead.
+	k := 1 + st.backlog/a
+	now := s.clock.Now()
+	intervalStart := sim.Time(st.interval) * s.cfg.RateInterval
+	d := intervalStart + sim.Time(k)*s.cfg.RateInterval - now
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// roll lazily advances the per-server rate-accounting window to the
+// current engine time: it drains backlog into the skipped intervals and
+// applies the congestion-control rate update once per roll.
+func (s *Selector) roll(st *serverState) {
+	if !s.cfg.RateControl {
+		return
+	}
+	cur := int64(s.clock.Now() / s.cfg.RateInterval)
+	if cur == st.interval {
+		return
+	}
+	gap := int(cur - st.interval)
+	a := s.allowance(st)
+
+	// Overload test on the closing interval: the server returned
+	// substantially fewer responses than we actually sent. The margin
+	// filters Poisson noise (C3 compares smoothed rates for the same
+	// reason).
+	overloaded := st.sentCur > 0 &&
+		float64(st.recvCur)*1.25+2 < float64(st.sentCur) &&
+		st.outstanding > 0
+	switch {
+	case overloaded:
+		// Multiplicative decrease toward the observed receive rate.
+		st.wMax = st.rate
+		target := float64(st.recvCur)
+		if target < 1 {
+			target = 1
+		}
+		st.rate = (1 - s.cfg.CubicBeta) * target
+		st.lastDrop = s.clock.Now()
+		st.everDropped = true
+		s.decreases++
+	case st.everDropped:
+		// Time-based cubic growth since the last decrease (C3's curve);
+		// it proceeds even when the link is idle, like CUBIC.
+		st.rate = s.cubicRate(st)
+	case st.sentCur >= a:
+		// Slow-start doubling, but only when the previous allowance was
+		// actually saturated (no ballooning while application-limited).
+		st.rate *= 2
+	}
+	if st.rate > s.cfg.MaxRate {
+		st.rate = s.cfg.MaxRate
+	}
+	if st.rate < 1 {
+		st.rate = 1
+	}
+
+	// Drain the backlog into the skipped intervals.
+	drained := gap * s.allowance(st)
+	if drained > st.backlog {
+		drained = st.backlog
+	}
+	st.backlog -= drained
+	// Sends already booked for the newly current interval.
+	carried := drained - (gap-1)*s.allowance(st)
+	if carried < 0 {
+		carried = 0
+	}
+	if carried > s.allowance(st) {
+		carried = s.allowance(st)
+	}
+	st.sentCur = carried
+	st.recvCur = 0
+	st.interval = cur
+}
+
+// cubicRate evaluates the CUBIC window at the current time:
+// W(t) = γ·(t − K)³ + Wmax with K = ∛(Wmax·β/γ), t in intervals since the
+// last decrease.
+func (s *Selector) cubicRate(st *serverState) float64 {
+	t := float64(s.clock.Now()-st.lastDrop) / float64(s.cfg.RateInterval)
+	k := math.Cbrt(st.wMax * s.cfg.CubicBeta / s.cfg.CubicGamma)
+	w := s.cfg.CubicGamma*math.Pow(t-k, 3) + st.wMax
+	if w < st.rate {
+		return st.rate // the window never shrinks during growth
+	}
+	return w
+}
+
+// OnResponse folds a completed request into the per-server state: the
+// observed response latency and the piggybacked server status.
+func (s *Selector) OnResponse(server int, latency sim.Time, status kv.Status) {
+	st := s.state(server)
+	s.roll(st)
+	if st.outstanding > 0 {
+		st.outstanding--
+	}
+	st.respTime.Observe(float64(latency))
+	st.svcTime.Observe(status.ServiceTimeNs)
+	st.queueSize.Observe(float64(status.QueueSize))
+	st.recvCur++
+}
+
+// OnTimeoutAbandon releases the outstanding slot of a request that will
+// never be answered (used with failure injection).
+func (s *Selector) OnTimeoutAbandon(server int) {
+	st := s.state(server)
+	if st.outstanding > 0 {
+		st.outstanding--
+	}
+}
+
+// SetConcurrencyWeight retunes w, the compensation multiplier for local
+// outstanding requests. C3 sets it to the number of RSNodes sharing the
+// servers; NetRS's controller only knows that number once a Replica
+// Selection Plan is deployed, so the weight is adjustable after
+// construction.
+func (s *Selector) SetConcurrencyWeight(w float64) error {
+	if w < 0 {
+		return fmt.Errorf("concurrency weight %v: %w", w, ErrInvalidParam)
+	}
+	s.cfg.ConcurrencyWeight = w
+	return nil
+}
+
+// Outstanding returns the selector's in-flight count for a server.
+func (s *Selector) Outstanding(server int) int { return s.state(server).outstanding }
+
+// Rate returns the current per-interval send allowance for a server
+// (meaningful only with rate control enabled).
+func (s *Selector) Rate(server int) float64 { return s.state(server).rate }
+
+// Stats reports counters useful for tests and instrumentation.
+func (s *Selector) Stats() (picks, delayed, decreases uint64) {
+	return s.picks, s.delayed, s.decreases
+}

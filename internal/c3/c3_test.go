@@ -1,0 +1,386 @@
+package c3
+
+import (
+	"errors"
+	"testing"
+
+	"netrs/internal/kv"
+	"netrs/internal/sim"
+)
+
+func newSelector(t *testing.T, mod func(*Config)) (*Selector, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := NewDefaultConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := NewSelector(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, eng
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	mods := []func(*Config){
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.ConcurrencyWeight = -1 },
+		func(c *Config) { c.Exponent = 0.5 },
+		func(c *Config) { c.RateInterval = 0 },
+		func(c *Config) { c.CubicBeta = 0 },
+		func(c *Config) { c.CubicBeta = 1 },
+		func(c *Config) { c.CubicGamma = 0 },
+		func(c *Config) { c.InitialRate = 0 },
+		func(c *Config) { c.MaxRate = 1; c.InitialRate = 10 },
+	}
+	for i, mod := range mods {
+		cfg := NewDefaultConfig()
+		mod(&cfg)
+		if _, err := NewSelector(cfg, eng); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("mod %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewSelector(NewDefaultConfig(), nil); !errors.Is(err, ErrInvalidParam) {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestPickEmptyCandidates(t *testing.T) {
+	s, _ := newSelector(t, nil)
+	if _, _, err := s.Pick(nil); !errors.Is(err, ErrInvalidParam) {
+		t.Fatal("empty candidate set accepted")
+	}
+}
+
+func TestRankPrefersFasterServer(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	fast := kv.Status{QueueSize: 1, ServiceTimeNs: float64(1 * sim.Millisecond)}
+	slow := kv.Status{QueueSize: 1, ServiceTimeNs: float64(4 * sim.Millisecond)}
+	for i := 0; i < 10; i++ {
+		s.OnResponse(1, 2*sim.Millisecond, fast)
+		s.OnResponse(2, 8*sim.Millisecond, slow)
+	}
+	ranked := s.Rank([]int{2, 1})
+	if ranked[0] != 1 {
+		t.Fatalf("ranked = %v, want fast server first", ranked)
+	}
+}
+
+func TestRankPenalizesQueueCubically(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	// Same response and service times; queue sizes differ.
+	for i := 0; i < 10; i++ {
+		s.OnResponse(1, 4*sim.Millisecond, kv.Status{QueueSize: 10, ServiceTimeNs: float64(sim.Millisecond)})
+		s.OnResponse(2, 4*sim.Millisecond, kv.Status{QueueSize: 1, ServiceTimeNs: float64(sim.Millisecond)})
+	}
+	if got := s.Rank([]int{1, 2}); got[0] != 2 {
+		t.Fatalf("ranked = %v, want short-queue server first", got)
+	}
+	// The cubic term must dominate a modest response-time advantage.
+	s2, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	for i := 0; i < 10; i++ {
+		s2.OnResponse(1, 3*sim.Millisecond, kv.Status{QueueSize: 12, ServiceTimeNs: float64(sim.Millisecond)})
+		s2.OnResponse(2, 4*sim.Millisecond, kv.Status{QueueSize: 1, ServiceTimeNs: float64(sim.Millisecond)})
+	}
+	if got := s2.Rank([]int{1, 2}); got[0] != 2 {
+		t.Fatalf("ranked = %v, want cubic queue penalty to dominate", got)
+	}
+}
+
+func TestOutstandingCompensation(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) {
+		c.RateControl = false
+		c.ConcurrencyWeight = 10
+	})
+	status := kv.Status{QueueSize: 1, ServiceTimeNs: float64(sim.Millisecond)}
+	for i := 0; i < 5; i++ {
+		s.OnResponse(1, 2*sim.Millisecond, status)
+		s.OnResponse(2, 2*sim.Millisecond, status)
+	}
+	// Send repeatedly; without responses the outstanding count must steer
+	// picks to the other replica.
+	seen := map[int]int{}
+	for i := 0; i < 10; i++ {
+		srv, delay, err := s.Pick([]int{1, 2})
+		if err != nil || delay != 0 {
+			t.Fatalf("pick %d: %v %v", i, delay, err)
+		}
+		seen[srv]++
+	}
+	if seen[1] == 0 || seen[2] == 0 {
+		t.Fatalf("picks = %v, want spread across replicas via outstanding compensation", seen)
+	}
+	if s.Outstanding(1)+s.Outstanding(2) != 10 {
+		t.Fatalf("outstanding sum = %d", s.Outstanding(1)+s.Outstanding(2))
+	}
+}
+
+func TestOnResponseDecrementsOutstanding(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	srv, _, err := s.Pick([]int{1})
+	if err != nil || srv != 1 {
+		t.Fatal(err)
+	}
+	if s.Outstanding(1) != 1 {
+		t.Fatalf("outstanding = %d", s.Outstanding(1))
+	}
+	s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 0, ServiceTimeNs: 1})
+	if s.Outstanding(1) != 0 {
+		t.Fatalf("outstanding after response = %d", s.Outstanding(1))
+	}
+	// Extra responses never push the counter negative.
+	s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 0, ServiceTimeNs: 1})
+	if s.Outstanding(1) != 0 {
+		t.Fatalf("outstanding went negative")
+	}
+}
+
+func TestOnTimeoutAbandon(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	if _, _, err := s.Pick([]int{3}); err != nil {
+		t.Fatal(err)
+	}
+	s.OnTimeoutAbandon(3)
+	if s.Outstanding(3) != 0 {
+		t.Fatal("abandon did not release outstanding slot")
+	}
+	s.OnTimeoutAbandon(3) // idempotent at zero
+	if s.Outstanding(3) != 0 {
+		t.Fatal("abandon went negative")
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	// No observations: all scores equal; ranking must be by server ID.
+	got := s.Rank([]int{9, 3, 7})
+	if got[0] != 3 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("tie-broken rank = %v", got)
+	}
+}
+
+func TestRateControlDelaysBurst(t *testing.T) {
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 4
+		c.MaxRate = 4
+	})
+	eng.MustSchedule(sim.Millisecond, func() {})
+	eng.Run() // advance clock into interval 0
+	delayedAt := -1
+	for i := 0; i < 10; i++ {
+		_, delay, err := s.Pick([]int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if delay > 0 && delayedAt == -1 {
+			delayedAt = i
+		}
+	}
+	if delayedAt != 4 {
+		t.Fatalf("first delayed pick at %d, want 4 (allowance)", delayedAt)
+	}
+	_, delayed, _ := s.Stats()
+	if delayed == 0 {
+		t.Fatal("delayed counter not incremented")
+	}
+}
+
+func TestRateControlDecreasesOnOverload(t *testing.T) {
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 100
+		c.MaxRate = 1000
+	})
+	// Interval 0: send 50, receive 10 -> overload signal at rollover.
+	for i := 0; i < 50; i++ {
+		if _, _, err := s.Pick([]int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 5, ServiceTimeNs: 1})
+	}
+	rateBefore := s.Rate(1)
+	eng.MustSchedule(25*sim.Millisecond, func() {})
+	eng.Run()
+	s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 5, ServiceTimeNs: 1}) // triggers roll
+	rateAfter := s.Rate(1)
+	if rateAfter >= rateBefore {
+		t.Fatalf("rate %v -> %v, want multiplicative decrease", rateBefore, rateAfter)
+	}
+	_, _, decreases := s.Stats()
+	if decreases == 0 {
+		t.Fatal("decrease counter not incremented")
+	}
+}
+
+func TestRateControlCubicRegrowth(t *testing.T) {
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 100
+		c.MaxRate = 10000
+	})
+	// Force a decrease.
+	for i := 0; i < 50; i++ {
+		if _, _, err := s.Pick([]int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.MustSchedule(25*sim.Millisecond, func() {})
+	eng.Run()
+	s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 1, ServiceTimeNs: 1})
+	dropped := s.Rate(1)
+	// Balanced traffic afterwards: the rate must re-grow cubically and
+	// eventually exceed the pre-drop level.
+	for round := 0; round < 60; round++ {
+		eng.MustSchedule(20*sim.Millisecond, func() {})
+		eng.Run()
+		s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 1, ServiceTimeNs: 1})
+	}
+	if s.Rate(1) <= dropped {
+		t.Fatalf("rate stuck at %v after drop %v", s.Rate(1), dropped)
+	}
+	if s.Rate(1) <= 100 {
+		t.Fatalf("cubic growth did not recover past Wmax: %v", s.Rate(1))
+	}
+}
+
+func TestSlowStartDoublesWhenSaturated(t *testing.T) {
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 2
+		c.MaxRate = 64
+	})
+	// Saturate the allowance every interval with balanced send/receive;
+	// rollovers should double the rate until the cap. (The saturation
+	// count is read before the interval's roll, so doubling may occur on
+	// alternate rounds; 16 rounds are ample for 2 → 64.)
+	for round := 0; round < 16; round++ {
+		picks := int(s.Rate(1))
+		for i := 0; i < picks; i++ {
+			if _, _, err := s.Pick([]int{1}); err != nil {
+				t.Fatal(err)
+			}
+			s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 0, ServiceTimeNs: 1})
+		}
+		eng.MustSchedule(20*sim.Millisecond, func() {})
+		eng.Run()
+	}
+	if _, _, err := s.Pick([]int{1}); err != nil { // trigger a roll
+		t.Fatal(err)
+	}
+	if s.Rate(1) != 64 {
+		t.Fatalf("rate after saturated slow start = %v, want capped 64", s.Rate(1))
+	}
+}
+
+func TestSlowStartHoldsWhenApplicationLimited(t *testing.T) {
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 10
+		c.MaxRate = 1000
+	})
+	// One send per 20 ms interval — far below the allowance: the rate
+	// must not balloon.
+	for round := 0; round < 10; round++ {
+		if _, _, err := s.Pick([]int{1}); err != nil {
+			t.Fatal(err)
+		}
+		s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 0, ServiceTimeNs: 1})
+		eng.MustSchedule(20*sim.Millisecond, func() {})
+		eng.Run()
+	}
+	if _, _, err := s.Pick([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rate(1) != 10 {
+		t.Fatalf("application-limited rate = %v, want unchanged 10", s.Rate(1))
+	}
+}
+
+func TestLimiterBacklogIsNotOverload(t *testing.T) {
+	// A burst held by the limiter itself must not trigger a
+	// multiplicative decrease: the held sends belong to future
+	// intervals, and receives track the actual sends.
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 5
+		c.MaxRate = 1000
+	})
+	// Burst of 20 picks: 5 go now, 15 are booked ahead.
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Pick([]int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 5 actual sends are all answered promptly.
+	for i := 0; i < 5; i++ {
+		s.OnResponse(1, sim.Millisecond, kv.Status{QueueSize: 0, ServiceTimeNs: 1})
+	}
+	eng.MustSchedule(21*sim.Millisecond, func() {})
+	eng.Run()
+	if _, _, err := s.Pick([]int{1}); err != nil { // trigger a roll
+		t.Fatal(err)
+	}
+	_, _, decreases := s.Stats()
+	if decreases != 0 {
+		t.Fatalf("limiter backlog caused %d spurious decreases", decreases)
+	}
+	if s.Rate(1) < 5 {
+		t.Fatalf("rate fell to %v on self-inflicted backlog", s.Rate(1))
+	}
+}
+
+func TestRateLimitedPickChoosesEarliestOpening(t *testing.T) {
+	s, eng := newSelector(t, func(c *Config) {
+		c.InitialRate = 1
+		c.MaxRate = 1
+	})
+	eng.MustSchedule(sim.Millisecond, func() {})
+	eng.Run()
+	// Exhaust server 1's allowance, then 2's; a third pick must be
+	// delayed but still return a server.
+	a, d1, _ := s.Pick([]int{1, 2})
+	b, d2, _ := s.Pick([]int{1, 2})
+	if d1 != 0 || d2 != 0 || a == b {
+		t.Fatalf("first two picks = %d(+%v), %d(+%v)", a, d1, b, d2)
+	}
+	_, d3, _ := s.Pick([]int{1, 2})
+	if d3 <= 0 {
+		t.Fatalf("third pick delay = %v, want positive", d3)
+	}
+	if d3 > 20*sim.Millisecond {
+		t.Fatalf("third pick delay = %v, want within one interval", d3)
+	}
+}
+
+func TestPicksCounter(t *testing.T) {
+	s, _ := newSelector(t, func(c *Config) { c.RateControl = false })
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Pick([]int{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	picks, _, _ := s.Stats()
+	if picks != 5 {
+		t.Fatalf("picks = %d", picks)
+	}
+}
+
+func BenchmarkPickThreeReplicas(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := NewDefaultConfig()
+	s, err := NewSelector(cfg, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	status := kv.Status{QueueSize: 2, ServiceTimeNs: float64(sim.Millisecond)}
+	candidates := []int{1, 2, 3}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srv, _, err := s.Pick(candidates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.OnResponse(srv, 2*sim.Millisecond, status)
+	}
+}

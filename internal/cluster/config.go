@@ -1,0 +1,244 @@
+// Package cluster assembles full NetRS experiments: it builds the
+// fat-tree fabric, the consistent-hash ring, the fluctuating replica
+// servers, the client population, and the open-loop workload, wires one of
+// the paper's four schemes (CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP), runs
+// the discrete-event simulation, and reports the latency distribution —
+// the machinery behind every figure of §V.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"netrs/internal/fabric"
+	"netrs/internal/placement"
+	"netrs/internal/sim"
+)
+
+// ErrInvalidParam reports out-of-domain configuration.
+var ErrInvalidParam = errors.New("cluster: invalid parameter")
+
+// Scheme selects the replica-selection deployment under test (§V-A).
+type Scheme int
+
+// The four schemes of the evaluation.
+const (
+	// SchemeCliRS: every client is an RSNode running C3 — the
+	// conventional deployment of Cassandra/Dynamo-style stores.
+	SchemeCliRS Scheme = iota + 1
+	// SchemeCliRSR95: CliRS plus redundant requests — a duplicate goes
+	// out once a request has been outstanding longer than the client's
+	// 95th-percentile latency estimate.
+	SchemeCliRSR95
+	// SchemeNetRSToR: NetRS with the straightforward RSP that uses each
+	// rack's ToR operator as the RSNode for the rack's clients.
+	SchemeNetRSToR
+	// SchemeNetRSILP: NetRS with the RSP computed by the controller's
+	// ILP placement.
+	SchemeNetRSILP
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCliRS:
+		return "CliRS"
+	case SchemeCliRSR95:
+		return "CliRS-R95"
+	case SchemeNetRSToR:
+		return "NetRS-ToR"
+	case SchemeNetRSILP:
+		return "NetRS-ILP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all four in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeCliRS, SchemeCliRSR95, SchemeNetRSToR, SchemeNetRSILP}
+}
+
+// ParseScheme resolves a scheme name (case-sensitive, as printed).
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q: %w", name, ErrInvalidParam)
+}
+
+// Config is one experiment's full parameter set. DefaultConfig returns the
+// paper's §V-A values.
+type Config struct {
+	// Seed drives every random stream; repeating a seed repeats the run.
+	Seed uint64
+
+	// FatTreeK is the fat-tree arity (16 → 1024 hosts).
+	FatTreeK int
+
+	// Servers (Ns), Parallelism (Np), MeanServiceTime (tkv), and the
+	// bimodal fluctuation parameters of the replica servers.
+	Servers             int
+	Parallelism         int
+	MeanServiceTime     sim.Time
+	FluctuationInterval sim.Time
+	FluctuationRange    float64
+
+	// Replication is the replication factor; VNodes the ring's virtual
+	// nodes per server; Keys and ZipfTheta the key popularity model.
+	Replication int
+	VNodes      int
+	Keys        uint64
+	ZipfTheta   float64
+
+	// Clients, Generators, and the demand-skew knobs.
+	Clients           int
+	Generators        int
+	DemandSkew        float64
+	HotClientFraction float64
+
+	// Utilization is the target system utilization ρ = tkv·A/(Ns·Np).
+	Utilization float64
+
+	// Requests is the number of measured requests; WarmupFraction adds a
+	// warmup prefix excluded from statistics (and used by NetRS-ILP to
+	// collect monitor traffic before solving the placement).
+	Requests       int
+	WarmupFraction float64
+
+	// Scheme picks the deployment; RateControl toggles C3's cubic rate
+	// shaping at the RSNodes.
+	Scheme      Scheme
+	RateControl bool
+
+	// OperatorAlgorithm selects the replica-selection algorithm NetRS
+	// RSNodes run; empty means C3 (the paper's choice). Any name from
+	// selection.Algorithms() works — §IV-C's "arbitrary replica selection
+	// algorithm" flexibility.
+	OperatorAlgorithm string
+
+	// Fabric carries the network-device parameters; AccelMaxUtilization
+	// is U and ExtraHopBudgetFraction sets E = fraction·A (§V-B).
+	Fabric                 fabric.Config
+	AccelMaxUtilization    float64
+	ExtraHopBudgetFraction float64
+
+	// RackLevelGroups selects rack-level traffic groups (the paper's
+	// main granularity); false means host-level groups.
+	RackLevelGroups bool
+
+	// GroupMaxHosts caps the hosts per traffic group, realizing §III-A's
+	// intervening-level granularity ("requests from several end-hosts in
+	// the same rack as a group"): with RackLevelGroups set, a rack's
+	// clients are chunked into groups of at most this many hosts. Zero
+	// means unlimited (pure rack-level).
+	GroupMaxHosts int
+
+	// PlacementMethod forwards to the placement solver (auto by
+	// default).
+	PlacementMethod placement.Method
+
+	// RedundantPercentile is CliRS-R95's reissue threshold quantile.
+	RedundantPercentile float64
+
+	// CancelDuplicates adds cross-server cancellation to CliRS-R95: when
+	// the first response of a duplicated request arrives, the loser is
+	// canceled at its server if still queued (Dean & Barroso's
+	// redundancy-overhead reduction, the paper's citation [9]).
+	CancelDuplicates bool
+
+	// FailRSNodeAt injects an RSNode failure (§III-C scenario iii) when
+	// this fraction of the requests has completed: the busiest RSNode
+	// fails and the controller flips its traffic groups to Degraded
+	// Replica Selection. Zero disables injection. NetRS schemes only.
+	FailRSNodeAt float64
+
+	// KeepLatencyTrace records every measured request's latency in
+	// Result.TraceMs (emission order), for external analysis.
+	KeepLatencyTrace bool
+
+	// ReplayTracePath replays a recorded workload (workload.WriteTrace
+	// CSV) instead of the synthetic Poisson source. Requests, Generators,
+	// DemandSkew, Keys, and ZipfTheta are ignored; the request count is
+	// the trace length and WarmupFraction applies to it.
+	ReplayTracePath string
+}
+
+// DefaultConfig returns the paper's experimental defaults, except that
+// Requests defaults to 100000 rather than 6 million so a single run fits
+// in seconds; scale it up (or set NETRS_REQUESTS for the benches) to
+// approach the paper's statistical depth.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		FatTreeK:               16,
+		Servers:                100,
+		Parallelism:            4,
+		MeanServiceTime:        4 * sim.Millisecond,
+		FluctuationInterval:    50 * sim.Millisecond,
+		FluctuationRange:       3,
+		Replication:            3,
+		VNodes:                 64,
+		Keys:                   100_000_000,
+		ZipfTheta:              0.99,
+		Clients:                500,
+		Generators:             200,
+		DemandSkew:             0,
+		HotClientFraction:      0.2,
+		Utilization:            0.9,
+		Requests:               100_000,
+		WarmupFraction:         0.05,
+		Scheme:                 SchemeCliRS,
+		RateControl:            true,
+		Fabric:                 fabric.NewDefaultConfig(),
+		AccelMaxUtilization:    0.5,
+		ExtraHopBudgetFraction: 0.2,
+		RackLevelGroups:        true,
+		PlacementMethod:        placement.MethodAuto,
+		RedundantPercentile:    0.95,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.FatTreeK < 2 || c.FatTreeK%2 != 0:
+		return fmt.Errorf("fat-tree k %d: %w", c.FatTreeK, ErrInvalidParam)
+	case c.Servers < c.Replication || c.Replication < 1:
+		return fmt.Errorf("servers=%d rf=%d: %w", c.Servers, c.Replication, ErrInvalidParam)
+	case c.Parallelism < 1 || c.MeanServiceTime <= 0:
+		return fmt.Errorf("np=%d tkv=%v: %w", c.Parallelism, c.MeanServiceTime, ErrInvalidParam)
+	case c.FluctuationInterval < 0:
+		return fmt.Errorf("fluctuation interval %v: %w", c.FluctuationInterval, ErrInvalidParam)
+	case c.FluctuationInterval > 0 && c.FluctuationRange < 1:
+		return fmt.Errorf("fluctuation range %v: %w", c.FluctuationRange, ErrInvalidParam)
+	case c.VNodes < 1 || c.Keys < 2:
+		return fmt.Errorf("vnodes=%d keys=%d: %w", c.VNodes, c.Keys, ErrInvalidParam)
+	case c.ZipfTheta <= 0 || c.ZipfTheta >= 1:
+		return fmt.Errorf("zipf theta %v: %w", c.ZipfTheta, ErrInvalidParam)
+	case c.Clients < 1 || c.Generators < 1:
+		return fmt.Errorf("clients=%d generators=%d: %w", c.Clients, c.Generators, ErrInvalidParam)
+	case c.DemandSkew < 0 || c.DemandSkew > 1:
+		return fmt.Errorf("demand skew %v: %w", c.DemandSkew, ErrInvalidParam)
+	case c.Utilization <= 0 || c.Utilization > 2:
+		return fmt.Errorf("utilization %v: %w", c.Utilization, ErrInvalidParam)
+	case c.Requests < 1:
+		return fmt.Errorf("requests %d: %w", c.Requests, ErrInvalidParam)
+	case c.WarmupFraction < 0 || c.WarmupFraction > 1:
+		return fmt.Errorf("warmup fraction %v: %w", c.WarmupFraction, ErrInvalidParam)
+	case c.Scheme < SchemeCliRS || c.Scheme > SchemeNetRSILP:
+		return fmt.Errorf("scheme %d: %w", int(c.Scheme), ErrInvalidParam)
+	case c.AccelMaxUtilization <= 0 || c.AccelMaxUtilization > 1:
+		return fmt.Errorf("accel utilization cap %v: %w", c.AccelMaxUtilization, ErrInvalidParam)
+	case c.ExtraHopBudgetFraction < 0:
+		return fmt.Errorf("hop budget fraction %v: %w", c.ExtraHopBudgetFraction, ErrInvalidParam)
+	case c.Scheme == SchemeCliRSR95 && (c.RedundantPercentile <= 0 || c.RedundantPercentile >= 1):
+		return fmt.Errorf("redundant percentile %v: %w", c.RedundantPercentile, ErrInvalidParam)
+	case c.FailRSNodeAt < 0 || c.FailRSNodeAt >= 1:
+		return fmt.Errorf("fail-rsnode fraction %v: %w", c.FailRSNodeAt, ErrInvalidParam)
+	case c.GroupMaxHosts < 0:
+		return fmt.Errorf("group max hosts %d: %w", c.GroupMaxHosts, ErrInvalidParam)
+	}
+	return nil
+}

@@ -1,0 +1,825 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+
+	"netrs/internal/c3"
+	"netrs/internal/fabric"
+	"netrs/internal/kv"
+	"netrs/internal/placement"
+	"netrs/internal/selection"
+	"netrs/internal/sim"
+	"netrs/internal/stats"
+	"netrs/internal/topo"
+	"netrs/internal/wire"
+	"netrs/internal/workload"
+)
+
+// Result reports one experiment run.
+type Result struct {
+	// Scheme is the scheme under test.
+	Scheme Scheme `json:"scheme"`
+	// Summary holds the latency statistics of the measured (post-warmup)
+	// requests.
+	Summary stats.Summary `json:"summary"`
+	// Emitted and Completed count logical requests (warmup included).
+	Emitted   int `json:"emitted"`
+	Completed int `json:"completed"`
+	// RSNodes is the number of replica-selection nodes: the client count
+	// for CliRS variants, the deployed plan's RSNode count for NetRS.
+	RSNodes int `json:"rsnodes"`
+	// DegradedGroups counts traffic groups running under DRS.
+	DegradedGroups int `json:"degradedGroups"`
+	// RedundantSent counts CliRS-R95 duplicate requests.
+	RedundantSent uint64 `json:"redundantSent"`
+	// CancelledDuplicates counts duplicates withdrawn at their server
+	// before service (Config.CancelDuplicates).
+	CancelledDuplicates uint64 `json:"cancelledDuplicates"`
+	// DegradedResponses counts responses served via the DRS path.
+	DegradedResponses uint64 `json:"degradedResponses"`
+	// PlanMethod names the placement solver used (NetRS-ILP only).
+	PlanMethod placement.Method `json:"planMethod,omitempty"`
+	// OperatorSelections counts replica selections performed in-network,
+	// summed over all operators.
+	OperatorSelections uint64 `json:"operatorSelections"`
+	// FailedRSNode records the RSNode ID failed by injection (0 = none).
+	FailedRSNode uint16 `json:"failedRSNode,omitempty"`
+	// SimulatedSpanNs is the simulated duration of the run in
+	// nanoseconds.
+	SimulatedSpan sim.Time `json:"simulatedSpanNs"`
+	// MaxAccelUtilization is the busiest accelerator's utilization.
+	MaxAccelUtilization float64 `json:"maxAccelUtilization"`
+	// ServerLoadCV is the coefficient of variation of per-server served
+	// counts — a load-imbalance measure (herd behavior concentrates load
+	// and raises it).
+	ServerLoadCV float64 `json:"serverLoadCV"`
+	// QueueCVMean is the time-averaged coefficient of variation of
+	// instantaneous server queue lengths, sampled every fluctuation
+	// interval. It quantifies the load oscillations §I attributes to
+	// "herd behavior": simultaneous selections concentrate queueing on
+	// momentarily attractive servers, raising the cross-server spread.
+	QueueCVMean float64 `json:"queueCVMean"`
+	// TraceMs holds per-request latencies in completion order when
+	// Config.KeepLatencyTrace is set.
+	TraceMs []float64 `json:"traceMs,omitempty"`
+}
+
+// client is one end-host issuing requests. Under CliRS it is a full
+// RSNode; under NetRS it only ranks replicas to provide the DRS backup.
+type client struct {
+	idx  int
+	host topo.NodeID
+	sel  selection.Selector
+	p95  *stats.P2Quantile
+}
+
+// pending tracks one logical request until its first response.
+type pending struct {
+	logicalIdx int
+	client     *client
+	rgid       int
+	replicas   []int
+	created    sim.Time
+	done       bool
+	primary    int
+	timer      sim.EventRef
+	// packetIDs lists the in-flight packets (primary plus duplicates) so
+	// cancellation can reach the losers.
+	packetIDs []uint64
+}
+
+// packetCtx ties an in-flight packet (primary or duplicate) to its logical
+// request.
+type packetCtx struct {
+	p      *pending
+	server int
+	sentAt sim.Time
+}
+
+// runner holds one experiment's live state.
+type runner struct {
+	cfg Config
+	eng *sim.Engine
+	ft  *topo.Topology
+	net *fabric.Network
+	ctl *fabric.Controller
+
+	ring         *kv.Ring
+	servers      []*kv.Server
+	serverHostOf []topo.NodeID
+
+	clients []*client
+	source  *workload.Source
+	replay  *workload.TraceSource
+
+	rec      *stats.Recorder
+	pendings map[uint64]*packetCtx
+	tickets  map[uint64]kv.Ticket
+	nextPID  uint64
+
+	total, warmup int
+	completed     int
+
+	redundant         uint64
+	degradedResponses uint64
+	cancelled         uint64
+
+	plan    placement.Plan
+	hasPlan bool
+
+	failAt       int // completed-request threshold for failure injection
+	failedRSNode uint16
+	trace        []float64
+	rate         float64 // offered load (req/s), synthetic or trace-derived
+
+	queueCV    stats.Welford // samples of cross-server queue-length CV
+	samplerRef sim.EventRef
+
+	netrs bool
+}
+
+// Run executes one experiment and returns its results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	r := &runner{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		pendings: make(map[uint64]*packetCtx),
+		tickets:  make(map[uint64]kv.Ticket),
+		netrs:    cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP,
+	}
+	if err := r.setup(); err != nil {
+		return Result{}, err
+	}
+	return r.execute()
+}
+
+func (r *runner) setup() error {
+	cfg := r.cfg
+	root := sim.NewRNG(cfg.Seed)
+
+	var err error
+	if r.ft, err = topo.NewFatTree(cfg.FatTreeK); err != nil {
+		return err
+	}
+	deployment, err := workload.Deploy(r.ft, cfg.Servers, cfg.Clients, root.Stream(1))
+	if err != nil {
+		return err
+	}
+	r.serverHostOf = deployment.ServerHosts
+
+	if r.ring, err = kv.NewRing(cfg.Servers, cfg.Replication, cfg.VNodes, cfg.Seed); err != nil {
+		return err
+	}
+	if r.ring.Groups() >= 1<<24 {
+		return fmt.Errorf("%d replica groups exceed the 24-bit RGID space: %w", r.ring.Groups(), ErrInvalidParam)
+	}
+
+	// Replica servers.
+	serverCfg := kv.ServerConfig{
+		Parallelism:         cfg.Parallelism,
+		MeanServiceTime:     cfg.MeanServiceTime,
+		FluctuationInterval: cfg.FluctuationInterval,
+		FluctuationRange:    cfg.FluctuationRange,
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		srv, err := kv.NewServer(i, r.eng, serverCfg, root.Stream(uint64(10+i)))
+		if err != nil {
+			return err
+		}
+		r.servers = append(r.servers, srv)
+	}
+
+	// Workload rate, needed both for the source and to size the C3 rate
+	// limiters at their steady-state operating point. A replayed trace
+	// supplies its own empirical rate.
+	var traceEntries []workload.TraceEntry
+	if cfg.ReplayTracePath != "" {
+		f, err := os.Open(cfg.ReplayTracePath)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		traceEntries, err = workload.ReadTrace(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		for i, e := range traceEntries {
+			if e.Client >= cfg.Clients {
+				return fmt.Errorf("trace entry %d references client %d of %d: %w",
+					i, e.Client, cfg.Clients, ErrInvalidParam)
+			}
+		}
+	}
+	rate, err := workload.UtilizationRate(cfg.Utilization, cfg.Servers, cfg.Parallelism, cfg.MeanServiceTime)
+	if err != nil {
+		return err
+	}
+	if len(traceEntries) > 0 {
+		span := traceEntries[len(traceEntries)-1].At
+		if span > 0 {
+			rate = float64(len(traceEntries)) / (float64(span) / float64(sim.Second))
+		}
+	}
+	r.rate = rate
+
+	// The in-network layer. CliRS runs over the same fabric with inert
+	// operators (its packets are non-NetRS and are simply forwarded).
+	factory := r.operatorSelectorFactory(root, rate)
+	if r.net, err = fabric.NewNetwork(r.eng, r.ft, cfg.Fabric, factory); err != nil {
+		return err
+	}
+
+	// Host handlers.
+	for sid, host := range r.serverHostOf {
+		if err := r.net.AttachHost(host, r.serverHandler(sid)); err != nil {
+			return err
+		}
+	}
+	for i, host := range deployment.ClientHosts {
+		c := &client{idx: i, host: host}
+		if c.sel, err = r.clientSelector(root.Stream(uint64(100000 + i))); err != nil {
+			return err
+		}
+		if cfg.Scheme == SchemeCliRSR95 {
+			if c.p95, err = stats.NewP2Quantile(cfg.RedundantPercentile); err != nil {
+				return err
+			}
+		}
+		r.clients = append(r.clients, c)
+		if err := r.net.AttachHost(host, r.clientHandler(c)); err != nil {
+			return err
+		}
+	}
+
+	// Workload: either the synthetic open-loop source or a trace replay.
+	if len(traceEntries) > 0 {
+		r.total = len(traceEntries)
+		r.warmup = int(cfg.WarmupFraction * float64(r.total))
+		if r.replay, err = workload.NewTraceSource(traceEntries, r.eng, r.onArrival); err != nil {
+			return err
+		}
+	} else {
+		r.warmup = int(cfg.WarmupFraction * float64(cfg.Requests))
+		r.total = cfg.Requests + r.warmup
+		srcCfg := workload.SourceConfig{
+			Generators:  cfg.Generators,
+			RatePerSec:  rate,
+			Clients:     cfg.Clients,
+			DemandSkew:  cfg.DemandSkew,
+			HotFraction: cfg.HotClientFraction,
+			Keys:        cfg.Keys,
+			ZipfTheta:   cfg.ZipfTheta,
+			Total:       r.total,
+		}
+		if r.source, err = workload.NewSource(srcCfg, r.eng, root.Stream(3), r.onArrival); err != nil {
+			return err
+		}
+	}
+	r.rec = stats.NewRecorder(r.total - r.warmup)
+	if cfg.FailRSNodeAt > 0 {
+		r.failAt = int(cfg.FailRSNodeAt * float64(r.total))
+		if r.failAt < 1 {
+			r.failAt = 1
+		}
+	}
+
+	// The NetRS control plane.
+	if r.netrs {
+		if err := r.setupControlPlane(deployment.ClientHosts, rate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// operatorSelectorFactory builds the per-operator replica-selection state.
+// aggregateRate (req/s) sizes C3's initial rate limit at the steady-state
+// per-server demand: the evaluation measures steady state, and with
+// scaled-down request counts a cold slow-start could otherwise occupy the
+// whole measured window at small service times.
+func (r *runner) operatorSelectorFactory(root *sim.RNG, aggregateRate float64) func(uint16) (fabric.Selector, error) {
+	if !r.netrs {
+		// CliRS traffic never consults operator selectors.
+		return func(uint16) (fabric.Selector, error) { return &selection.RoundRobin{}, nil }
+	}
+	if alg := r.cfg.OperatorAlgorithm; alg != "" && alg != selection.AlgoC3 {
+		return func(id uint16) (fabric.Selector, error) {
+			return selection.New(alg, r.eng, root.Stream(uint64(500000)+uint64(id)))
+		}
+	}
+	return func(id uint16) (fabric.Selector, error) {
+		cfg := c3.NewDefaultConfig()
+		cfg.RateControl = r.cfg.RateControl
+		perServerPerInterval := aggregateRate *
+			(float64(cfg.RateInterval) / float64(sim.Second)) / float64(r.cfg.Servers)
+		if perServerPerInterval > cfg.InitialRate {
+			cfg.InitialRate = perServerPerInterval
+		}
+		if cfg.MaxRate < 8*perServerPerInterval {
+			cfg.MaxRate = 8 * perServerPerInterval
+		}
+		return selection.NewC3(cfg, r.eng)
+	}
+}
+
+// clientSelector builds a client's local selection state: the full C3
+// RSNode under CliRS, a feedback-fed ranker for DRS backups under NetRS.
+func (r *runner) clientSelector(rng *sim.RNG) (selection.Selector, error) {
+	cfg := c3.NewDefaultConfig()
+	cfg.ConcurrencyWeight = float64(r.cfg.Clients)
+	cfg.RateControl = r.cfg.RateControl && !r.netrs
+	return selection.NewC3(cfg, r.eng)
+}
+
+// setupControlPlane defines traffic groups, installs databases and the
+// initial (ToR) plan, and sizes the C3 concurrency weights.
+func (r *runner) setupControlPlane(clientHosts []topo.NodeID, rate float64) error {
+	groups, err := r.buildGroups(clientHosts)
+	if err != nil {
+		return err
+	}
+	accel := placement.AccelParams{
+		Cores:          r.cfg.Fabric.AccelCores,
+		SelectionTime:  r.cfg.Fabric.AccelService,
+		MaxUtilization: r.cfg.AccelMaxUtilization,
+	}
+	budget := r.cfg.ExtraHopBudgetFraction * rate
+	r.ctl, err = fabric.NewController(r.net, groups, accel, budget, placement.Options{
+		Method:   r.cfg.PlacementMethod,
+		AllowDRS: true,
+	})
+	if err != nil {
+		return err
+	}
+	r.ctl.InstallGroupDBs(
+		func(rgid uint32) ([]int, error) { return r.ring.Replicas(int(rgid)) },
+		func(server int) (topo.NodeID, error) {
+			if server < 0 || server >= len(r.serverHostOf) {
+				return topo.InvalidNode, fmt.Errorf("server %d: %w", server, ErrInvalidParam)
+			}
+			return r.serverHostOf[server], nil
+		},
+	)
+	if err := r.ctl.InstallToRPlan(); err != nil {
+		return err
+	}
+	plan, _ := r.ctl.CurrentPlan()
+	r.plan = plan
+	r.hasPlan = true
+	r.setOperatorWeights(len(plan.RSNodes))
+	return nil
+}
+
+// buildGroups derives traffic groups from the client deployment.
+func (r *runner) buildGroups(clientHosts []topo.NodeID) ([]fabric.GroupDef, error) {
+	if !r.cfg.RackLevelGroups {
+		groups := make([]fabric.GroupDef, len(clientHosts))
+		for i, h := range clientHosts {
+			node, err := r.ft.Node(h)
+			if err != nil {
+				return nil, err
+			}
+			groups[i] = fabric.GroupDef{ID: i, Rack: node.Rack, Hosts: []topo.NodeID{h}}
+		}
+		return groups, nil
+	}
+	byRack := make(map[int][]topo.NodeID)
+	for _, h := range clientHosts {
+		node, err := r.ft.Node(h)
+		if err != nil {
+			return nil, err
+		}
+		byRack[node.Rack] = append(byRack[node.Rack], h)
+	}
+	groups := make([]fabric.GroupDef, 0, len(byRack))
+	for rack := 0; rack < r.ft.Racks(); rack++ {
+		hosts, ok := byRack[rack]
+		if !ok {
+			continue
+		}
+		// Intervening-level granularity: chunk a rack's clients into
+		// groups of at most GroupMaxHosts (§III-A).
+		chunk := len(hosts)
+		if r.cfg.GroupMaxHosts > 0 && r.cfg.GroupMaxHosts < chunk {
+			chunk = r.cfg.GroupMaxHosts
+		}
+		for start := 0; start < len(hosts); start += chunk {
+			end := start + chunk
+			if end > len(hosts) {
+				end = len(hosts)
+			}
+			groups = append(groups, fabric.GroupDef{ID: len(groups), Rack: rack, Hosts: hosts[start:end]})
+		}
+	}
+	return groups, nil
+}
+
+// setOperatorWeights retunes every operator selector's C3 concurrency
+// weight to the number of active RSNodes.
+func (r *runner) setOperatorWeights(rsnodes int) {
+	if rsnodes < 1 {
+		rsnodes = 1
+	}
+	for _, op := range r.net.Operators() {
+		if ad, ok := op.Accelerator().Selector().(*selection.Adapter); ok {
+			// The weight is nonnegative by construction.
+			_ = ad.Inner().SetConcurrencyWeight(float64(rsnodes))
+		}
+	}
+}
+
+// execute starts the workload, drives the engine, and summarizes.
+func (r *runner) execute() (Result, error) {
+	for _, srv := range r.servers {
+		srv.Start()
+	}
+	r.startQueueSampler()
+	if r.replay != nil {
+		if err := r.replay.Start(); err != nil {
+			return Result{}, err
+		}
+	} else {
+		r.source.Start()
+	}
+
+	// Generous watchdog: tens of times the expected span.
+	expected := float64(r.total) / r.rate
+	deadline := sim.FromSeconds(expected*20 + 30)
+	r.eng.RunUntil(deadline)
+
+	if r.completed < r.total {
+		return Result{}, fmt.Errorf("cluster: %d of %d requests completed by watchdog deadline %v",
+			r.completed, r.total, deadline)
+	}
+
+	summary, err := r.rec.Summarize()
+	if err != nil {
+		return Result{}, fmt.Errorf("summarize: %w", err)
+	}
+	emitted := 0
+	if r.replay != nil {
+		emitted = r.replay.Emitted()
+	} else {
+		emitted = r.source.Emitted()
+	}
+	res := Result{
+		Scheme:              r.cfg.Scheme,
+		Summary:             summary,
+		Emitted:             emitted,
+		Completed:           r.completed,
+		RedundantSent:       r.redundant,
+		CancelledDuplicates: r.cancelled,
+		DegradedResponses:   r.degradedResponses,
+		SimulatedSpan:       r.eng.Now(),
+	}
+	if r.netrs && r.hasPlan {
+		res.RSNodes = len(r.plan.RSNodes)
+		res.DegradedGroups = len(r.plan.Degraded)
+		res.PlanMethod = r.plan.Method
+	} else {
+		res.RSNodes = r.cfg.Clients
+	}
+	res.FailedRSNode = r.failedRSNode
+	res.TraceMs = r.trace
+	var loads stats.Welford
+	for _, srv := range r.servers {
+		loads.Observe(float64(srv.Served()))
+	}
+	res.ServerLoadCV = loads.CV()
+	res.QueueCVMean = r.queueCV.Mean()
+	for _, op := range r.net.Operators() {
+		if u := op.Accelerator().Utilization(); u > res.MaxAccelUtilization {
+			res.MaxAccelUtilization = u
+		}
+		res.OperatorSelections += op.Stats().Selections
+	}
+	return res, nil
+}
+
+// onArrival is the workload sink: one logical read request.
+func (r *runner) onArrival(req workload.Request) {
+	c := r.clients[req.Client]
+	rgid := r.ring.GroupOfKey(req.Key)
+	replicas, err := r.ring.Replicas(rgid)
+	if err != nil {
+		return
+	}
+	p := &pending{
+		logicalIdx: req.Index,
+		client:     c,
+		rgid:       rgid,
+		replicas:   replicas,
+		created:    r.eng.Now(),
+		primary:    -1,
+	}
+	if r.netrs {
+		r.sendNetRS(p)
+		return
+	}
+	r.sendClientPick(p, replicas, true)
+}
+
+func (r *runner) newPID() uint64 {
+	r.nextPID++
+	return r.nextPID
+}
+
+// sendClientPick realizes the CliRS flow: the client's own C3 instance
+// picks the replica (possibly delaying the send under rate control) and
+// the request travels directly to the chosen server.
+func (r *runner) sendClientPick(p *pending, candidates []int, primary bool) {
+	c := p.client
+	server, delay, err := c.sel.Pick(candidates)
+	if err != nil {
+		return
+	}
+	pid := r.newPID()
+	ctx := &packetCtx{p: p, server: server}
+	r.pendings[pid] = ctx
+	p.packetIDs = append(p.packetIDs, pid)
+	send := func() {
+		if p.done {
+			delete(r.pendings, pid)
+			return
+		}
+		ctx.sentAt = r.eng.Now()
+		pkt := &fabric.Packet{
+			ReqID:     pid,
+			Dst:       r.serverHostOf[server],
+			Server:    server,
+			RGID:      uint32(p.rgid),
+			CreatedAt: p.created,
+		}
+		if err := r.net.SendDirect(pkt, c.host); err != nil {
+			delete(r.pendings, pid)
+		}
+	}
+	if delay > 0 {
+		r.eng.MustSchedule(delay, send)
+	} else {
+		send()
+	}
+	if primary {
+		p.primary = server
+		if r.cfg.Scheme == SchemeCliRSR95 {
+			r.armRedundantTimer(p)
+		}
+	}
+}
+
+// armRedundantTimer schedules the CliRS-R95 duplicate once the request has
+// been outstanding longer than the client's latency-percentile estimate.
+func (r *runner) armRedundantTimer(p *pending) {
+	c := p.client
+	if c.p95 == nil || c.p95.Observations() < 20 {
+		return // no trustworthy estimate yet
+	}
+	threshold := sim.Time(c.p95.Value())
+	if threshold <= 0 {
+		return
+	}
+	p.timer = r.eng.MustSchedule(threshold, func() {
+		if p.done {
+			return
+		}
+		var filtered []int
+		for _, s := range p.replicas {
+			if s != p.primary {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			return
+		}
+		r.redundant++
+		r.sendClientPick(p, filtered, false)
+	})
+}
+
+// sendNetRS realizes the NetRS flow: the request heads for the network
+// with its replica group ID and a client-provided DRS backup; the
+// in-network RSNode picks the replica.
+func (r *runner) sendNetRS(p *pending) {
+	c := p.client
+	ranked := c.sel.Rank(p.replicas)
+	backup := ranked[0]
+	pid := r.newPID()
+	r.pendings[pid] = &packetCtx{p: p, server: -1, sentAt: r.eng.Now()}
+	p.packetIDs = append(p.packetIDs, pid)
+	pkt := &fabric.Packet{
+		ReqID:        pid,
+		RGID:         uint32(p.rgid),
+		Dst:          topo.InvalidNode,
+		Backup:       r.serverHostOf[backup],
+		BackupServer: backup,
+		CreatedAt:    p.created,
+	}
+	if err := r.net.SendNetRSRequest(pkt, c.host); err != nil {
+		delete(r.pendings, pid)
+	}
+}
+
+// serverHandler services requests at a replica server's host.
+func (r *runner) serverHandler(sid int) fabric.HostHandler {
+	srv := r.servers[sid]
+	host := r.serverHostOf[sid]
+	return func(pkt *fabric.Packet) {
+		reqMagic := pkt.Magic
+		reqID := pkt.ReqID
+		rid := pkt.RID
+		rgid := pkt.RGID
+		clientHost := pkt.Src
+		created := pkt.CreatedAt
+		ticket := srv.Submit(kv.Request{Done: func(sim.Time) {
+			if r.cfg.CancelDuplicates {
+				delete(r.tickets, reqID)
+			}
+			respMagic := wire.Magic(0)
+			if reqMagic != 0 {
+				respMagic = wire.InverseTransform(reqMagic)
+			}
+			resp := &fabric.Packet{
+				ReqID:     reqID,
+				Magic:     respMagic,
+				RID:       rid,
+				RGID:      rgid,
+				Dst:       clientHost,
+				Server:    sid,
+				Status:    srv.Status(),
+				CreatedAt: created,
+			}
+			if err := r.net.SendResponse(resp, host); err != nil {
+				return
+			}
+		}})
+		if r.cfg.CancelDuplicates {
+			r.tickets[reqID] = ticket
+		}
+	}
+}
+
+// clientHandler receives responses at a client host.
+func (r *runner) clientHandler(c *client) fabric.HostHandler {
+	return func(pkt *fabric.Packet) {
+		ctx, ok := r.pendings[pkt.ReqID]
+		if !ok {
+			return // stray (e.g. duplicate answered after completion cleanup)
+		}
+		delete(r.pendings, pkt.ReqID)
+		now := r.eng.Now()
+		c.sel.OnResponse(pkt.Server, now-ctx.sentAt, pkt.Status)
+		if pkt.RID == wire.DegradedRID {
+			r.degradedResponses++
+		}
+		p := ctx.p
+		if p.done {
+			return // a duplicate raced the primary; first response won
+		}
+		p.done = true
+		p.timer.Cancel()
+		// Cross-server cancellation: the race is decided, withdraw any
+		// sibling still queued at its server.
+		if r.cfg.CancelDuplicates {
+			for _, pid := range p.packetIDs {
+				if pid == pkt.ReqID {
+					continue
+				}
+				sibling, live := r.pendings[pid]
+				if !live {
+					continue
+				}
+				if ticket, ok := r.tickets[pid]; ok && ticket.Cancel() {
+					delete(r.tickets, pid)
+					delete(r.pendings, pid)
+					r.cancelled++
+					if ab, ok := c.sel.(selection.Abandoner); ok && sibling.server >= 0 {
+						ab.OnAbandon(sibling.server)
+					}
+				}
+			}
+		}
+		latency := now - p.created
+		if c.p95 != nil {
+			c.p95.Observe(float64(latency))
+		}
+		if p.logicalIdx >= r.warmup {
+			r.rec.Record(latency)
+			if r.cfg.KeepLatencyTrace {
+				r.trace = append(r.trace, latency.Float64Ms())
+			}
+		}
+		r.completed++
+		// The ILP plan deploys halfway through warmup: the paper notes a
+		// temporary latency increase after an RSP deployment while new
+		// RSNodes rebuild their view, so the second half of the warmup
+		// absorbs that transient before measurement starts.
+		if r.cfg.Scheme == SchemeNetRSILP && r.completed == (r.warmup+1)/2 {
+			r.deployILPPlan()
+		}
+		if r.failAt > 0 && r.completed == r.failAt {
+			r.injectFailure()
+		}
+		if r.completed == r.total {
+			r.finish()
+		}
+	}
+}
+
+// injectFailure fails the busiest RSNode and routes the event through the
+// controller's exception handling (§III-C scenario iii): the operator's
+// traffic groups flip to Degraded Replica Selection without touching
+// end-hosts.
+func (r *runner) injectFailure() {
+	if !r.netrs || !r.hasPlan || r.ctl == nil {
+		return
+	}
+	var busiest *fabric.Operator
+	var most uint64
+	for _, op := range r.net.Operators() {
+		if s := op.Stats().Selections; s >= most && s > 0 {
+			busiest, most = op, s
+		}
+	}
+	if busiest == nil {
+		return
+	}
+	if err := r.ctl.HandleOperatorFailure(busiest); err != nil {
+		return
+	}
+	r.failedRSNode = busiest.ID()
+	if plan, ok := r.ctl.CurrentPlan(); ok {
+		r.plan = plan
+	}
+}
+
+// deployILPPlan solves the placement from the warmup window's monitor
+// statistics and deploys it (the NetRS controller's periodic RSP update,
+// §II). The measured rates are normalized so their total matches the known
+// offered load: in scaled-down runs the warmup window is close to the
+// pipeline-fill time, which biases raw monitor rates low; the paper's
+// administrators know A anyway (they derive the hop budget E from it).
+func (r *runner) deployILPPlan() {
+	rates := r.ctl.CollectTraffic()
+	measured := 0.0
+	for _, tiers := range rates {
+		measured += tiers[0] + tiers[1] + tiers[2]
+	}
+	if measured > 0 {
+		target, err := workload.UtilizationRate(r.cfg.Utilization, r.cfg.Servers, r.cfg.Parallelism, r.cfg.MeanServiceTime)
+		if err == nil && target > measured {
+			scale := target / measured
+			for g, tiers := range rates {
+				for k := range tiers {
+					tiers[k] *= scale
+				}
+				rates[g] = tiers
+			}
+		}
+	}
+	plan, err := r.ctl.UpdateRSPWithTraffic(rates)
+	if err != nil {
+		// Keep the ToR plan; the run proceeds, which mirrors the
+		// controller's behavior when no better RSP exists.
+		return
+	}
+	r.plan = plan
+	r.setOperatorWeights(len(plan.RSNodes))
+}
+
+// startQueueSampler periodically samples the cross-server queue-length
+// dispersion — the load-oscillation signal of §I. The sampling period is
+// the fluctuation interval (or 50 ms when fluctuation is disabled).
+func (r *runner) startQueueSampler() {
+	period := r.cfg.FluctuationInterval
+	if period <= 0 {
+		period = 50 * sim.Millisecond
+	}
+	var tick func()
+	tick = func() {
+		var w stats.Welford
+		for _, srv := range r.servers {
+			w.Observe(float64(srv.QueueSize()))
+		}
+		if w.Mean() > 0 {
+			r.queueCV.Observe(w.CV())
+		}
+		r.samplerRef = r.eng.MustSchedule(period, tick)
+	}
+	r.samplerRef = r.eng.MustSchedule(period, tick)
+}
+
+// finish stops the perpetual processes so the engine can halt.
+func (r *runner) finish() {
+	for _, srv := range r.servers {
+		srv.Stop()
+	}
+	r.samplerRef.Cancel()
+	r.eng.Stop()
+}

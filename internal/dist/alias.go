@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"netrs/internal/sim"
+)
+
+// Alias samples from a fixed discrete distribution in O(1) per draw using
+// Vose's alias method. The experiments use it to attribute requests to
+// clients under demand skew (§V-B2: x% of requests issued by 20% of
+// clients).
+type Alias struct {
+	prob  []float64
+	alias []int
+	rng   *sim.RNG
+}
+
+// NewAlias builds a sampler over len(weights) outcomes with probabilities
+// proportional to the weights. Weights must be nonnegative, finite, and sum
+// to a positive value.
+func NewAlias(weights []float64, rng *sim.RNG) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("alias: empty weights: %w", ErrInvalidParam)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("alias: weight[%d]=%v: %w", i, w, ErrInvalidParam)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("alias: weights sum to %v: %w", total, ErrInvalidParam)
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		rng:   rng,
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers: remaining columns are full.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Draw returns an outcome index distributed per the construction weights.
+func (a *Alias) Draw() int {
+	i := a.rng.Intn(len(a.prob))
+	if a.rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// SkewedWeights returns a weight vector of length n in which hotFraction of
+// the outcomes (the first ceil(hotFraction*n)) carry demandFraction of the
+// total weight and the rest share the remainder evenly. It encodes the
+// paper's demand-skew knob: demandFraction of requests issued by
+// hotFraction of clients. demandFraction must be in (0, 1] and hotFraction
+// in (0, 1].
+func SkewedWeights(n int, hotFraction, demandFraction float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("skewed weights n=%d: %w", n, ErrInvalidParam)
+	}
+	if hotFraction <= 0 || hotFraction > 1 || demandFraction <= 0 || demandFraction > 1 {
+		return nil, fmt.Errorf("skewed weights hot=%v demand=%v: %w", hotFraction, demandFraction, ErrInvalidParam)
+	}
+	hot := int(math.Ceil(hotFraction * float64(n)))
+	if hot > n {
+		hot = n
+	}
+	w := make([]float64, n)
+	cold := n - hot
+	for i := range w {
+		if i < hot {
+			w[i] = demandFraction / float64(hot)
+		} else {
+			w[i] = (1 - demandFraction) / float64(cold)
+		}
+	}
+	if cold == 0 {
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,105 @@
+// Package dist provides the random distributions used by the NetRS
+// simulations: exponential service times, Zipfian key popularity, bimodal
+// server-performance fluctuation, Poisson arrival processes, and weighted
+// discrete sampling.
+//
+// All distributions draw from sim.RNG streams so experiments are
+// deterministic for a fixed seed.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netrs/internal/sim"
+)
+
+// ErrInvalidParam reports a distribution constructed with parameters outside
+// its domain.
+var ErrInvalidParam = errors.New("dist: invalid parameter")
+
+// Exponential draws exponentially distributed values with a configurable
+// mean. It models the KV servers' service times (§V-A of the paper).
+type Exponential struct {
+	mean float64
+	rng  *sim.RNG
+}
+
+// NewExponential returns an exponential distribution with the given mean.
+func NewExponential(mean float64, rng *sim.RNG) (*Exponential, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("exponential mean %v: %w", mean, ErrInvalidParam)
+	}
+	return &Exponential{mean: mean, rng: rng}, nil
+}
+
+// Mean returns the configured mean.
+func (e *Exponential) Mean() float64 { return e.mean }
+
+// Draw returns one sample.
+func (e *Exponential) Draw() float64 { return e.mean * e.rng.ExpFloat64() }
+
+// DrawTime returns one sample scaled as a sim.Time, where the mean is
+// interpreted in nanoseconds.
+func (e *Exponential) DrawTime() sim.Time { return sim.Time(e.Draw()) }
+
+// Poisson models an open-loop Poisson arrival process with a fixed rate.
+type Poisson struct {
+	exp *Exponential
+}
+
+// NewPoisson returns a Poisson process with ratePerSec arrivals per
+// simulated second.
+func NewPoisson(ratePerSec float64, rng *sim.RNG) (*Poisson, error) {
+	if ratePerSec <= 0 || math.IsNaN(ratePerSec) || math.IsInf(ratePerSec, 0) {
+		return nil, fmt.Errorf("poisson rate %v: %w", ratePerSec, ErrInvalidParam)
+	}
+	exp, err := NewExponential(float64(sim.Second)/ratePerSec, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Poisson{exp: exp}, nil
+}
+
+// NextInterarrival returns the delay until the next arrival.
+func (p *Poisson) NextInterarrival() sim.Time {
+	d := p.exp.DrawTime()
+	if d < 1 {
+		d = 1 // arrivals are strictly ordered in simulated time
+	}
+	return d
+}
+
+// Bimodal models the paper's server performance fluctuation (§V-A, citing
+// Schad et al.): at each draw the value is either Base or Base/Range with
+// equal probability. Range is the paper's d parameter (d = 3 by default).
+type Bimodal struct {
+	base  float64
+	rang  float64
+	rng   *sim.RNG
+	draws uint64
+}
+
+// NewBimodal returns a bimodal distribution over {base, base/rang}.
+func NewBimodal(base, rang float64, rng *sim.RNG) (*Bimodal, error) {
+	if base <= 0 || rang < 1 || math.IsNaN(base) || math.IsNaN(rang) {
+		return nil, fmt.Errorf("bimodal base=%v range=%v: %w", base, rang, ErrInvalidParam)
+	}
+	return &Bimodal{base: base, rang: rang, rng: rng}, nil
+}
+
+// Draw returns base or base/range with equal probability.
+func (b *Bimodal) Draw() float64 {
+	b.draws++
+	if b.rng.Uint64()&1 == 0 {
+		return b.base
+	}
+	return b.base / b.rang
+}
+
+// Modes returns the two possible values (slow, fast).
+func (b *Bimodal) Modes() (float64, float64) { return b.base, b.base / b.rang }
+
+// Draws returns how many samples have been taken; useful in tests.
+func (b *Bimodal) Draws() uint64 { return b.draws }

@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"netrs/internal/sim"
+)
+
+// Accelerator simulates a network accelerator attached to a programmable
+// switch (§II): a multi-core station with a FIFO queue, a fixed
+// per-selection service time, and a fixed switch↔accelerator RTT. The
+// NetRS selector (the replica-selection algorithm instance) runs here.
+//
+// Response clones update selector state without consuming a core: the
+// paper's cloning design explicitly takes response processing off the
+// latency path, and the Eq. (6) capacity model counts only request
+// selections.
+type Accelerator struct {
+	eng      *sim.Engine
+	op       *Operator
+	selector Selector
+	cores    int
+	svc      sim.Time
+	rtt      sim.Time
+
+	busy  int
+	queue []*Packet
+
+	selections uint64
+	clones     uint64
+	busyNs     sim.Time
+	maxQueue   int
+
+	// sentAt records when each selected request left, so the clone of
+	// its response yields the observed latency (the RV mechanism of
+	// §IV-A realized in simulation state).
+	sentAt map[uint64]sim.Time
+}
+
+func newAccelerator(eng *sim.Engine, cfg Config, sel Selector, op *Operator) *Accelerator {
+	return &Accelerator{
+		eng:      eng,
+		op:       op,
+		selector: sel,
+		cores:    cfg.AccelCores,
+		svc:      cfg.AccelService,
+		rtt:      cfg.AccelRTT,
+		sentAt:   make(map[uint64]sim.Time),
+	}
+}
+
+// Selector exposes the replica-selection state (for instrumentation).
+func (a *Accelerator) Selector() Selector { return a.selector }
+
+// Selections returns the number of replica selections performed.
+func (a *Accelerator) Selections() uint64 { return a.selections }
+
+// CloneCount returns the number of response clones processed.
+func (a *Accelerator) CloneCount() uint64 { return a.clones }
+
+// BusyTime returns cumulative core-busy time.
+func (a *Accelerator) BusyTime() sim.Time { return a.busyNs }
+
+// MaxQueue returns the high-water mark of the accelerator queue.
+func (a *Accelerator) MaxQueue() int { return a.maxQueue }
+
+// Utilization returns busy time divided by elapsed core-time.
+func (a *Accelerator) Utilization() float64 {
+	now := a.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(a.busyNs) / (float64(now) * float64(a.cores))
+}
+
+// submitRequest ships a request across the switch–accelerator link, queues
+// it for a core, runs the selection, and hands the packet back to the
+// operator.
+func (a *Accelerator) submitRequest(p *Packet) {
+	a.eng.MustSchedule(a.rtt/2, func() {
+		if a.busy < a.cores {
+			a.startService(p)
+			return
+		}
+		a.queue = append(a.queue, p)
+		if q := len(a.queue) + a.busy; q > a.maxQueue {
+			a.maxQueue = q
+		}
+	})
+}
+
+func (a *Accelerator) startService(p *Packet) {
+	a.busy++
+	a.eng.MustSchedule(a.svc, func() { a.finishService(p) })
+}
+
+func (a *Accelerator) finishService(p *Packet) {
+	a.busy--
+	a.busyNs += a.svc
+	a.selections++
+	if len(a.queue) > 0 {
+		next := a.queue[0]
+		a.queue = a.queue[1:]
+		a.startService(next)
+	}
+
+	candidates, err := a.op.groupDB(p.RGID)
+	if err != nil || len(candidates) == 0 {
+		a.op.degrade(p)
+		return
+	}
+	server, delay, err := a.selector.Pick(candidates)
+	if err != nil {
+		a.op.degrade(p)
+		return
+	}
+	// Return trip to the switch, plus any rate-control hold.
+	a.eng.MustSchedule(a.rtt/2, func() { a.op.onSelected(p, server, delay) })
+}
+
+// markSent stamps the moment a selected request leaves the switch, so the
+// response clone yields the switch-to-switch response time (the RV
+// timestamp mechanism of §IV-A).
+func (a *Accelerator) markSent(reqID uint64) {
+	a.sentAt[reqID] = a.eng.Now()
+}
+
+// submitResponseClone folds a cloned response into the selector state.
+func (a *Accelerator) submitResponseClone(c *Packet) {
+	a.clones++
+	a.op.onCloneProcessed()
+	sent, ok := a.sentAt[c.ReqID]
+	if !ok {
+		return // RSP changed mid-flight or duplicate clone; nothing to learn
+	}
+	delete(a.sentAt, c.ReqID)
+	latency := a.eng.Now() - sent
+	a.selector.OnResponse(c.Server, latency, c.Status)
+}

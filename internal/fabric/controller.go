@@ -1,0 +1,320 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netrs/internal/placement"
+	"netrs/internal/topo"
+	"netrs/internal/wire"
+)
+
+// GroupDef declares one traffic group to the controller: a set of
+// same-rack end-hosts whose requests are steered together (§III-A's
+// host-level, rack-level, or intervening-level groups).
+type GroupDef struct {
+	ID    int
+	Rack  int
+	Hosts []topo.NodeID
+}
+
+// Controller is the NetRS controller (§II, §III): it collects traffic
+// statistics from the ToR monitors, solves the RSNode-placement problem,
+// and deploys the resulting Replica Selection Plan by rewriting the NetRS
+// rules of every operator. It also realizes the exception handling of
+// §III-C by flipping traffic groups to Degraded Replica Selection.
+type Controller struct {
+	net      *Network
+	groups   []GroupDef
+	accel    placement.AccelParams
+	budget   float64
+	solveOpt placement.Options
+
+	plan        placement.Plan
+	problem     placement.Problem
+	hasPlan     bool
+	rspVersions int
+}
+
+// NewController wires a controller to the network. budget is E, the
+// extra-hop allowance per second (§III-B).
+func NewController(net *Network, groups []GroupDef, accel placement.AccelParams, budget float64, opts placement.Options) (*Controller, error) {
+	if net == nil {
+		return nil, fmt.Errorf("nil network: %w", ErrInvalidParam)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("no traffic groups: %w", ErrInvalidParam)
+	}
+	seen := make(map[int]bool, len(groups))
+	for _, g := range groups {
+		if seen[g.ID] {
+			return nil, fmt.Errorf("duplicate group id %d: %w", g.ID, ErrInvalidParam)
+		}
+		seen[g.ID] = true
+		if g.Rack < 0 || g.Rack >= net.topo.Racks() {
+			return nil, fmt.Errorf("group %d rack %d: %w", g.ID, g.Rack, ErrInvalidParam)
+		}
+		if len(g.Hosts) == 0 {
+			return nil, fmt.Errorf("group %d has no hosts: %w", g.ID, ErrInvalidParam)
+		}
+	}
+	c := &Controller{net: net, groups: groups, accel: accel, budget: budget, solveOpt: opts}
+	c.bindHosts()
+	return c, nil
+}
+
+// bindHosts installs the host→group match rules on every ToR (these do not
+// change across RSPs).
+func (c *Controller) bindHosts() {
+	for _, g := range c.groups {
+		tor, err := c.net.topo.ToROfRack(g.Rack)
+		if err != nil {
+			continue
+		}
+		op, err := c.net.Operator(tor)
+		if err != nil {
+			continue
+		}
+		for _, h := range g.Hosts {
+			op.rules.BindHost(h, g.ID)
+		}
+	}
+}
+
+// Groups returns the controller's traffic-group definitions.
+func (c *Controller) Groups() []GroupDef { return c.groups }
+
+// RSPVersions counts how many plans have been deployed.
+func (c *Controller) RSPVersions() int { return c.rspVersions }
+
+// CurrentPlan returns the deployed plan; ok is false before any deploy.
+func (c *Controller) CurrentPlan() (placement.Plan, bool) { return c.plan, c.hasPlan }
+
+// InstallToRPlan deploys the straightforward RSP of the NetRS-ToR scheme:
+// each group's RSNode is the operator at its own rack's ToR switch.
+func (c *Controller) InstallToRPlan() error {
+	problem, err := c.buildProblem(nil)
+	if err != nil {
+		return err
+	}
+	plan, err := problem.ToRPlan()
+	if err != nil {
+		return err
+	}
+	return c.deploy(problem, plan)
+}
+
+// UpdateRSP gathers monitor statistics, solves the placement ILP, and
+// deploys the plan. Call it only after traffic has flowed (the monitors
+// need a nonempty window); otherwise supply rates via UpdateRSPWithTraffic.
+func (c *Controller) UpdateRSP() (placement.Plan, error) {
+	rates := c.collect()
+	return c.UpdateRSPWithTraffic(rates)
+}
+
+// UpdateRSPWithTraffic solves and deploys a plan from explicit per-group
+// tier rates (req/s). Groups missing from the map are treated as idle.
+func (c *Controller) UpdateRSPWithTraffic(rates map[int][3]float64) (placement.Plan, error) {
+	problem, err := c.buildProblem(rates)
+	if err != nil {
+		return placement.Plan{}, err
+	}
+	plan, err := placement.Solve(problem, c.solveOpt)
+	if err != nil {
+		return placement.Plan{}, fmt.Errorf("solve placement: %w", err)
+	}
+	if err := c.deploy(problem, plan); err != nil {
+		return placement.Plan{}, err
+	}
+	return plan, nil
+}
+
+// CollectTraffic drains every ToR monitor into per-group tier rates
+// (req/s) without deploying anything, for callers that post-process the
+// statistics before solving.
+func (c *Controller) CollectTraffic() map[int][3]float64 { return c.collect() }
+
+// collect drains every ToR monitor into per-group tier rates.
+func (c *Controller) collect() map[int][3]float64 {
+	now := c.net.eng.Now()
+	rates := make(map[int][3]float64, len(c.groups))
+	for _, op := range c.net.operators {
+		if op.monitor == nil {
+			continue
+		}
+		snap, ok := op.monitor.Snapshot(now)
+		if !ok {
+			continue
+		}
+		for g, r := range snap {
+			cur := rates[g]
+			for k := 0; k < 3; k++ {
+				cur[k] += r[k]
+			}
+			rates[g] = cur
+		}
+	}
+	return rates
+}
+
+// buildProblem assembles the placement problem from group definitions and
+// traffic rates (nil rates → zero traffic, used by the ToR plan).
+func (c *Controller) buildProblem(rates map[int][3]float64) (placement.Problem, error) {
+	groups := make([]placement.Group, len(c.groups))
+	for i, g := range c.groups {
+		pg := placement.Group{ID: g.ID, Rack: g.Rack, Hosts: g.Hosts}
+		if rates != nil {
+			pg.TierTraffic = rates[g.ID]
+		}
+		groups[i] = pg
+	}
+	return placement.BuildProblem(c.net.topo, groups, c.accel, c.budget)
+}
+
+// deploy rewrites the ToR rules to realize a plan. The operator order of
+// the placement problem matches Network's switch order, so operator index
+// i corresponds to RSNode ID i+1.
+func (c *Controller) deploy(problem placement.Problem, plan placement.Plan) error {
+	if err := problem.Validate(plan); err != nil {
+		return fmt.Errorf("refusing to deploy invalid plan: %w", err)
+	}
+	for gi, oi := range plan.Assignment {
+		g := c.groups[gi]
+		tor, err := c.net.topo.ToROfRack(g.Rack)
+		if err != nil {
+			return err
+		}
+		op, err := c.net.Operator(tor)
+		if err != nil {
+			return err
+		}
+		if oi == -1 {
+			op.rules.SetDRS(g.ID)
+			continue
+		}
+		rid := problem.Operators[oi].ID
+		if rid <= 0 || uint16(rid) == wire.DegradedRID {
+			return fmt.Errorf("plan assigns illegal RSNode id %d: %w", rid, ErrInvalidParam)
+		}
+		op.rules.SetRSNode(g.ID, uint16(rid))
+	}
+	c.plan = plan
+	c.problem = problem
+	c.hasPlan = true
+	c.rspVersions++
+	return nil
+}
+
+// HandleOverload implements §III-C scenario (ii): when a NetRS operator
+// "does not work as expected, e.g. the NetRS operator is overloaded due to
+// load changes", the controller enables DRS for every traffic group using
+// it as RSNode. The operator keeps serving in-flight packets (unlike a
+// failure) — only new requests are steered away at the ToRs. It returns
+// the group IDs flipped to DRS.
+func (c *Controller) HandleOverload(op *Operator, utilizationCap float64) ([]int, error) {
+	if !c.hasPlan {
+		return nil, errors.New("fabric: no plan deployed")
+	}
+	if utilizationCap <= 0 || utilizationCap > 1 {
+		return nil, fmt.Errorf("utilization cap %v: %w", utilizationCap, ErrInvalidParam)
+	}
+	if op.Accelerator().Utilization() <= utilizationCap {
+		return nil, nil // not overloaded
+	}
+	oi := -1
+	for idx, cand := range c.problem.Operators {
+		if uint16(cand.ID) == op.id {
+			oi = idx
+			break
+		}
+	}
+	if oi == -1 {
+		return nil, fmt.Errorf("operator %d not in deployed problem: %w", op.id, ErrInvalidParam)
+	}
+	var flipped []int
+	for gi, assigned := range c.plan.Assignment {
+		if assigned != oi {
+			continue
+		}
+		g := c.groups[gi]
+		tor, err := c.net.topo.ToROfRack(g.Rack)
+		if err != nil {
+			return nil, err
+		}
+		top, err := c.net.Operator(tor)
+		if err != nil {
+			return nil, err
+		}
+		top.rules.SetDRS(g.ID)
+		c.plan.Assignment[gi] = -1
+		flipped = append(flipped, g.ID)
+	}
+	sort.Ints(flipped)
+	c.plan.Degraded = append(c.plan.Degraded, flipped...)
+	return flipped, nil
+}
+
+// SweepOverloaded applies HandleOverload to every operator and returns the
+// total number of degraded groups — a periodic health pass the controller
+// can run alongside RSP updates.
+func (c *Controller) SweepOverloaded(utilizationCap float64) (int, error) {
+	total := 0
+	for _, op := range c.net.operators {
+		flipped, err := c.HandleOverload(op, utilizationCap)
+		if err != nil {
+			return total, err
+		}
+		total += len(flipped)
+	}
+	return total, nil
+}
+
+// HandleOperatorFailure implements §III-C scenario (iii): every traffic
+// group whose RSNode is the failed operator flips to Degraded Replica
+// Selection, without touching end-hosts.
+func (c *Controller) HandleOperatorFailure(failed *Operator) error {
+	if !c.hasPlan {
+		return errors.New("fabric: no plan deployed")
+	}
+	failed.Fail()
+	oi := -1
+	for idx, op := range c.problem.Operators {
+		if uint16(op.ID) == failed.id {
+			oi = idx
+			break
+		}
+	}
+	if oi == -1 {
+		return fmt.Errorf("operator %d not in deployed problem: %w", failed.id, ErrInvalidParam)
+	}
+	var flipped []int
+	for gi, assigned := range c.plan.Assignment {
+		if assigned != oi {
+			continue
+		}
+		g := c.groups[gi]
+		tor, err := c.net.topo.ToROfRack(g.Rack)
+		if err != nil {
+			return err
+		}
+		top, err := c.net.Operator(tor)
+		if err != nil {
+			return err
+		}
+		top.rules.SetDRS(g.ID)
+		c.plan.Assignment[gi] = -1
+		flipped = append(flipped, gi)
+	}
+	sort.Ints(flipped)
+	c.plan.Degraded = append(c.plan.Degraded, flipped...)
+	return nil
+}
+
+// InstallGroupDBs pushes the replica-group database and server locator to
+// every operator's selector (the consistent-hashing view of §IV-A).
+func (c *Controller) InstallGroupDBs(db GroupDB, loc ServerLocator) {
+	for _, op := range c.net.operators {
+		op.SetDatabases(db, loc)
+	}
+}

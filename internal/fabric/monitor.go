@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+)
+
+// Monitor is the NetRS monitor of §IV-D: match-action counters in a ToR
+// switch's egress pipeline. It watches monitor-visible responses leaving
+// the network toward the rack's hosts, classifies each by comparing the
+// packet's source marker with the ToR's own (pod, rack) location, and
+// accumulates per-traffic-group tier counts for the controller.
+type Monitor struct {
+	pod  int
+	rack int
+	op   *Operator
+
+	windowStart sim.Time
+	counts      map[int]*[3]uint64 // group → [tier0, tier1, tier2]
+	total       uint64
+	unmatched   uint64
+}
+
+func newMonitor(pod, rack int, op *Operator) *Monitor {
+	return &Monitor{pod: pod, rack: rack, op: op, counts: make(map[int]*[3]uint64)}
+}
+
+// count records one response delivered to dst.
+func (m *Monitor) count(p *Packet, dst topo.NodeID) {
+	group, ok := m.op.rules.GroupOfHost(dst)
+	if !ok {
+		m.unmatched++
+		return
+	}
+	c, ok := m.counts[group]
+	if !ok {
+		c = new([3]uint64)
+		m.counts[group] = c
+	}
+	switch {
+	case p.HasSM && int(p.SM.Rack) == m.rack:
+		c[topo.TierToR]++
+	case p.HasSM && int(p.SM.Pod) == m.pod:
+		c[topo.TierAgg]++
+	default:
+		c[topo.TierCore]++
+	}
+	m.total++
+}
+
+// Total returns the number of counted responses in the current window.
+func (m *Monitor) Total() uint64 { return m.total }
+
+// Unmatched returns responses whose destination had no group binding.
+func (m *Monitor) Unmatched() uint64 { return m.unmatched }
+
+// Snapshot returns per-group tier rates in requests per second over the
+// window since the last snapshot, then resets the counters. It reports
+// ok=false when the window is empty (no time elapsed).
+func (m *Monitor) Snapshot(now sim.Time) (map[int][3]float64, bool) {
+	span := now - m.windowStart
+	if span <= 0 {
+		return nil, false
+	}
+	secs := float64(span) / float64(sim.Second)
+	out := make(map[int][3]float64, len(m.counts))
+	for g, c := range m.counts {
+		out[g] = [3]float64{
+			float64(c[0]) / secs,
+			float64(c[1]) / secs,
+			float64(c[2]) / secs,
+		}
+	}
+	m.counts = make(map[int]*[3]uint64)
+	m.total = 0
+	m.windowStart = now
+	return out, true
+}

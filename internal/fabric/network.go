@@ -1,0 +1,337 @@
+// Package fabric simulates the in-network half of NetRS (§II, §IV): the
+// data-center network with per-link latency, the NetRS operators
+// (programmable switch + network accelerator pairs) executing the ingress
+// pipeline of Fig. 3, the NetRS selectors running replica selection on the
+// accelerators, the ToR monitors that collect per-group traffic
+// composition, and the NetRS controller that periodically installs Replica
+// Selection Plans and handles exceptions through Degraded Replica
+// Selection.
+//
+// Packets are simulated hop by hop: every switch on a path runs its
+// match-action pipeline, links add a fixed latency (30 µs in the paper),
+// and accelerator access adds its RTT plus queueing plus service time.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"netrs/internal/kv"
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+	"netrs/internal/wire"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrInvalidParam = errors.New("fabric: invalid parameter")
+	ErrNoHandler    = errors.New("fabric: destination host has no handler")
+	ErrNoOperator   = errors.New("fabric: switch has no operator")
+)
+
+// Packet is the simulation's in-flight message. It mirrors the wire format
+// of §IV-A — RID, magic field, RGID, source marker, piggybacked status —
+// with simulation bookkeeping (IDs, timestamps, the current path) in place
+// of opaque payload bytes.
+type Packet struct {
+	// ReqID ties a request to its response; unique per logical request
+	// (redundant duplicates get their own IDs).
+	ReqID uint64
+	// Magic classifies the packet (wire.Classify).
+	Magic wire.Magic
+	// RID is the RSNode ID assigned by the ToR (requests) or copied from
+	// the request by the server (responses). Zero means unset.
+	RID uint16
+	// RGID is the replica group of the requested key.
+	RGID uint32
+	// Src and Dst are end-hosts. Dst is topo.InvalidNode for NetRS
+	// requests until a selector picks the replica server.
+	Src, Dst topo.NodeID
+	// Backup is the client-provided DRS fallback replica (§III-C): the
+	// host and server ID of the client's own best guess.
+	Backup       topo.NodeID
+	BackupServer int
+	// Server is the replica server ID once selected (and on responses).
+	Server int
+	// SM is the response's source marker, set by the server-side ToR.
+	SM wire.SourceMarker
+	// HasSM records whether SM has been stamped.
+	HasSM bool
+	// Status is the piggybacked server state on responses.
+	Status kv.Status
+	// CreatedAt is when the client issued the logical request.
+	CreatedAt sim.Time
+
+	path []topo.NodeID
+	idx  int
+}
+
+// Clone returns a copy of the packet with an empty path, as a switch's
+// clone-to-accelerator action produces.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	c.path = nil
+	c.idx = 0
+	return &c
+}
+
+// Config parameterizes the simulated fabric with the paper's measurements
+// (§V-A, taken from IncBricks).
+type Config struct {
+	// LinkLatency is the one-hop network latency (30 µs).
+	LinkLatency sim.Time
+	// AccelRTT is the switch↔accelerator round trip (2.5 µs).
+	AccelRTT sim.Time
+	// AccelService is the accelerator's per-selection service time (5 µs).
+	AccelService sim.Time
+	// AccelCores is the accelerator core count (1 for the paper's
+	// low-end accelerators).
+	AccelCores int
+}
+
+// NewDefaultConfig returns the paper's network-device parameters.
+func NewDefaultConfig() Config {
+	return Config{
+		LinkLatency:  30 * sim.Microsecond,
+		AccelRTT:     sim.Time(2.5 * float64(sim.Microsecond)),
+		AccelService: 5 * sim.Microsecond,
+		AccelCores:   1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.LinkLatency <= 0 || c.AccelRTT < 0 || c.AccelService <= 0 || c.AccelCores < 1 {
+		return fmt.Errorf("config %+v: %w", c, ErrInvalidParam)
+	}
+	return nil
+}
+
+// HostHandler receives packets delivered to an end-host.
+type HostHandler func(*Packet)
+
+// Network simulates the data-center fabric: topology-aware hop-by-hop
+// forwarding with NetRS operators on every switch.
+type Network struct {
+	eng  *sim.Engine
+	topo *topo.Topology
+	cfg  Config
+
+	operators map[topo.NodeID]*Operator
+	opByID    map[uint16]*Operator
+	hosts     map[topo.NodeID]HostHandler
+
+	forwardsTotal uint64
+	delivered     uint64
+	dropped       uint64
+}
+
+// NewNetwork builds a fabric over the topology with one NetRS operator per
+// switch, as §III-B requires ("every programmable switch must have a
+// network accelerator"). selectorFactory builds the replica-selection
+// state for each operator's accelerator.
+func NewNetwork(eng *sim.Engine, t *topo.Topology, cfg Config, selectorFactory func(op uint16) (Selector, error)) (*Network, error) {
+	if eng == nil || t == nil || selectorFactory == nil {
+		return nil, fmt.Errorf("nil engine, topology, or factory: %w", ErrInvalidParam)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		eng:       eng,
+		topo:      t,
+		cfg:       cfg,
+		operators: make(map[topo.NodeID]*Operator),
+		opByID:    make(map[uint16]*Operator),
+		hosts:     make(map[topo.NodeID]HostHandler),
+	}
+	for i, sw := range t.Switches() {
+		id := uint16(i + 1)
+		sel, err := selectorFactory(id)
+		if err != nil {
+			return nil, fmt.Errorf("selector for operator %d: %w", id, err)
+		}
+		op, err := newOperator(id, sw, n, sel)
+		if err != nil {
+			return nil, err
+		}
+		n.operators[sw] = op
+		n.opByID[id] = op
+	}
+	return n, nil
+}
+
+// Engine exposes the driving engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology exposes the underlying topology.
+func (n *Network) Topology() *topo.Topology { return n.topo }
+
+// Operator returns the operator co-located with a switch.
+func (n *Network) Operator(sw topo.NodeID) (*Operator, error) {
+	op, ok := n.operators[sw]
+	if !ok {
+		return nil, fmt.Errorf("switch %d: %w", sw, ErrNoOperator)
+	}
+	return op, nil
+}
+
+// OperatorByID returns the operator with the given RSNode ID.
+func (n *Network) OperatorByID(id uint16) (*Operator, error) {
+	op, ok := n.opByID[id]
+	if !ok {
+		return nil, fmt.Errorf("operator %d: %w", id, ErrNoOperator)
+	}
+	return op, nil
+}
+
+// Operators returns all operators keyed by switch.
+func (n *Network) Operators() map[topo.NodeID]*Operator { return n.operators }
+
+// AttachHost registers the packet handler of an end-host.
+func (n *Network) AttachHost(host topo.NodeID, h HostHandler) error {
+	node, err := n.topo.Node(host)
+	if err != nil {
+		return err
+	}
+	if node.Kind != topo.KindHost {
+		return fmt.Errorf("node %d is a %v: %w", host, node.Kind, ErrInvalidParam)
+	}
+	if h == nil {
+		return fmt.Errorf("nil handler: %w", ErrInvalidParam)
+	}
+	n.hosts[host] = h
+	return nil
+}
+
+// Launch injects a packet at a host, destined for the node `to` (a host
+// for direct flows, a switch for RSNode-bound flows). The first hop leaves
+// immediately; each link costs LinkLatency.
+func (n *Network) Launch(p *Packet, from, to topo.NodeID) error {
+	path, err := n.topo.Route(from, to, flowHash(p.ReqID))
+	if err != nil {
+		return fmt.Errorf("launch: %w", err)
+	}
+	p.path = path
+	p.idx = 0
+	n.hop(p)
+	return nil
+}
+
+// relaunch resets the packet's path from a waypoint switch.
+func (n *Network) relaunch(p *Packet, from, to topo.NodeID) error {
+	path, err := n.topo.Route(from, to, flowHash(p.ReqID))
+	if err != nil {
+		return fmt.Errorf("relaunch: %w", err)
+	}
+	p.path = path
+	p.idx = 0
+	n.forwardFrom(p)
+	return nil
+}
+
+// hop moves the packet one link toward path[idx+1].
+func (n *Network) hop(p *Packet) {
+	if p.idx >= len(p.path)-1 {
+		n.arrive(p)
+		return
+	}
+	n.forwardsTotal++
+	n.eng.MustSchedule(n.cfg.LinkLatency, func() {
+		p.idx++
+		n.arrive(p)
+	})
+}
+
+// arrive processes the packet at its current node.
+func (n *Network) arrive(p *Packet) {
+	node := p.path[p.idx]
+	meta, err := n.topo.Node(node)
+	if err != nil {
+		n.dropped++
+		return
+	}
+	if meta.Kind == topo.KindHost {
+		h, ok := n.hosts[node]
+		if !ok {
+			n.dropped++
+			return
+		}
+		// Responses leaving the network pass the ToR's egress pipeline,
+		// where the NetRS monitor counts them (§IV-D).
+		if wire.Classify(p.Magic) == wire.KindMonitor {
+			if tor, err := n.topo.ToROfRack(meta.Rack); err == nil {
+				if op, ok := n.operators[tor]; ok && op.monitor != nil {
+					op.monitor.count(p, node)
+				}
+			}
+		}
+		n.delivered++
+		h(p)
+		return
+	}
+	op, ok := n.operators[node]
+	if !ok {
+		n.dropped++
+		return
+	}
+	op.ingress(p)
+}
+
+// forwardFrom continues a packet along its (possibly new) path from the
+// current position without re-running the current node's pipeline.
+func (n *Network) forwardFrom(p *Packet) { n.hop(p) }
+
+// SendNetRSRequest injects a fresh NetRS request at a client host: the
+// packet carries the Mreq magic and heads for the client's ToR switch,
+// which stamps the RSNode ID per its rules (§IV-B).
+func (n *Network) SendNetRSRequest(p *Packet, from topo.NodeID) error {
+	node, err := n.topo.Node(from)
+	if err != nil {
+		return err
+	}
+	if node.Kind != topo.KindHost {
+		return fmt.Errorf("request from non-host %d: %w", from, ErrInvalidParam)
+	}
+	p.Magic = wire.MagicRequest
+	p.Src = from
+	tor, err := n.topo.ToROfRack(node.Rack)
+	if err != nil {
+		return err
+	}
+	return n.Launch(p, from, tor)
+}
+
+// SendDirect injects a packet bound straight for p.Dst — the CliRS flow
+// (non-NetRS traffic the switches simply forward).
+func (n *Network) SendDirect(p *Packet, from topo.NodeID) error {
+	p.Src = from
+	return n.Launch(p, from, p.Dst)
+}
+
+// SendResponse injects a server's response. Responses to RSNode-processed
+// requests are routed through their RSNode first (§I: one request and its
+// response must flow through the same RSNode); degraded and non-NetRS
+// responses go straight to the client.
+func (n *Network) SendResponse(p *Packet, from topo.NodeID) error {
+	p.Src = from
+	if p.RID != 0 && p.RID != wire.DegradedRID {
+		op, err := n.OperatorByID(p.RID)
+		if err == nil {
+			return n.Launch(p, from, op.sw)
+		}
+	}
+	return n.Launch(p, from, p.Dst)
+}
+
+// Stats reports forwarding counters.
+func (n *Network) Stats() (forwards, delivered, dropped uint64) {
+	return n.forwardsTotal, n.delivered, n.dropped
+}
+
+// flowHash derives the ECMP hash for a request's flows.
+func flowHash(reqID uint64) uint64 {
+	x := reqID + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

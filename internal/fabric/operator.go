@@ -1,0 +1,353 @@
+package fabric
+
+import (
+	"fmt"
+
+	"netrs/internal/selection"
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+	"netrs/internal/wire"
+)
+
+// Selector is the replica-selection state an accelerator runs; it is the
+// same contract client RSNodes use, so any algorithm plugs into either
+// location (§IV-C: "the NetRS selector could use an arbitrary replica
+// selection algorithm").
+type Selector = selection.Selector
+
+// GroupDB resolves a replica group ID to candidate server IDs — the NetRS
+// selector's "local database of replica groups" (§IV-A).
+type GroupDB func(rgid uint32) ([]int, error)
+
+// ServerLocator maps a server ID to its end-host.
+type ServerLocator func(server int) (topo.NodeID, error)
+
+// Rules is a ToR switch's NetRS rule state (§IV-B): the source-host →
+// traffic-group match table and each group's RSNode assignment or DRS
+// flag.
+type Rules struct {
+	groupOfHost map[topo.NodeID]int
+	ridOfGroup  map[int]uint16
+	drs         map[int]bool
+}
+
+// NewRules returns an empty rule table.
+func NewRules() *Rules {
+	return &Rules{
+		groupOfHost: make(map[topo.NodeID]int),
+		ridOfGroup:  make(map[int]uint16),
+		drs:         make(map[int]bool),
+	}
+}
+
+// BindHost assigns a source host to a traffic group.
+func (r *Rules) BindHost(host topo.NodeID, group int) { r.groupOfHost[host] = group }
+
+// SetRSNode routes a group's requests to the given RSNode ID and clears
+// any DRS flag.
+func (r *Rules) SetRSNode(group int, rid uint16) {
+	r.ridOfGroup[group] = rid
+	delete(r.drs, group)
+}
+
+// SetDRS enables Degraded Replica Selection for a group.
+func (r *Rules) SetDRS(group int) { r.drs[group] = true }
+
+// Lookup resolves a source host to (group, rid, drs, known).
+func (r *Rules) Lookup(host topo.NodeID) (group int, rid uint16, drs, known bool) {
+	group, known = r.groupOfHost[host]
+	if !known {
+		return 0, 0, false, false
+	}
+	if r.drs[group] {
+		return group, wire.DegradedRID, true, true
+	}
+	rid, ok := r.ridOfGroup[group]
+	if !ok {
+		return group, 0, false, false
+	}
+	return group, rid, false, true
+}
+
+// GroupOfHost exposes the host→group binding (used by monitors).
+func (r *Rules) GroupOfHost(host topo.NodeID) (int, bool) {
+	g, ok := r.groupOfHost[host]
+	return g, ok
+}
+
+// OperatorStats counts a NetRS operator's activity.
+type OperatorStats struct {
+	// Selections is the number of requests whose replica this operator
+	// chose.
+	Selections uint64
+	// ResponseClones is the number of response clones folded into local
+	// state.
+	ResponseClones uint64
+	// Degraded counts requests this operator routed via DRS.
+	Degraded uint64
+	// Stamped counts requests whose RID this ToR set.
+	Stamped uint64
+}
+
+// Operator is one NetRS operator: a programmable switch plus its attached
+// network accelerator (§II). All switches carry NetRS rules; ToR switches
+// additionally run the NetRS monitor and the RID-stamping rules.
+type Operator struct {
+	id   uint16
+	sw   topo.NodeID
+	tier int
+	net  *Network
+
+	rules   *Rules
+	accel   *Accelerator
+	monitor *Monitor
+
+	groupDB    GroupDB
+	serverHost ServerLocator
+
+	failed bool
+	stats  OperatorStats
+}
+
+func newOperator(id uint16, sw topo.NodeID, net *Network, sel Selector) (*Operator, error) {
+	if id == 0 || id == wire.DegradedRID {
+		return nil, fmt.Errorf("operator id %d: %w", id, ErrInvalidParam)
+	}
+	node, err := net.topo.Node(sw)
+	if err != nil {
+		return nil, err
+	}
+	if node.Kind != topo.KindSwitch {
+		return nil, fmt.Errorf("operator on non-switch node %d: %w", sw, ErrInvalidParam)
+	}
+	o := &Operator{
+		id:    id,
+		sw:    sw,
+		tier:  node.Tier,
+		net:   net,
+		rules: NewRules(),
+	}
+	o.accel = newAccelerator(net.eng, net.cfg, sel, o)
+	if node.Tier == topo.TierToR {
+		o.monitor = newMonitor(node.Pod, node.Rack, o)
+	}
+	return o, nil
+}
+
+// ID returns the RSNode ID.
+func (o *Operator) ID() uint16 { return o.id }
+
+// Switch returns the operator's switch node.
+func (o *Operator) Switch() topo.NodeID { return o.sw }
+
+// Tier returns the switch tier.
+func (o *Operator) Tier() int { return o.tier }
+
+// Rules returns the operator's rule table (installed by the controller).
+func (o *Operator) Rules() *Rules { return o.rules }
+
+// Monitor returns the ToR monitor, or nil for non-ToR operators.
+func (o *Operator) Monitor() *Monitor { return o.monitor }
+
+// Accelerator returns the attached accelerator.
+func (o *Operator) Accelerator() *Accelerator { return o.accel }
+
+// Stats returns the operator's counters.
+func (o *Operator) Stats() OperatorStats { return o.stats }
+
+// SetDatabases installs the replica-group database and server locator the
+// NetRS selector consults.
+func (o *Operator) SetDatabases(db GroupDB, loc ServerLocator) {
+	o.groupDB = db
+	o.serverHost = loc
+}
+
+// Fail marks the operator as failed: it stops selecting and degrades any
+// request that reaches it (§III-C scenario iii).
+func (o *Operator) Fail() { o.failed = true }
+
+// Recover clears the failure flag.
+func (o *Operator) Recover() { o.failed = false }
+
+// Failed reports the failure state.
+func (o *Operator) Failed() bool { return o.failed }
+
+// ingress is the switch's NetRS processing pipeline (Fig. 3). The packet
+// sits at this switch (p.path[p.idx] == o.sw).
+func (o *Operator) ingress(p *Packet) {
+	switch wire.Classify(p.Magic) {
+	case wire.KindRequest:
+		o.ingressRequest(p)
+	case wire.KindResponse:
+		o.ingressResponse(p)
+	case wire.KindMonitor, wire.KindDegradedRequest:
+		o.stampSourceMarker(p)
+		o.forwardOrDeliver(p)
+	default:
+		// Non-NetRS packets take the regular pipeline: plain forwarding.
+		o.forwardOrDeliver(p)
+	}
+}
+
+// ingressRequest handles packets with the Mreq magic.
+func (o *Operator) ingressRequest(p *Packet) {
+	// ToR switches stamp the RSNode ID on requests entering the network
+	// from their own rack (§IV-B).
+	if o.tier == topo.TierToR && p.RID == 0 && o.inMyRack(p.Src) {
+		if !o.stampRID(p) {
+			return // degraded and relaunched, or dropped
+		}
+	}
+	if p.RID == o.id {
+		if o.failed {
+			o.degrade(p)
+			return
+		}
+		o.accel.submitRequest(p)
+		return
+	}
+	// Not ours: forward toward the RSNode.
+	if p.idx >= len(p.path)-1 {
+		target, err := o.net.OperatorByID(p.RID)
+		if err != nil {
+			o.degrade(p) // unknown RSNode: fall back to the client's choice
+			return
+		}
+		if err := o.net.relaunch(p, o.sw, target.sw); err != nil {
+			o.net.dropped++
+		}
+		return
+	}
+	o.net.hop(p)
+}
+
+// stampRID applies the ToR's traffic-group rules to a fresh request. It
+// reports whether normal RSNode routing should continue.
+func (o *Operator) stampRID(p *Packet) bool {
+	_, rid, drs, known := o.rules.Lookup(p.Src)
+	if !known || drs {
+		// Unknown hosts degrade gracefully: route to the client's backup,
+		// exactly the DRS path (§III-C).
+		o.degrade(p)
+		return false
+	}
+	p.RID = rid
+	o.stats.Stamped++
+	return true
+}
+
+// degrade routes a request straight to the client-provided backup replica
+// under the Degraded Replica Selection rules: illegal RID and the
+// f(Mmon) magic so the server's response stays monitor-visible (§IV-B).
+func (o *Operator) degrade(p *Packet) {
+	o.stats.Degraded++
+	p.RID = wire.DegradedRID
+	p.Magic = wire.Transform(wire.MagicMonitor)
+	p.Dst = p.Backup
+	p.Server = p.BackupServer
+	if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
+		o.net.dropped++
+	}
+}
+
+// ingressResponse handles packets with the Mresp magic.
+func (o *Operator) ingressResponse(p *Packet) {
+	o.stampSourceMarker(p)
+	if p.RID == o.id {
+		// Clone to the accelerator for state maintenance; the original
+		// continues with the Mmon magic so monitors recognize it and no
+		// further RSNode processes it (§IV-B).
+		if !o.failed {
+			o.accel.submitResponseClone(p.Clone())
+		}
+		p.Magic = wire.MagicMonitor
+		if p.idx >= len(p.path)-1 {
+			if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
+				o.net.dropped++
+			}
+			return
+		}
+		o.net.hop(p)
+		return
+	}
+	if p.idx >= len(p.path)-1 {
+		// The response must reach its RSNode before the client.
+		target, err := o.net.OperatorByID(p.RID)
+		if err != nil {
+			o.net.dropped++
+			return
+		}
+		if err := o.net.relaunch(p, o.sw, target.sw); err != nil {
+			o.net.dropped++
+		}
+		return
+	}
+	o.net.hop(p)
+}
+
+// stampSourceMarker sets the SM segment on responses entering the network
+// at this ToR (§IV-B).
+func (o *Operator) stampSourceMarker(p *Packet) {
+	if o.tier != topo.TierToR || p.HasSM || !o.inMyRack(p.Src) {
+		return
+	}
+	node, err := o.net.topo.Node(o.sw)
+	if err != nil {
+		return
+	}
+	p.SM = wire.SourceMarker{Pod: uint16(node.Pod), Rack: uint16(node.Rack)}
+	p.HasSM = true
+}
+
+// forwardOrDeliver continues a packet along its path.
+func (o *Operator) forwardOrDeliver(p *Packet) {
+	if p.idx >= len(p.path)-1 {
+		// A non-request packet whose path ends at a switch has nowhere to
+		// go; this indicates a routing bug upstream.
+		o.net.dropped++
+		return
+	}
+	o.net.hop(p)
+}
+
+// inMyRack reports whether a host hangs off this (ToR) switch.
+func (o *Operator) inMyRack(host topo.NodeID) bool {
+	node, err := o.net.topo.Node(host)
+	if err != nil {
+		return false
+	}
+	me, err := o.net.topo.Node(o.sw)
+	if err != nil {
+		return false
+	}
+	return node.Rack == me.Rack && node.Kind == topo.KindHost
+}
+
+// onSelected is the accelerator's callback once a replica has been chosen:
+// rebuild the request (selected magic, destination server) and send it on
+// (§IV-C).
+func (o *Operator) onSelected(p *Packet, server int, delay sim.Time) {
+	host, err := o.serverHost(server)
+	if err != nil {
+		o.net.dropped++
+		return
+	}
+	o.stats.Selections++
+	p.Server = server
+	p.Dst = host
+	p.Magic = wire.Transform(wire.MagicResponse)
+	send := func() {
+		o.accel.markSent(p.ReqID)
+		if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
+			o.net.dropped++
+		}
+	}
+	if delay > 0 {
+		o.net.eng.MustSchedule(delay, send)
+		return
+	}
+	send()
+}
+
+// onCloneProcessed is the accelerator's callback for response clones.
+func (o *Operator) onCloneProcessed() { o.stats.ResponseClones++ }

@@ -1,0 +1,174 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes branch and bound.
+type Options struct {
+	// MaxNodes bounds the search-tree size; 0 means the default
+	// (100000). Hitting the limit with an incumbent yields
+	// StatusFeasible — the paper's early-termination trade-off between
+	// recalculation expense and RSP optimality.
+	MaxNodes int
+	// IntegralityTol treats an LP value within this distance of an
+	// integer as integral; 0 means 1e-6.
+	IntegralityTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 100000
+	}
+	if o.IntegralityTol == 0 {
+		o.IntegralityTol = 1e-6
+	}
+	return o
+}
+
+// Solve minimizes the model by LP-relaxation branch and bound (branching
+// on the most fractional integer variable). It returns ErrNoSolution when
+// the node limit is exhausted before any integral incumbent appears.
+func (m *Model) Solve(opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	if len(m.obj) == 0 {
+		return Solution{}, fmt.Errorf("empty model: %w", ErrInvalidParam)
+	}
+
+	type node struct {
+		lower []float64
+		upper []float64
+		bound float64 // parent LP objective; used for pruning order
+	}
+	root := node{lower: append([]float64(nil), m.lower...), upper: append([]float64(nil), m.upper...)}
+
+	// When every variable with a nonzero objective coefficient is integer
+	// and all those coefficients are integral, the optimal objective is an
+	// integer, so LP bounds can be rounded up before pruning — a large win
+	// on covering/facility structures like the RSNode placement.
+	objIntegral := true
+	for j, c := range m.obj {
+		if c == 0 {
+			continue
+		}
+		if !m.integer[j] || c != math.Trunc(c) {
+			objIntegral = false
+			break
+		}
+	}
+	tighten := func(bound float64) float64 {
+		if objIntegral {
+			return math.Ceil(bound - 1e-7)
+		}
+		return bound
+	}
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1)
+		explored     int
+		sawFeasible  bool
+		unbounded    bool
+	)
+
+	// Depth-first with a simple stack: small memory, finds incumbents
+	// fast, and pruning keeps the tree tight for the placement ILP's
+	// strong LP bound.
+	stack := []node{root}
+	for len(stack) > 0 && explored < opts.MaxNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		explored++
+
+		if incumbentObj < math.Inf(1) && tighten(nd.bound) > incumbentObj-1e-9 {
+			continue // parent bound already dominated
+		}
+		res := solveLP(m, nd.lower, nd.upper)
+		switch res.status {
+		case StatusInfeasible:
+			continue
+		case StatusUnbounded:
+			// An unbounded relaxation at the root means the ILP is
+			// unbounded (for our minimization models with finite bounds
+			// this does not occur, but report it faithfully).
+			unbounded = true
+			continue
+		}
+		sawFeasible = true
+		if tighten(res.obj) > incumbentObj-1e-9 {
+			continue // bound dominated
+		}
+
+		// Find the branching variable: prefer the most fractional
+		// objective-bearing integer variable (the D's in the placement
+		// ILP), falling back to any fractional integer variable.
+		branchVar := -1
+		worst := opts.IntegralityTol
+		objBearing := false
+		for j, isInt := range m.integer {
+			if !isInt {
+				continue
+			}
+			frac := math.Abs(res.x[j] - math.Round(res.x[j]))
+			if frac <= opts.IntegralityTol {
+				continue
+			}
+			bearing := m.obj[j] != 0
+			switch {
+			case bearing && !objBearing:
+				branchVar, worst, objBearing = j, frac, true
+			case bearing == objBearing && frac > worst:
+				branchVar, worst = j, frac
+			}
+		}
+		if branchVar == -1 {
+			// Integral solution: round off LP fuzz and accept.
+			x := append([]float64(nil), res.x...)
+			for j, isInt := range m.integer {
+				if isInt {
+					x[j] = math.Round(x[j])
+				}
+			}
+			incumbent = x
+			incumbentObj = res.obj
+			continue
+		}
+
+		floorVal := math.Floor(res.x[branchVar])
+		// Down branch: x ≤ floor.
+		down := node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			bound: res.obj,
+		}
+		down.upper[branchVar] = floorVal
+		// Up branch: x ≥ floor + 1.
+		up := node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			bound: res.obj,
+		}
+		up.lower[branchVar] = floorVal + 1
+		// Explore the branch nearer the LP value first (pushed last).
+		if res.x[branchVar]-floorVal > 0.5 {
+			stack = append(stack, down, up)
+		} else {
+			stack = append(stack, up, down)
+		}
+	}
+
+	switch {
+	case incumbent != nil && len(stack) == 0:
+		return Solution{Status: StatusOptimal, X: incumbent, Objective: incumbentObj, Nodes: explored}, nil
+	case incumbent != nil:
+		return Solution{Status: StatusFeasible, X: incumbent, Objective: incumbentObj, Nodes: explored}, nil
+	case unbounded:
+		return Solution{Status: StatusUnbounded, Nodes: explored}, fmt.Errorf("unbounded relaxation: %w", ErrNoSolution)
+	case !sawFeasible && len(stack) == 0:
+		return Solution{Status: StatusInfeasible, Nodes: explored}, nil
+	default:
+		return Solution{Status: StatusInfeasible, Nodes: explored},
+			fmt.Errorf("node limit %d reached without incumbent: %w", opts.MaxNodes, ErrNoSolution)
+	}
+}

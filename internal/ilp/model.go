@@ -1,0 +1,180 @@
+// Package ilp is a small integer-linear-programming toolkit: a model
+// builder, a dense two-phase simplex solver for LP relaxations, and a
+// branch-and-bound driver with node limits. The NetRS controller uses it
+// to solve the RSNode-placement ILP of §III-B, standing in for the
+// commercial solvers (Gurobi, CPLEX) the paper mentions. Like those
+// solvers under a time limit, Solve can stop early and return the best
+// incumbent — the paper's recalculation-expense/optimality trade-off.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the modeling layer.
+var (
+	ErrInvalidParam = errors.New("ilp: invalid parameter")
+	ErrNoSolution   = errors.New("ilp: no feasible solution found")
+)
+
+// Relation compares a linear expression with its right-hand side.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // ≤
+	GE                     // ≥
+	EQ                     // =
+)
+
+// String renders the relation symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Term is one coefficient–variable pair of a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// constraint is one row of the model.
+type constraint struct {
+	terms []Term
+	rel   Relation
+	rhs   float64
+}
+
+// Model is a minimization ILP: minimize c·x subject to linear constraints,
+// bounds l ≤ x ≤ u, and integrality flags.
+type Model struct {
+	obj     []float64
+	lower   []float64
+	upper   []float64
+	integer []bool
+	names   []string
+	rows    []constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddVariable appends a variable with the given objective coefficient and
+// bounds and returns its index. Use math.Inf(1) for an unbounded upper
+// limit. Lower bounds must be nonnegative (the placement ILP is a pure
+// binary program; general frees are out of scope).
+func (m *Model) AddVariable(name string, objCoef, lower, upper float64, integer bool) (int, error) {
+	if lower < 0 || math.IsNaN(lower) {
+		return 0, fmt.Errorf("variable %q lower bound %v: %w", name, lower, ErrInvalidParam)
+	}
+	if upper < lower || math.IsNaN(upper) {
+		return 0, fmt.Errorf("variable %q bounds [%v, %v]: %w", name, lower, upper, ErrInvalidParam)
+	}
+	if math.IsNaN(objCoef) || math.IsInf(objCoef, 0) {
+		return 0, fmt.Errorf("variable %q objective %v: %w", name, objCoef, ErrInvalidParam)
+	}
+	m.obj = append(m.obj, objCoef)
+	m.lower = append(m.lower, lower)
+	m.upper = append(m.upper, upper)
+	m.integer = append(m.integer, integer)
+	m.names = append(m.names, name)
+	return len(m.obj) - 1, nil
+}
+
+// AddBinary appends a {0, 1} variable.
+func (m *Model) AddBinary(name string, objCoef float64) (int, error) {
+	return m.AddVariable(name, objCoef, 0, 1, true)
+}
+
+// AddConstraint appends a row. Terms referencing unknown variables are an
+// error; repeated variables are summed.
+func (m *Model) AddConstraint(terms []Term, rel Relation, rhs float64) error {
+	if rel != LE && rel != GE && rel != EQ {
+		return fmt.Errorf("relation %v: %w", rel, ErrInvalidParam)
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("rhs %v: %w", rhs, ErrInvalidParam)
+	}
+	merged := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(m.obj) {
+			return fmt.Errorf("term references variable %d of %d: %w", t.Var, len(m.obj), ErrInvalidParam)
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			return fmt.Errorf("coefficient %v: %w", t.Coef, ErrInvalidParam)
+		}
+		merged[t.Var] += t.Coef
+	}
+	row := constraint{rel: rel, rhs: rhs, terms: make([]Term, 0, len(merged))}
+	for v, c := range merged {
+		if c != 0 {
+			row.terms = append(row.terms, Term{Var: v, Coef: c})
+		}
+	}
+	m.rows = append(m.rows, row)
+	return nil
+}
+
+// NumVariables returns the variable count.
+func (m *Model) NumVariables() int { return len(m.obj) }
+
+// NumConstraints returns the row count.
+func (m *Model) NumConstraints() int { return len(m.rows) }
+
+// Name returns a variable's name.
+func (m *Model) Name(v int) string {
+	if v < 0 || v >= len(m.names) {
+		return fmt.Sprintf("x%d", v)
+	}
+	return m.names[v]
+}
+
+// Status reports how a solve ended.
+type Status int
+
+// Solver statuses.
+const (
+	StatusOptimal Status = iota + 1
+	// StatusFeasible means branch and bound hit its node limit with an
+	// incumbent in hand — a valid but possibly suboptimal solution, the
+	// paper's early-termination mode.
+	StatusFeasible
+	StatusInfeasible
+	StatusUnbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}

@@ -1,0 +1,262 @@
+package ilp
+
+import "math"
+
+// eps is the numerical tolerance of the simplex pivoting.
+const eps = 1e-9
+
+// lpResult carries the outcome of one LP relaxation solve.
+type lpResult struct {
+	status Status // StatusOptimal, StatusInfeasible, or StatusUnbounded
+	x      []float64
+	obj    float64
+}
+
+// solveLP solves the continuous relaxation of m with the (possibly
+// branch-tightened) bounds using a dense two-phase simplex with Bland's
+// anti-cycling rule.
+func solveLP(m *Model, lower, upper []float64) lpResult {
+	n := len(m.obj)
+
+	// Shift to y = x - lower ≥ 0 and collect rows.
+	type row struct {
+		coefs []float64
+		rel   Relation
+		rhs   float64
+	}
+	rows := make([]row, 0, len(m.rows)+n)
+	for _, c := range m.rows {
+		r := row{coefs: make([]float64, n), rel: c.rel, rhs: c.rhs}
+		for _, t := range c.terms {
+			r.coefs[t.Var] += t.Coef
+			r.rhs -= t.Coef * lower[t.Var]
+		}
+		rows = append(rows, r)
+	}
+	for j := 0; j < n; j++ {
+		if math.IsInf(upper[j], 1) {
+			continue
+		}
+		span := upper[j] - lower[j]
+		if span < 0 {
+			return lpResult{status: StatusInfeasible}
+		}
+		r := row{coefs: make([]float64, n), rel: LE, rhs: span}
+		r.coefs[j] = 1
+		rows = append(rows, r)
+	}
+	// Normalize to nonnegative right-hand sides.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coefs {
+				rows[i].coefs[j] = -rows[i].coefs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].rel {
+			case LE:
+				rows[i].rel = GE
+			case GE:
+				rows[i].rel = LE
+			}
+		}
+	}
+
+	mRows := len(rows)
+	// Columns: n structural + one slack/surplus per inequality + one
+	// artificial per GE/EQ row.
+	slackCount := 0
+	artCount := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			slackCount++
+		}
+		if r.rel != LE {
+			artCount++
+		}
+	}
+	total := n + slackCount + artCount
+	tab := make([][]float64, mRows)
+	basis := make([]int, mRows)
+	slackAt := n
+	artAt := n + slackCount
+	artCols := make([]int, 0, artCount)
+	for i, r := range rows {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], r.coefs)
+		tab[i][total] = r.rhs
+		switch r.rel {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if len(artCols) > 0 {
+		cost := make([]float64, total)
+		for _, c := range artCols {
+			cost[c] = 1
+		}
+		z, unbounded := runSimplex(tab, basis, cost, total)
+		if unbounded || z > 1e-7 {
+			return lpResult{status: StatusInfeasible}
+		}
+		// Pivot lingering artificials out of the basis.
+		isArt := make([]bool, total)
+		for _, c := range artCols {
+			isArt[c] = true
+		}
+		for i := 0; i < len(tab); i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+slackCount; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it out; it stays inert.
+				for j := 0; j <= total; j++ {
+					tab[i][j] = 0
+				}
+			}
+		}
+		// Freeze artificial columns at zero.
+		for _, c := range artCols {
+			for i := range tab {
+				tab[i][c] = 0
+			}
+		}
+	}
+
+	// Phase 2: minimize the original objective over y.
+	cost := make([]float64, total)
+	copy(cost, m.obj)
+	if _, unbounded := runSimplex(tab, basis, cost, total); unbounded {
+		return lpResult{status: StatusUnbounded}
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		x[j] += lower[j]
+		obj += m.obj[j] * x[j]
+	}
+	return lpResult{status: StatusOptimal, x: x, obj: obj}
+}
+
+// runSimplex minimizes cost over the current tableau in place. It returns
+// the attained objective (in the shifted space) and whether the problem is
+// unbounded. Bland's rule guarantees termination.
+func runSimplex(tab [][]float64, basis []int, cost []float64, total int) (float64, bool) {
+	mRows := len(tab)
+	// Reduced costs: c_j - c_B · B⁻¹A_j, maintained as an explicit row.
+	z := make([]float64, total+1)
+	copy(z, cost)
+	for i := 0; i < mRows; i++ {
+		cb := cost[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			z[j] -= cb * tab[i][j]
+		}
+	}
+
+	// Dantzig's rule (most negative reduced cost) converges fast; after a
+	// generous iteration budget we switch to Bland's rule, which cannot
+	// cycle, to guarantee termination.
+	dantzigBudget := 50 * (mRows + total)
+	for iter := 0; ; iter++ {
+		enter := -1
+		if iter < dantzigBudget {
+			best := -eps
+			for j := 0; j < total; j++ {
+				if z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < total; j++ {
+				if z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter == -1 {
+			return -z[total], false // optimal; z[total] = -objective
+		}
+		// Ratio test; Bland tie-break on lowest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < mRows; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, true // unbounded
+		}
+		pivot(tab, basis, leave, enter, total)
+		// Update the reduced-cost row.
+		factor := z[enter]
+		if factor != 0 {
+			for j := 0; j <= total; j++ {
+				z[j] -= factor * tab[leave][j]
+			}
+		}
+	}
+}
+
+// pivot performs a Gauss–Jordan pivot at (row, col).
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	p := tab[row][col]
+	inv := 1 / p
+	for j := 0; j <= total; j++ {
+		tab[row][j] *= inv
+	}
+	tab[row][col] = 1
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+		tab[i][col] = 0
+	}
+	basis[row] = col
+}

@@ -1,0 +1,382 @@
+package kv
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netrs/internal/sim"
+)
+
+func TestRingValidation(t *testing.T) {
+	cases := []struct{ servers, rf, vnodes int }{
+		{0, 1, 1}, {3, 0, 1}, {2, 3, 1}, {3, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewRing(c.servers, c.rf, c.vnodes, 1); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("NewRing(%+v) err = %v", c, err)
+		}
+	}
+}
+
+func TestRingReplicaGroups(t *testing.T) {
+	r, err := NewRing(100, 3, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Servers() != 100 || r.RF() != 3 {
+		t.Fatalf("servers/rf = %d/%d", r.Servers(), r.RF())
+	}
+	if r.Groups() < 100 {
+		t.Fatalf("only %d distinct groups", r.Groups())
+	}
+	for key := uint64(0); key < 10000; key++ {
+		g := r.GroupOfKey(key)
+		replicas, err := r.Replicas(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(replicas) != 3 {
+			t.Fatalf("group %d has %d replicas", g, len(replicas))
+		}
+		seen := map[int]bool{}
+		for _, s := range replicas {
+			if s < 0 || s >= 100 || seen[s] {
+				t.Fatalf("group %d replicas invalid: %v", g, replicas)
+			}
+			seen[s] = true
+		}
+	}
+	if _, err := r.Replicas(-1); err == nil {
+		t.Error("negative group accepted")
+	}
+	if _, err := r.Replicas(r.Groups()); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(20, 3, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(20, 3, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 1000; key++ {
+		if a.GroupOfKey(key) != b.GroupOfKey(key) {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+	c, err := NewRing(20, 3, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for key := uint64(0); key < 1000; key++ {
+		ra, rc := a.ReplicasOfKey(key), c.ReplicasOfKey(key)
+		if ra[0] != rc[0] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestRingLoadBalance(t *testing.T) {
+	r, err := NewRing(10, 3, 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	const keys = 100000
+	for key := uint64(0); key < keys; key++ {
+		for _, s := range r.ReplicasOfKey(key) {
+			counts[s]++
+		}
+	}
+	want := float64(keys) * 3 / 10
+	for s, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.35 {
+			t.Fatalf("server %d owns %d of %d replica slots (want ~%.0f)", s, c, keys*3, want)
+		}
+	}
+}
+
+// Property: replica groups always contain exactly RF distinct servers and
+// the mapping is stable.
+func TestRingProperty(t *testing.T) {
+	r, err := NewRing(17, 3, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(key uint64) bool {
+		g := r.GroupOfKey(key)
+		replicas, err := r.Replicas(g)
+		if err != nil || len(replicas) != 3 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range replicas {
+			if s < 0 || s >= 17 || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return r.GroupOfKey(key) == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func serverConfig() ServerConfig {
+	return ServerConfig{
+		Parallelism:         4,
+		MeanServiceTime:     4 * sim.Millisecond,
+		FluctuationInterval: 50 * sim.Millisecond,
+		FluctuationRange:    3,
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	bad := []ServerConfig{
+		{Parallelism: 0, MeanServiceTime: sim.Millisecond},
+		{Parallelism: 1, MeanServiceTime: 0},
+		{Parallelism: 1, MeanServiceTime: 1, FluctuationInterval: -1},
+		{Parallelism: 1, MeanServiceTime: 1, FluctuationInterval: 1, FluctuationRange: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewServer(0, eng, cfg, rng); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestServerServesFIFOWithParallelism(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 2, MeanServiceTime: sim.Millisecond}
+	s, err := NewServer(1, eng, cfg, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != 1 {
+		t.Fatalf("ID() = %d", s.ID())
+	}
+	var done []int
+	for i := 0; i < 6; i++ {
+		i := i
+		s.Submit(Request{Done: func(sim.Time) { done = append(done, i) }})
+	}
+	if q := s.QueueSize(); q != 6 {
+		t.Fatalf("queue size = %d, want 6", q)
+	}
+	eng.Run()
+	if len(done) != 6 {
+		t.Fatalf("completed %d, want 6", len(done))
+	}
+	if s.Served() != 6 {
+		t.Fatalf("Served() = %d", s.Served())
+	}
+	if s.QueueSize() != 0 {
+		t.Fatalf("queue size after drain = %d", s.QueueSize())
+	}
+	if s.MaxQueue() < 4 {
+		t.Fatalf("max queue = %d, want ≥ 4", s.MaxQueue())
+	}
+	if s.BusyTime() <= 0 {
+		t.Fatal("busy time not accounted")
+	}
+}
+
+func TestServerServiceTimesExponential(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 1, MeanServiceTime: 4 * sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total sim.Time
+	const n = 20000
+	var submit func(i int)
+	submit = func(i int) {
+		s.Submit(Request{Done: func(st sim.Time) {
+			total += st
+			if i+1 < n {
+				submit(i + 1)
+			}
+		}})
+	}
+	eng.MustSchedule(0, func() { submit(0) })
+	eng.Run()
+	mean := float64(total) / n
+	if math.Abs(mean-float64(4*sim.Millisecond))/float64(4*sim.Millisecond) > 0.05 {
+		t.Fatalf("mean service time %v ns, want ~4ms", mean)
+	}
+}
+
+func TestServerFluctuationChangesMode(t *testing.T) {
+	eng := sim.NewEngine()
+	s, err := NewServer(0, eng, serverConfig(), sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Start() // idempotent
+	modes := map[sim.Time]int{}
+	for i := 0; i < 100; i++ {
+		eng.RunUntil(eng.Now() + 50*sim.Millisecond)
+		modes[s.CurrentMeanServiceTime()]++
+	}
+	s.Stop()
+	eng.Run()
+	if len(modes) != 2 {
+		t.Fatalf("observed %d performance modes, want 2 (bimodal)", len(modes))
+	}
+	slow := 4 * sim.Millisecond
+	fast := slow / 3
+	for m := range modes {
+		if m != slow && m != fast {
+			t.Fatalf("unexpected mode %v", m)
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events leaked after Stop", eng.Pending())
+	}
+}
+
+func TestServerStatusPiggyback(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 1, MeanServiceTime: 2 * sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prior: before any completion the status advertises the configured
+	// mean.
+	st := s.Status()
+	if st.ServiceTimeNs != float64(2*sim.Millisecond) || st.QueueSize != 0 {
+		t.Fatalf("initial status = %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		s.Submit(Request{})
+	}
+	if st := s.Status(); st.QueueSize != 3 {
+		t.Fatalf("queue size in status = %d, want 3", st.QueueSize)
+	}
+	eng.Run()
+	st = s.Status()
+	if st.QueueSize != 0 || st.ServiceTimeNs <= 0 {
+		t.Fatalf("final status = %+v", st)
+	}
+}
+
+func TestServerUtilizationMatchesLoad(t *testing.T) {
+	// Open-loop arrivals at 50% utilization: busy time should be about
+	// half the simulated span.
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 2, MeanServiceTime: 2 * sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rate = util * parallelism / mean = 0.5*2/2ms = 1 per 2ms.
+	rng := sim.NewRNG(7)
+	const n = 5000
+	var at sim.Time
+	for i := 0; i < n; i++ {
+		at += sim.Time(rng.ExpFloat64() * float64(2*sim.Millisecond))
+		eng.MustSchedule(at, func() { s.Submit(Request{}) })
+	}
+	eng.Run()
+	span := eng.Now()
+	util := float64(s.BusyTime()) / (float64(span) * 2)
+	if util < 0.4 || util > 0.6 {
+		t.Fatalf("measured utilization %.2f, want ~0.5", util)
+	}
+}
+
+func TestServerCancellation(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 1, MeanServiceTime: sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []int
+	submit := func(id int) Ticket {
+		return s.Submit(Request{Done: func(sim.Time) { done = append(done, id) }})
+	}
+	t0 := submit(0) // starts immediately: zero ticket
+	t1 := submit(1) // queued
+	t2 := submit(2) // queued
+	if t0.Cancel() {
+		t.Fatal("in-service request canceled")
+	}
+	if !t1.Cancel() {
+		t.Fatal("queued request not cancelable")
+	}
+	if t1.Cancel() {
+		t.Fatal("double cancel succeeded")
+	}
+	if s.QueueSize() != 2 { // executing 0 + queued 2 (1 canceled, excluded)
+		t.Fatalf("queue size = %d, want 2", s.QueueSize())
+	}
+	eng.Run()
+	if len(done) != 2 || done[0] != 0 || done[1] != 2 {
+		t.Fatalf("completion order = %v, want [0 2]", done)
+	}
+	if s.Cancelled() != 1 {
+		t.Fatalf("cancelled counter = %d", s.Cancelled())
+	}
+	if s.Served() != 2 {
+		t.Fatalf("served = %d", s.Served())
+	}
+	_ = t2
+	if (Ticket{}).Cancel() {
+		t.Fatal("zero ticket canceled something")
+	}
+}
+
+func TestServerCancelHeadOfQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 1, MeanServiceTime: sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	s.Submit(Request{Done: func(sim.Time) { served++ }})
+	head := s.Submit(Request{Done: func(sim.Time) { served++ }})
+	tail := s.Submit(Request{Done: func(sim.Time) { served++ }})
+	if !head.Cancel() {
+		t.Fatal("head not cancelable")
+	}
+	eng.Run()
+	if served != 2 {
+		t.Fatalf("served %d, want 2 (head skipped)", served)
+	}
+	_ = tail
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 4, MeanServiceTime: 4 * sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(Request{})
+		if s.QueueSize() > 64 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

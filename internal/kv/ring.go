@@ -1,0 +1,134 @@
+// Package kv models the distributed key-value store under study: the
+// consistent-hash placement of keys onto replica servers (§V-A: keys
+// distributed across 100 servers with a replication factor of 3) and the
+// simulated replica servers themselves (Np-way parallel service,
+// exponentially distributed service times, bimodal performance
+// fluctuation).
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInvalidParam reports a construction parameter outside its domain.
+var ErrInvalidParam = errors.New("kv: invalid parameter")
+
+// Ring is a consistent-hash ring mapping keys to replica groups. Each
+// server owns VirtualNodes positions; a key belongs to the group of its
+// successor position's server plus the next RF−1 distinct servers
+// clockwise. Groups are pre-enumerated so every key maps to a compact
+// Replica Group ID, the 3-byte RGID carried in NetRS request packets
+// (§IV-A): the NetRS selector looks replica candidates up by RGID in its
+// local database rather than parsing a variable replica list.
+type Ring struct {
+	servers  int
+	rf       int
+	points   []ringPoint // sorted by position
+	groups   [][]int     // group id -> replica server ids
+	groupOf  []int       // point index -> group id
+	groupIDs map[string]int
+}
+
+type ringPoint struct {
+	pos    uint64
+	server int
+}
+
+// NewRing places servers on a ring with the given replication factor and
+// virtual-node count per server. servers must be ≥ rf ≥ 1 and vnodes ≥ 1.
+func NewRing(servers, rf, vnodes int, seed uint64) (*Ring, error) {
+	if servers < 1 || rf < 1 || rf > servers || vnodes < 1 {
+		return nil, fmt.Errorf("ring servers=%d rf=%d vnodes=%d: %w", servers, rf, vnodes, ErrInvalidParam)
+	}
+	r := &Ring{servers: servers, rf: rf}
+	r.points = make([]ringPoint, 0, servers*vnodes)
+	for s := 0; s < servers; s++ {
+		for v := 0; v < vnodes; v++ {
+			pos := pointHash(seed, uint64(s), uint64(v))
+			r.points = append(r.points, ringPoint{pos: pos, server: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].server < r.points[j].server
+	})
+
+	// Enumerate the distinct replica groups, one per ring segment.
+	r.groupOf = make([]int, len(r.points))
+	r.groupIDs = make(map[string]int)
+	for i := range r.points {
+		members := r.walk(i)
+		key := fmt.Sprint(members)
+		id, ok := r.groupIDs[key]
+		if !ok {
+			id = len(r.groups)
+			r.groups = append(r.groups, members)
+			r.groupIDs[key] = id
+		}
+		r.groupOf[i] = id
+	}
+	return r, nil
+}
+
+// walk collects rf distinct servers clockwise from point index i.
+func (r *Ring) walk(i int) []int {
+	members := make([]int, 0, r.rf)
+	seen := make(map[int]bool, r.rf)
+	for j := 0; len(members) < r.rf; j++ {
+		s := r.points[(i+j)%len(r.points)].server
+		if !seen[s] {
+			seen[s] = true
+			members = append(members, s)
+		}
+	}
+	return members
+}
+
+// Servers returns the number of servers on the ring.
+func (r *Ring) Servers() int { return r.servers }
+
+// RF returns the replication factor.
+func (r *Ring) RF() int { return r.rf }
+
+// Groups returns the number of distinct replica groups.
+func (r *Ring) Groups() int { return len(r.groups) }
+
+// GroupOfKey returns the replica group ID owning a key.
+func (r *Ring) GroupOfKey(key uint64) int {
+	h := pointHash(0x243f6a8885a308d3, key, 0)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	return r.groupOf[idx]
+}
+
+// Replicas returns the server IDs of a replica group. The slice must not
+// be modified.
+func (r *Ring) Replicas(group int) ([]int, error) {
+	if group < 0 || group >= len(r.groups) {
+		return nil, fmt.Errorf("group %d of %d: %w", group, len(r.groups), ErrInvalidParam)
+	}
+	return r.groups[group], nil
+}
+
+// ReplicasOfKey is the composition of GroupOfKey and Replicas.
+func (r *Ring) ReplicasOfKey(key uint64) []int {
+	replicas, _ := r.Replicas(r.GroupOfKey(key))
+	return replicas
+}
+
+// pointHash mixes (seed, a, b) into a 64-bit ring position
+// (SplitMix64-style finalization).
+func pointHash(seed, a, b uint64) uint64 {
+	x := seed ^ (a * 0x9e3779b97f4a7c15) ^ (b+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

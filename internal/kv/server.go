@@ -1,0 +1,241 @@
+package kv
+
+import (
+	"fmt"
+
+	"netrs/internal/dist"
+	"netrs/internal/sim"
+	"netrs/internal/stats"
+)
+
+// Status is the server state piggybacked in read responses (§IV-A's SS
+// segment). Replica-selection algorithms such as C3 feed on it.
+type Status struct {
+	// QueueSize counts requests pending at the server (waiting plus
+	// executing) at response time.
+	QueueSize int
+	// ServiceTimeNs is the server's EWMA of its own service times in
+	// nanoseconds (the reciprocal of the service rate µ̄ in C3's terms).
+	ServiceTimeNs float64
+}
+
+// ServerConfig parameterizes a simulated replica server per §V-A.
+type ServerConfig struct {
+	// Parallelism is Np, the number of requests processed concurrently.
+	Parallelism int
+	// MeanServiceTime is tkv, the mean of the exponential service time.
+	MeanServiceTime sim.Time
+	// FluctuationInterval is how often the server redraws its performance
+	// mode (50 ms in the paper). Zero disables fluctuation.
+	FluctuationInterval sim.Time
+	// FluctuationRange is the bimodal range parameter d: in each interval
+	// the mean service time is either tkv or tkv/d with equal
+	// probability. Must be ≥ 1 when fluctuation is enabled.
+	FluctuationRange float64
+	// StatusAlpha is the EWMA smoothing factor of the piggybacked
+	// service-time estimate. Defaults to 0.9 when zero.
+	StatusAlpha float64
+}
+
+// Server simulates one replica server: an Np-way parallel station with a
+// FIFO queue, exponential service times whose mean fluctuates bimodally,
+// and a piggybacked Status.
+type Server struct {
+	id     int
+	eng    *sim.Engine
+	cfg    ServerConfig
+	rng    *sim.RNG
+	expDrw *dist.Exponential // unit-mean; scaled by current mean
+	fluct  *dist.Bimodal
+
+	currentMean float64 // ns
+	busy        int
+	queue       []*queued
+	stEWMA      *stats.EWMA
+	fluctRef    sim.EventRef
+
+	served    uint64
+	cancelled uint64
+	maxQueue  int
+	busyNs    sim.Time
+}
+
+// queued is one waiting request, cancelable until service starts.
+type queued struct {
+	req      Request
+	canceled bool
+}
+
+// Ticket handles a submitted request: redundant-request schemes use it to
+// cancel a duplicate that is still waiting in the queue (the cross-server
+// cancellation of Dean & Barroso, cited as [9] by the paper). The zero
+// value cancels nothing.
+type Ticket struct {
+	srv *Server
+	q   *queued
+}
+
+// Cancel removes the request from the server's queue if it has not
+// started service. It reports whether the request was actually removed
+// (false: already serving, already served, already canceled, or a
+// zero Ticket).
+func (t Ticket) Cancel() bool {
+	if t.q == nil || t.q.canceled {
+		return false
+	}
+	t.q.canceled = true
+	t.srv.cancelled++
+	return true
+}
+
+// Request is a unit of server work. Done is invoked when service
+// completes, with the service time the request experienced (excluding
+// queueing).
+type Request struct {
+	Done func(serviceTime sim.Time)
+}
+
+// NewServer builds a simulated server bound to the engine. Random draws
+// come from rng, which the caller derives from the experiment seed.
+func NewServer(id int, eng *sim.Engine, cfg ServerConfig, rng *sim.RNG) (*Server, error) {
+	if cfg.Parallelism < 1 {
+		return nil, fmt.Errorf("server %d parallelism %d: %w", id, cfg.Parallelism, ErrInvalidParam)
+	}
+	if cfg.MeanServiceTime <= 0 {
+		return nil, fmt.Errorf("server %d mean service time %v: %w", id, cfg.MeanServiceTime, ErrInvalidParam)
+	}
+	if cfg.FluctuationInterval < 0 {
+		return nil, fmt.Errorf("server %d fluctuation interval %v: %w", id, cfg.FluctuationInterval, ErrInvalidParam)
+	}
+	if cfg.StatusAlpha == 0 {
+		cfg.StatusAlpha = 0.9
+	}
+	s := &Server{
+		id:          id,
+		eng:         eng,
+		cfg:         cfg,
+		rng:         rng,
+		currentMean: float64(cfg.MeanServiceTime),
+	}
+	var err error
+	if s.expDrw, err = dist.NewExponential(1, rng.Stream(1)); err != nil {
+		return nil, err
+	}
+	if cfg.FluctuationInterval > 0 {
+		if cfg.FluctuationRange < 1 {
+			return nil, fmt.Errorf("server %d fluctuation range %v: %w", id, cfg.FluctuationRange, ErrInvalidParam)
+		}
+		if s.fluct, err = dist.NewBimodal(float64(cfg.MeanServiceTime), cfg.FluctuationRange, rng.Stream(2)); err != nil {
+			return nil, err
+		}
+	}
+	if s.stEWMA, err = stats.NewEWMA(cfg.StatusAlpha); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ID returns the server's identifier.
+func (s *Server) ID() int { return s.id }
+
+// Start begins the performance-fluctuation process. Idempotent; a no-op
+// when fluctuation is disabled.
+func (s *Server) Start() {
+	if s.fluct == nil || s.fluctRef.Live() {
+		return
+	}
+	s.redrawMode()
+}
+
+// Stop cancels the pending fluctuation tick so the engine's agenda can
+// drain.
+func (s *Server) Stop() { s.fluctRef.Cancel() }
+
+func (s *Server) redrawMode() {
+	s.currentMean = s.fluct.Draw()
+	s.fluctRef = s.eng.MustSchedule(s.cfg.FluctuationInterval, s.redrawMode)
+}
+
+// CurrentMeanServiceTime exposes the active performance mode, mainly for
+// tests and instrumentation.
+func (s *Server) CurrentMeanServiceTime() sim.Time { return sim.Time(s.currentMean) }
+
+// Submit enqueues a request. It starts service immediately when a
+// parallel slot is free. The returned ticket can cancel the request while
+// it is still queued.
+func (s *Server) Submit(req Request) Ticket {
+	if s.busy < s.cfg.Parallelism {
+		s.startService(req)
+		return Ticket{}
+	}
+	q := &queued{req: req}
+	s.queue = append(s.queue, q)
+	if qs := s.QueueSize(); qs > s.maxQueue {
+		s.maxQueue = qs
+	}
+	return Ticket{srv: s, q: q}
+}
+
+func (s *Server) startService(req Request) {
+	s.busy++
+	st := sim.Time(s.expDrw.Draw() * s.currentMean)
+	if st < 1 {
+		st = 1
+	}
+	s.eng.MustSchedule(st, func() { s.finishService(req, st) })
+}
+
+func (s *Server) finishService(req Request, st sim.Time) {
+	s.busy--
+	s.served++
+	s.busyNs += st
+	s.stEWMA.Observe(float64(st))
+	// Pop the next live (non-canceled) queued request.
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		if next.canceled {
+			continue
+		}
+		s.startService(next.req)
+		break
+	}
+	if req.Done != nil {
+		req.Done(st)
+	}
+}
+
+// QueueSize returns pending requests: executing plus waiting (canceled
+// entries excluded).
+func (s *Server) QueueSize() int {
+	waiting := 0
+	for _, q := range s.queue {
+		if !q.canceled {
+			waiting++
+		}
+	}
+	return s.busy + waiting
+}
+
+// Cancelled returns the number of queue-canceled requests.
+func (s *Server) Cancelled() uint64 { return s.cancelled }
+
+// Status returns the piggybacked server state.
+func (s *Server) Status() Status {
+	st := s.stEWMA.Value()
+	if st == 0 {
+		// Before any completion, advertise the configured mean so
+		// selectors have a sane prior.
+		st = float64(s.cfg.MeanServiceTime)
+	}
+	return Status{QueueSize: s.QueueSize(), ServiceTimeNs: st}
+}
+
+// Served returns the number of completed requests.
+func (s *Server) Served() uint64 { return s.served }
+
+// MaxQueue returns the high-water mark of the queue size.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// BusyTime returns the cumulative service time delivered.
+func (s *Server) BusyTime() sim.Time { return s.busyNs }

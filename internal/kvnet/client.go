@@ -1,0 +1,101 @@
+package kvnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"netrs/internal/sim"
+	"netrs/internal/wire"
+)
+
+// simTime converts a wall-clock duration to the simulated-time type the
+// Selector interface speaks (both are nanoseconds).
+func simTime(d time.Duration) sim.Time { return sim.Time(d) }
+
+// Client is a synchronous NetRS KV client: each Get sends one request
+// packet toward the NetRS operator and waits for the response. The client
+// never names a server — it only carries the key's replica group ID, the
+// in-network selector does the rest (§I's "keep things in network").
+type Client struct {
+	conn     *net.UDPConn
+	operator *net.UDPAddr
+	timeout  time.Duration
+	groupOf  func(key string) uint32
+}
+
+// NewClient opens a client socket. groupOf maps keys to replica group IDs
+// (the consistent-hashing view clients already have in Dynamo-style
+// stores); timeout bounds each Get.
+func NewClient(operator *net.UDPAddr, groupOf func(key string) uint32, timeout time.Duration) (*Client, error) {
+	if operator == nil || groupOf == nil {
+		return nil, fmt.Errorf("kvnet: nil operator address or group function")
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("client socket: %w", err)
+	}
+	return &Client{conn: conn, operator: operator, timeout: timeout, groupOf: groupOf}, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// GetResult carries a response's payload and piggybacked metadata.
+type GetResult struct {
+	Value []byte
+	// RID identifies the RSNode that selected the replica.
+	RID uint16
+	// Status is the server's piggybacked state.
+	Status wire.Status
+	// Source locates the serving rack.
+	Source wire.SourceMarker
+	// RTT is the observed round trip.
+	RTT time.Duration
+}
+
+// Get reads one key through the in-network path. A missing key returns
+// ErrNotFound.
+func (c *Client) Get(key string) (GetResult, error) {
+	req := wire.Request{
+		Magic:   wire.MagicRequest,
+		RGID:    c.groupOf(key) & 0xffffff,
+		Payload: []byte(key),
+	}
+	buf, err := wire.MarshalRequest(req)
+	if err != nil {
+		return GetResult{}, err
+	}
+	start := time.Now()
+	if _, err := c.conn.WriteToUDP(buf, c.operator); err != nil {
+		return GetResult{}, fmt.Errorf("send: %w", err)
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return GetResult{}, err
+	}
+	in := make([]byte, maxPacket)
+	n, _, err := c.conn.ReadFromUDP(in)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return GetResult{}, fmt.Errorf("get %q: %w", key, ErrTimeout)
+		}
+		return GetResult{}, fmt.Errorf("get %q: %w", key, err)
+	}
+	resp, err := wire.UnmarshalResponse(in[:n])
+	if err != nil {
+		return GetResult{}, fmt.Errorf("get %q: %w", key, err)
+	}
+	if len(resp.Payload) == 0 {
+		return GetResult{}, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	return GetResult{
+		Value:  resp.Payload,
+		RID:    resp.RID,
+		Status: resp.Status,
+		Source: resp.Source,
+		RTT:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,372 @@
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"netrs/internal/c3"
+	"netrs/internal/wire"
+)
+
+// deployCluster spins up n replica servers, one operator, and a client on
+// loopback, with every key in replica group 1 served by all servers.
+func deployCluster(t *testing.T, n int, delays []time.Duration) (*Operator, *Client, []*Server) {
+	t.Helper()
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		var delay time.Duration
+		if i < len(delays) {
+			delay = delays[i]
+		}
+		store := NewStore()
+		srv, err := NewServer("127.0.0.1:0", ServerConfig{
+			Workers:         2,
+			ProcessingDelay: delay,
+			Pod:             uint16(i / 2),
+			Rack:            uint16(i),
+		}, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+
+	op, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = op.Close() })
+	ids := make([]int, n)
+	for i, srv := range servers {
+		ids[i] = i
+		op.RegisterServer(i, srv.Addr())
+	}
+	op.RegisterGroup(1, ids)
+
+	cli, err := NewClient(op.Addr(), func(string) uint32 { return 1 }, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return op, cli, servers
+}
+
+func TestEndToEndGet(t *testing.T) {
+	_, cli, servers := deployCluster(t, 3, nil)
+	for _, srv := range servers {
+		srv.Store().Set("alpha", []byte("beta"))
+	}
+	res, err := cli.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value) != "beta" {
+		t.Fatalf("value = %q", res.Value)
+	}
+	if res.RID != 7 {
+		t.Fatalf("RID = %d, want the operator's 7", res.RID)
+	}
+	if res.RTT <= 0 {
+		t.Fatal("no RTT measured")
+	}
+}
+
+func TestMissReturnsNotFound(t *testing.T) {
+	_, cli, _ := deployCluster(t, 2, nil)
+	if _, err := cli.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSelectionAvoidsSlowReplica(t *testing.T) {
+	// Server 0 is 30 ms slow; 1 and 2 are fast. After warmup, the
+	// least-outstanding selector should route most traffic to the fast
+	// replicas.
+	_, cli, servers := deployCluster(t, 3, []time.Duration{30 * time.Millisecond, 0, 0})
+	for _, srv := range servers {
+		srv.Store().Set("k", []byte("v"))
+	}
+	const total = 30
+	for i := 0; i < total; i++ {
+		if _, err := cli.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := servers[0].Served()
+	fast := servers[1].Served() + servers[2].Served()
+	if slow+fast != total {
+		t.Fatalf("served %d + %d, want %d total", slow, fast, total)
+	}
+	if fast <= slow {
+		t.Fatalf("fast replicas served %d vs slow %d; selection ineffective", fast, slow)
+	}
+}
+
+func TestOperatorStatsAndMagicFlow(t *testing.T) {
+	op, cli, servers := deployCluster(t, 2, nil)
+	servers[0].Store().Set("x", []byte("1"))
+	servers[1].Store().Set("x", []byte("1"))
+	const total = 5
+	for i := 0; i < total; i++ {
+		res, err := cli.Get("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The client-facing magic must be Mmon: the response already
+		// passed its RSNode.
+		if res.Status.ServiceTimeUs < 0 {
+			t.Fatal("negative service estimate")
+		}
+	}
+	selections, responses, dropped := op.Stats()
+	if selections != total || responses != total {
+		t.Fatalf("operator stats: %d selections, %d responses", selections, responses)
+	}
+	if dropped != 0 {
+		t.Fatalf("operator dropped %d packets", dropped)
+	}
+}
+
+func TestClientSeesMonitorMagic(t *testing.T) {
+	// Drive the wire by hand to assert the delivered magic field.
+	op, _, servers := deployCluster(t, 1, nil)
+	servers[0].Store().Set("k", []byte("v"))
+	cli, err := NewClient(op.Addr(), func(string) uint32 { return 1 }, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	req, err := wire.MarshalRequest(wire.Request{Magic: wire.MagicRequest, RGID: 1, Payload: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.conn.WriteToUDP(req, op.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, maxPacket)
+	n, _, err := cli.conn.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	magic, err := wire.PeekMagic(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Classify(magic) != wire.KindMonitor {
+		t.Fatalf("delivered magic %x classifies as %v, want monitor", uint64(magic), wire.Classify(magic))
+	}
+}
+
+func TestServerStatusPiggyback(t *testing.T) {
+	_, cli, servers := deployCluster(t, 1, []time.Duration{2 * time.Millisecond})
+	servers[0].Store().Set("k", []byte("v"))
+	var last GetResult
+	for i := 0; i < 5; i++ {
+		res, err := cli.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	if last.Status.ServiceTimeUs < 1000 {
+		t.Fatalf("service estimate %vµs, want ≥ the 2ms delay", last.Status.ServiceTimeUs)
+	}
+	if last.Source.Rack != 0 {
+		t.Fatalf("source marker rack = %d", last.Source.Rack)
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store hit")
+	}
+	s.Set("a", []byte("1"))
+	v, ok := s.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	v[0] = 'X' // must not corrupt the store
+	v2, _ := s.Get("a")
+	if string(v2) != "1" {
+		t.Fatal("store aliases returned slices")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestOperatorValidation(t *testing.T) {
+	if _, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: 0}); err == nil {
+		t.Fatal("zero operator ID accepted")
+	}
+	if _, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: wire.DegradedRID}); err == nil {
+		t.Fatal("degraded operator ID accepted")
+	}
+	if _, err := NewClient(nil, func(string) uint32 { return 0 }, time.Second); err == nil {
+		t.Fatal("nil operator address accepted")
+	}
+}
+
+func TestGetTimeoutWhenGroupUnknown(t *testing.T) {
+	op, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	cli, err := NewClient(op.Addr(), func(string) uint32 { return 42 }, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Get("k"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout (operator drops unknown RGID)", err)
+	}
+	_, _, dropped := op.Stats()
+	if dropped == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	op, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal("second operator close errored")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, _, servers := deployCluster(t, 3, nil)
+	op := serversOperator(t, servers)
+	for _, srv := range servers {
+		for i := 0; i < 20; i++ {
+			srv.Store().Set(fmt.Sprintf("k%d", i), []byte("v"))
+		}
+	}
+	const clients = 8
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			cli, err := NewClient(op.Addr(), func(string) uint32 { return 1 }, 2*time.Second)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 20; i++ {
+				if _, err := cli.Get(fmt.Sprintf("k%d", i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestC3SelectorOverRealNetwork(t *testing.T) {
+	// The full C3 algorithm (wall-clock rate control included) driving
+	// the UDP operator: the slow replica must receive a minority of the
+	// traffic.
+	servers := make([]*Server, 3)
+	for i := range servers {
+		var delay time.Duration
+		if i == 0 {
+			delay = 25 * time.Millisecond
+		}
+		store := NewStore()
+		store.Set("k", []byte("v"))
+		srv, err := NewServer("127.0.0.1:0", ServerConfig{Workers: 2, ProcessingDelay: delay, Rack: uint16(i)}, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+	cfg := c3.NewDefaultConfig()
+	sel, err := NewC3Selector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: 2, Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = op.Close() })
+	ids := make([]int, len(servers))
+	for i, srv := range servers {
+		ids[i] = i
+		op.RegisterServer(i, srv.Addr())
+	}
+	op.RegisterGroup(1, ids)
+
+	cli, err := NewClient(op.Addr(), func(string) uint32 { return 1 }, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	const total = 30
+	for i := 0; i < total; i++ {
+		if _, err := cli.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := servers[0].Served()
+	fast := servers[1].Served() + servers[2].Served()
+	if fast <= slow {
+		t.Fatalf("C3 sent %d to the slow replica vs %d to fast ones", slow, fast)
+	}
+}
+
+func TestNewC3SelectorValidation(t *testing.T) {
+	bad := c3.NewDefaultConfig()
+	bad.Alpha = 0
+	if _, err := NewC3Selector(bad); err == nil {
+		t.Fatal("invalid c3 config accepted")
+	}
+}
+
+// serversOperator builds a fresh operator over existing servers.
+func serversOperator(t *testing.T, servers []*Server) *Operator {
+	t.Helper()
+	op, err := NewOperator("127.0.0.1:0", OperatorConfig{ID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = op.Close() })
+	ids := make([]int, len(servers))
+	for i, srv := range servers {
+		ids[i] = i
+		op.RegisterServer(i, srv.Addr())
+	}
+	op.RegisterGroup(1, ids)
+	return op
+}

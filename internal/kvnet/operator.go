@@ -1,0 +1,263 @@
+package kvnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netrs/internal/kv"
+	"netrs/internal/selection"
+	"netrs/internal/wire"
+)
+
+// OperatorConfig tunes a software NetRS operator.
+type OperatorConfig struct {
+	// ID is the operator's RSNode ID (positive, not DegradedRID).
+	ID uint16
+	// Selector picks replicas; nil defaults to the latency-learning
+	// dynamic snitch, which needs no simulated clock. (C3's cubic rate
+	// control is bound to the discrete-event clock, so the simulation
+	// uses it; real-network deployments plug in any Selector.)
+	Selector selection.Selector
+}
+
+// Operator is a user-space NetRS operator: a UDP middlebox that receives
+// NetRS requests, runs replica selection, rewrites the packet (RID, RV,
+// magic = f(Mresp)) and forwards it to the chosen server; responses flow
+// back through it, where it restores the client address from the RV slot,
+// folds the piggybacked status into its selector state, relabels the magic
+// Mmon, and forwards to the client — the exact pipeline of §IV-B/§IV-C
+// realized with NAT-style RV bookkeeping instead of switch forwarding.
+type Operator struct {
+	cfg  OperatorConfig
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	sel      selection.Selector
+	replicas map[uint32][]int // RGID → server ids
+	servers  map[int]*net.UDPAddr
+	pending  map[uint16]pendingSlot
+	nextRV   uint16
+
+	selections uint64
+	responses  uint64
+	dropped    uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type pendingSlot struct {
+	client *net.UDPAddr
+	server int
+	rv     uint16
+	sentAt time.Time
+	used   bool
+}
+
+// NewOperator starts an operator on addr.
+func NewOperator(addr string, cfg OperatorConfig) (*Operator, error) {
+	if cfg.ID == 0 || cfg.ID == wire.DegradedRID {
+		return nil, fmt.Errorf("operator id %d invalid", cfg.ID)
+	}
+	if cfg.Selector == nil {
+		snitch, err := selection.NewDynamicSnitch()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Selector = snitch
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", addr, err)
+	}
+	o := &Operator{
+		cfg:      cfg,
+		conn:     conn,
+		sel:      cfg.Selector,
+		replicas: make(map[uint32][]int),
+		servers:  make(map[int]*net.UDPAddr),
+		pending:  make(map[uint16]pendingSlot),
+		stop:     make(chan struct{}),
+	}
+	o.wg.Add(1)
+	go o.loop()
+	return o, nil
+}
+
+// Addr returns the operator's bound address.
+func (o *Operator) Addr() *net.UDPAddr {
+	addr, _ := o.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// RegisterServer binds a server ID to its address.
+func (o *Operator) RegisterServer(id int, addr *net.UDPAddr) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.servers[id] = addr
+}
+
+// RegisterGroup installs a replica group in the selector's local database
+// (§IV-A's RGID lookup).
+func (o *Operator) RegisterGroup(rgid uint32, servers []int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.replicas[rgid] = append([]int(nil), servers...)
+}
+
+// Stats reports (selections, responses seen, drops).
+func (o *Operator) Stats() (uint64, uint64, uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.selections, o.responses, o.dropped
+}
+
+// Close stops the operator.
+func (o *Operator) Close() error {
+	select {
+	case <-o.stop:
+		return nil
+	default:
+	}
+	close(o.stop)
+	err := o.conn.Close()
+	o.wg.Wait()
+	return err
+}
+
+func (o *Operator) loop() {
+	defer o.wg.Done()
+	buf := make([]byte, maxPacket)
+	for {
+		n, from, err := o.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		o.handle(pkt, from)
+	}
+}
+
+func (o *Operator) handle(pkt []byte, from *net.UDPAddr) {
+	magic, err := wire.PeekMagic(pkt)
+	if err != nil {
+		o.drop()
+		return
+	}
+	switch wire.Classify(magic) {
+	case wire.KindRequest:
+		o.handleRequest(pkt, from)
+	case wire.KindResponse:
+		o.handleResponse(pkt)
+	default:
+		o.drop()
+	}
+}
+
+// handleRequest runs the NetRS selector on an incoming request (§IV-C).
+func (o *Operator) handleRequest(pkt []byte, from *net.UDPAddr) {
+	req, err := wire.UnmarshalRequest(pkt)
+	if err != nil {
+		o.drop()
+		return
+	}
+	o.mu.Lock()
+	candidates, ok := o.replicas[req.RGID]
+	if !ok || len(candidates) == 0 {
+		o.mu.Unlock()
+		o.drop()
+		return
+	}
+	server, _, err := o.sel.Pick(candidates)
+	if err != nil {
+		o.mu.Unlock()
+		o.drop()
+		return
+	}
+	target, ok := o.servers[server]
+	if !ok {
+		o.mu.Unlock()
+		o.drop()
+		return
+	}
+	rv := o.allocSlot(from, server)
+	o.selections++
+	o.mu.Unlock()
+
+	// Rebuild the packet: our RID, the RV slot, the selected-request
+	// magic f(Mresp).
+	out, err := wire.MarshalRequest(wire.Request{
+		RID:     o.cfg.ID,
+		Magic:   wire.Transform(wire.MagicResponse),
+		RV:      rv,
+		RGID:    req.RGID,
+		Payload: req.Payload,
+	})
+	if err != nil {
+		o.drop()
+		return
+	}
+	if _, err := o.conn.WriteToUDP(out, target); err != nil {
+		o.drop()
+	}
+}
+
+// allocSlot reserves an RV slot for an in-flight request. Callers hold
+// o.mu.
+func (o *Operator) allocSlot(client *net.UDPAddr, server int) uint16 {
+	for i := 0; i < 1<<16; i++ {
+		o.nextRV++
+		if _, busy := o.pending[o.nextRV]; !busy {
+			break
+		}
+	}
+	rv := o.nextRV
+	o.pending[rv] = pendingSlot{client: client, server: server, rv: rv, sentAt: time.Now(), used: true}
+	return rv
+}
+
+// handleResponse restores the client, updates selector state, and forwards
+// with the Mmon magic.
+func (o *Operator) handleResponse(pkt []byte) {
+	resp, err := wire.UnmarshalResponse(pkt)
+	if err != nil {
+		o.drop()
+		return
+	}
+	o.mu.Lock()
+	slot, ok := o.pending[resp.RV]
+	if !ok {
+		o.mu.Unlock()
+		o.drop()
+		return
+	}
+	delete(o.pending, resp.RV)
+	latency := time.Since(slot.sentAt)
+	o.sel.OnResponse(slot.server, simTime(latency), kv.Status{
+		QueueSize:     int(resp.Status.QueueSize),
+		ServiceTimeNs: float64(resp.Status.ServiceTimeUs) * 1000,
+	})
+	o.responses++
+	o.mu.Unlock()
+
+	if err := wire.SetMagic(pkt, wire.MagicMonitor); err != nil {
+		o.drop()
+		return
+	}
+	if _, err := o.conn.WriteToUDP(pkt, slot.client); err != nil {
+		o.drop()
+	}
+}
+
+func (o *Operator) drop() {
+	o.mu.Lock()
+	o.dropped++
+	o.mu.Unlock()
+}

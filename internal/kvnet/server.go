@@ -1,0 +1,271 @@
+// Package kvnet is a real-network implementation of the NetRS protocol:
+// a UDP key-value server that piggybacks its status in responses, a
+// software NetRS operator that performs in-network replica selection as a
+// UDP middlebox, and a small synchronous client. It exercises the exact
+// wire format of §IV-A (package wire) end to end over the loopback
+// interface — the closest runnable stand-in for the programmable-switch
+// data plane the paper targets.
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netrs/internal/wire"
+)
+
+// floatBits and floatOf store float64s in atomics.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatOf(b uint64) float64   { return math.Float64frombits(b) }
+
+// Errors returned by kvnet components.
+var (
+	ErrClosed   = errors.New("kvnet: closed")
+	ErrTimeout  = errors.New("kvnet: timeout")
+	ErrNotFound = errors.New("kvnet: key not found")
+)
+
+// maxPacket bounds UDP datagrams; NetRS packets are small (§I: ~1 KB
+// values).
+const maxPacket = 64 * 1024
+
+// Store is the server's in-memory key-value state.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[string][]byte)} }
+
+// Set writes a value.
+func (s *Store) Set(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), value...)
+}
+
+// Get reads a value; ok reports presence.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// ServerConfig tunes a UDP KV server.
+type ServerConfig struct {
+	// Workers is the service parallelism (the paper's Np).
+	Workers int
+	// ProcessingDelay is an artificial per-request service time, letting
+	// demos exhibit slow and fast replicas.
+	ProcessingDelay time.Duration
+	// Pod and Rack are the server's claimed network location, stamped
+	// into the response source marker.
+	Pod, Rack uint16
+}
+
+// Server is a UDP key-value server speaking the NetRS wire format. It
+// answers requests whose payload is the key, piggybacking its queue size
+// and service-time EWMA, and sets the response magic to f⁻¹ of the request
+// magic (§IV-C).
+type Server struct {
+	cfg   ServerConfig
+	conn  *net.UDPConn
+	store *Store
+
+	queue   chan inbound
+	inQueue atomic.Int64
+	busy    atomic.Int64
+	svcEWMA atomic.Uint64 // microseconds, float64 bits
+
+	served atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type inbound struct {
+	buf  []byte
+	from *net.UDPAddr
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func NewServer(addr string, cfg ServerConfig, store *Store) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if store == nil {
+		store = NewStore()
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", addr, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		conn:  conn,
+		store: store,
+		queue: make(chan inbound, 1024),
+		stop:  make(chan struct{}),
+	}
+	s.svcEWMA.Store(floatBits(float64(cfg.ProcessingDelay) / float64(time.Microsecond)))
+	s.wg.Add(1)
+	go s.readLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Addr returns the server's bound UDP address.
+func (s *Server) Addr() *net.UDPAddr {
+	addr, _ := s.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// Store exposes the backing store (for pre-population).
+func (s *Server) Store() *Store { return s.store }
+
+// Served returns the number of requests answered.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Close stops the server and waits for its goroutines.
+func (s *Server) Close() error {
+	select {
+	case <-s.stop:
+		return nil // already closed
+	default:
+	}
+	close(s.stop)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxPacket)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.inQueue.Add(1)
+		select {
+		case s.queue <- inbound{buf: pkt, from: from}:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case in := <-s.queue:
+			s.inQueue.Add(-1)
+			s.busy.Add(1)
+			s.handle(in)
+			s.busy.Add(-1)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// QueueSize mirrors the simulated server's definition: waiting plus
+// executing requests.
+func (s *Server) QueueSize() int {
+	return int(s.inQueue.Load() + s.busy.Load())
+}
+
+func (s *Server) handle(in inbound) {
+	start := time.Now()
+	req, err := wire.UnmarshalRequest(in.buf)
+	if err != nil {
+		return // not a NetRS request; drop
+	}
+	if s.cfg.ProcessingDelay > 0 {
+		time.Sleep(s.cfg.ProcessingDelay)
+	}
+	value, ok := s.store.Get(string(req.Payload))
+	payload := value
+	if !ok {
+		payload = nil // empty payload signals a miss
+	}
+
+	elapsedUs := float64(time.Since(start)) / float64(time.Microsecond)
+	s.observeService(elapsedUs)
+
+	resp := wire.Response{
+		RID:    req.RID,
+		Magic:  wire.InverseTransform(req.Magic),
+		RV:     req.RV,
+		Source: wire.SourceMarker{Pod: s.cfg.Pod, Rack: s.cfg.Rack},
+		Status: wire.Status{
+			QueueSize:     clampUint16(s.QueueSize()),
+			ServiceTimeUs: float32(floatOf(s.svcEWMA.Load())),
+		},
+		Payload: payload,
+	}
+	buf, err := wire.MarshalResponse(resp)
+	if err != nil {
+		return
+	}
+	if _, err := s.conn.WriteToUDP(buf, in.from); err != nil {
+		return
+	}
+	s.served.Add(1)
+}
+
+// observeService folds a service time (µs) into the piggybacked EWMA with
+// α = 0.9.
+func (s *Server) observeService(us float64) {
+	for {
+		old := s.svcEWMA.Load()
+		cur := floatOf(old)
+		next := cur
+		if cur == 0 {
+			next = us
+		} else {
+			next = 0.9*us + 0.1*cur
+		}
+		if s.svcEWMA.CompareAndSwap(old, floatBits(next)) {
+			return
+		}
+	}
+}
+
+func clampUint16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xffff {
+		return 0xffff
+	}
+	return uint16(v)
+}

@@ -1,0 +1,63 @@
+package placement
+
+import "sort"
+
+// PlanDiff describes the deployment delta between two Replica Selection
+// Plans over the same problem. The paper notes that deploying a new RSP
+// temporarily raises latency while newly introduced RSNodes rebuild their
+// view of the system (§II); the diff quantifies that blast radius.
+type PlanDiff struct {
+	// MovedGroups lists group indices whose RSNode changed (including
+	// moves in or out of DRS).
+	MovedGroups []int
+	// NewRSNodes lists operator indices serving traffic only in the new
+	// plan — the RSNodes that must warm up from scratch.
+	NewRSNodes []int
+	// RetiredRSNodes lists operator indices serving traffic only in the
+	// old plan.
+	RetiredRSNodes []int
+	// MovedTraffic is the total request rate (req/s) of the moved
+	// groups.
+	MovedTraffic float64
+}
+
+// DiffPlans compares two plans over the problem's groups. Plans must have
+// assignments for every group (as produced by Solve/ToRPlan).
+func (p *Problem) DiffPlans(old, new Plan) PlanDiff {
+	var d PlanDiff
+	oldUsed := make(map[int]bool)
+	newUsed := make(map[int]bool)
+	for gi := range p.Groups {
+		var o, n = -1, -1
+		if gi < len(old.Assignment) {
+			o = old.Assignment[gi]
+		}
+		if gi < len(new.Assignment) {
+			n = new.Assignment[gi]
+		}
+		if o >= 0 {
+			oldUsed[o] = true
+		}
+		if n >= 0 {
+			newUsed[n] = true
+		}
+		if o != n {
+			d.MovedGroups = append(d.MovedGroups, gi)
+			d.MovedTraffic += p.Groups[gi].Total()
+		}
+	}
+	for oi := range newUsed {
+		if !oldUsed[oi] {
+			d.NewRSNodes = append(d.NewRSNodes, oi)
+		}
+	}
+	for oi := range oldUsed {
+		if !newUsed[oi] {
+			d.RetiredRSNodes = append(d.RetiredRSNodes, oi)
+		}
+	}
+	sort.Ints(d.MovedGroups)
+	sort.Ints(d.NewRSNodes)
+	sort.Ints(d.RetiredRSNodes)
+	return d
+}

@@ -1,0 +1,293 @@
+// Package placement implements the NetRS controller's RSNode placement
+// algorithm (§III): traffic groups, the R (reachability) and T (traffic
+// composition) matrices, the ILP of Eqs. (1)–(7), and the Degraded Replica
+// Selection fallback when no feasible Replica Selection Plan exists.
+//
+// Two solvers are provided. The exact solver hands the ILP to the
+// branch-and-bound engine in package ilp (the paper uses Gurobi/CPLEX and
+// permits early termination; so does ours via node limits). The heuristic
+// solver — greedy packing plus a local-search pass that tries to close
+// RSNodes — handles topologies whose ILP would be too large to enumerate,
+// matching the paper's observation that a suboptimal RSP is acceptable.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+)
+
+// Errors returned by the placement solver.
+var (
+	ErrInvalidParam = errors.New("placement: invalid parameter")
+	ErrInfeasible   = errors.New("placement: no feasible plan")
+)
+
+// Operator is a candidate RSNode: a programmable switch with an attached
+// network accelerator (§II). IDs are positive integers assigned by the
+// controller (§IV-B).
+type Operator struct {
+	// ID is the RSNode ID carried in packet headers; 1-based.
+	ID int
+	// Switch is the operator's switch in the topology.
+	Switch topo.NodeID
+	// Tier is the switch tier (0 core, 1 agg, 2 ToR).
+	Tier int
+	// MaxTraffic is Tmax_j in requests per second: U·c/t for an
+	// accelerator with c cores, per-selection service time t, and
+	// utilization cap U (§III-B).
+	MaxTraffic float64
+}
+
+// Group is one traffic group (§III-A): requests from a set of end-hosts in
+// the same rack. Host-level groups hold one host, rack-level groups a
+// whole rack.
+type Group struct {
+	// ID indexes the group.
+	ID int
+	// Rack is the global rack whose ToR the group's hosts attach to.
+	Rack int
+	// Hosts lists the member end-hosts.
+	Hosts []topo.NodeID
+	// TierTraffic[k] is the group's Tier-k request rate (req/s), k being
+	// the highest tier a default path traverses: 0 cross-pod, 1
+	// intra-pod, 2 intra-rack (§III-B's T matrix).
+	TierTraffic [3]float64
+}
+
+// Total returns the group's aggregate request rate — the Eq. (6) load.
+func (g Group) Total() float64 {
+	return g.TierTraffic[0] + g.TierTraffic[1] + g.TierTraffic[2]
+}
+
+// AccelParams describes the network accelerators used to derive Tmax.
+type AccelParams struct {
+	// Cores is c, the accelerator core count.
+	Cores int
+	// SelectionTime is t, the mean time to select a replica.
+	SelectionTime sim.Time
+	// MaxUtilization is U in (0, 1].
+	MaxUtilization float64
+}
+
+// MaxTraffic computes U·c/t in requests per second.
+func (a AccelParams) MaxTraffic() (float64, error) {
+	if a.Cores < 1 || a.SelectionTime <= 0 || a.MaxUtilization <= 0 || a.MaxUtilization > 1 {
+		return 0, fmt.Errorf("accelerator params %+v: %w", a, ErrInvalidParam)
+	}
+	perSec := float64(sim.Second) / float64(a.SelectionTime)
+	return a.MaxUtilization * float64(a.Cores) * perSec, nil
+}
+
+// Problem is one placement instance.
+type Problem struct {
+	Topo      *topo.Topology
+	Operators []Operator
+	Groups    []Group
+	// ExtraHopBudget is E: the total extra switch forwardings per second
+	// the plan may impose (§III-B sets E = 20%·A).
+	ExtraHopBudget float64
+}
+
+// groupTier is t(i) for a traffic group: groups attach to ToR switches.
+const groupTier = topo.TierToR
+
+// BuildProblem assembles a Problem with one candidate operator per switch
+// of the topology, each capped by the accelerator parameters.
+func BuildProblem(t *topo.Topology, groups []Group, accel AccelParams, extraHopBudget float64) (Problem, error) {
+	if t == nil {
+		return Problem{}, fmt.Errorf("nil topology: %w", ErrInvalidParam)
+	}
+	if extraHopBudget < 0 || math.IsNaN(extraHopBudget) {
+		return Problem{}, fmt.Errorf("extra hop budget %v: %w", extraHopBudget, ErrInvalidParam)
+	}
+	tmax, err := accel.MaxTraffic()
+	if err != nil {
+		return Problem{}, err
+	}
+	for _, g := range groups {
+		if g.Rack < 0 || g.Rack >= t.Racks() {
+			return Problem{}, fmt.Errorf("group %d rack %d: %w", g.ID, g.Rack, ErrInvalidParam)
+		}
+		for k, v := range g.TierTraffic {
+			if v < 0 || math.IsNaN(v) {
+				return Problem{}, fmt.Errorf("group %d tier-%d traffic %v: %w", g.ID, k, v, ErrInvalidParam)
+			}
+		}
+	}
+	p := Problem{Topo: t, Groups: groups, ExtraHopBudget: extraHopBudget}
+	for i, sw := range t.Switches() {
+		node, err := t.Node(sw)
+		if err != nil {
+			return Problem{}, err
+		}
+		p.Operators = append(p.Operators, Operator{
+			ID:         i + 1,
+			Switch:     sw,
+			Tier:       node.Tier,
+			MaxTraffic: tmax,
+		})
+	}
+	return p, nil
+}
+
+// Eligible reports R_ij (§III-B rules i–iii): core operators serve any
+// group; aggregation operators serve groups of their pod; a ToR operator
+// serves only its own rack's groups.
+func (p *Problem) Eligible(g Group, op Operator) bool {
+	node, err := p.Topo.Node(op.Switch)
+	if err != nil {
+		return false
+	}
+	tor, err := p.Topo.ToROfRack(g.Rack)
+	if err != nil {
+		return false
+	}
+	torNode, err := p.Topo.Node(tor)
+	if err != nil {
+		return false
+	}
+	switch op.Tier {
+	case topo.TierCore:
+		return true
+	case topo.TierAgg:
+		return node.Pod == torNode.Pod
+	case topo.TierToR:
+		return op.Switch == tor
+	default:
+		return false
+	}
+}
+
+// ExtraHopCost is the Eq. (7) coefficient: the extra switch forwardings
+// per second group g incurs when its RSNode is operator op,
+// Σ_{k=0}^{h−1} 2(h+k)·T_{g,(t(g)−k)} with h = t(g) − t(op).
+func (p *Problem) ExtraHopCost(g Group, op Operator) float64 {
+	h := groupTier - op.Tier
+	if h <= 0 {
+		return 0
+	}
+	cost := 0.0
+	for k := 0; k < h; k++ {
+		tierIdx := groupTier - k
+		if tierIdx < 0 || tierIdx > 2 {
+			continue
+		}
+		cost += 2 * float64(h+k) * g.TierTraffic[tierIdx]
+	}
+	return cost
+}
+
+// Plan is a Replica Selection Plan: the assignment of every traffic group
+// to an RSNode, or to Degraded Replica Selection.
+type Plan struct {
+	// Assignment maps group index → operator index within
+	// Problem.Operators, or -1 for groups running under DRS.
+	Assignment []int
+	// RSNodes lists the operator indices that host at least one group, in
+	// ascending order — the D vector's support.
+	RSNodes []int
+	// Degraded lists group indices using DRS (§III-C).
+	Degraded []int
+	// ExtraHops is the plan's total Eq. (7) cost.
+	ExtraHops float64
+	// Optimal records whether the solver proved optimality (exact solver,
+	// no early termination, no DRS forced).
+	Optimal bool
+	// Method names the solver that produced the plan.
+	Method Method
+}
+
+// Validate checks a plan against the problem's constraints: eligibility
+// (Eq. 4), single assignment (Eq. 5), capacity (Eq. 6), and the hop budget
+// (Eq. 7). It returns nil for feasible plans.
+func (p *Problem) Validate(plan Plan) error {
+	if len(plan.Assignment) != len(p.Groups) {
+		return fmt.Errorf("assignment covers %d of %d groups: %w", len(plan.Assignment), len(p.Groups), ErrInvalidParam)
+	}
+	load := make([]float64, len(p.Operators))
+	hops := 0.0
+	for gi, oi := range plan.Assignment {
+		if oi == -1 {
+			continue // DRS
+		}
+		if oi < 0 || oi >= len(p.Operators) {
+			return fmt.Errorf("group %d assigned to operator %d: %w", gi, oi, ErrInvalidParam)
+		}
+		g := p.Groups[gi]
+		op := p.Operators[oi]
+		if !p.Eligible(g, op) {
+			return fmt.Errorf("group %d not eligible for operator %d (%s): %w",
+				gi, op.ID, nodeName(p.Topo, op.Switch), ErrInfeasible)
+		}
+		load[oi] += g.Total()
+		hops += p.ExtraHopCost(g, op)
+	}
+	for oi, l := range load {
+		if l > p.Operators[oi].MaxTraffic+1e-6 {
+			return fmt.Errorf("operator %d overloaded: %.1f > %.1f: %w", p.Operators[oi].ID, l, p.Operators[oi].MaxTraffic, ErrInfeasible)
+		}
+	}
+	if hops > p.ExtraHopBudget+1e-6 {
+		return fmt.Errorf("extra hops %.1f exceed budget %.1f: %w", hops, p.ExtraHopBudget, ErrInfeasible)
+	}
+	return nil
+}
+
+func nodeName(t *topo.Topology, id topo.NodeID) string {
+	n, err := t.Node(id)
+	if err != nil {
+		return fmt.Sprintf("node%d", id)
+	}
+	return n.Name
+}
+
+// finishPlan derives the RSNodes/Degraded/ExtraHops summary fields from an
+// assignment.
+func (p *Problem) finishPlan(plan *Plan) {
+	used := map[int]bool{}
+	plan.ExtraHops = 0
+	plan.Degraded = plan.Degraded[:0]
+	for gi, oi := range plan.Assignment {
+		if oi == -1 {
+			plan.Degraded = append(plan.Degraded, gi)
+			continue
+		}
+		used[oi] = true
+		plan.ExtraHops += p.ExtraHopCost(p.Groups[gi], p.Operators[oi])
+	}
+	plan.RSNodes = plan.RSNodes[:0]
+	for oi := range p.Operators {
+		if used[oi] {
+			plan.RSNodes = append(plan.RSNodes, oi)
+		}
+	}
+	sort.Ints(plan.RSNodes)
+}
+
+// ToRPlan returns the NetRS-ToR scheme's straightforward RSP: every group
+// is served by the operator co-located with its rack's ToR switch (§V-A).
+func (p *Problem) ToRPlan() (Plan, error) {
+	torOp := make(map[topo.NodeID]int, len(p.Operators))
+	for oi, op := range p.Operators {
+		torOp[op.Switch] = oi
+	}
+	plan := Plan{Assignment: make([]int, len(p.Groups)), Method: MethodToR}
+	for gi, g := range p.Groups {
+		tor, err := p.Topo.ToROfRack(g.Rack)
+		if err != nil {
+			return Plan{}, err
+		}
+		oi, ok := torOp[tor]
+		if !ok {
+			return Plan{}, fmt.Errorf("no operator at ToR of rack %d: %w", g.Rack, ErrInvalidParam)
+		}
+		plan.Assignment[gi] = oi
+	}
+	p.finishPlan(&plan)
+	return plan, nil
+}

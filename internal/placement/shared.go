@@ -1,0 +1,228 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"netrs/internal/ilp"
+)
+
+// SharedAccelerators models the cost-cutting deployment of §III-B's
+// closing paragraph: one network accelerator connected to multiple
+// switches. Constraint 1 guarantees a request meets at most one RSNode on
+// its path, so switches can share an accelerator; Eq. (6) then becomes a
+// joint capacity constraint per accelerator:
+//
+//	∀J: Σ_{j∈J} Σ_i P_ij·load(i) ≤ Tmax_J
+//
+// where J is the set of operators wired to the same accelerator.
+type SharedAccelerators struct {
+	// GroupOf[oi] is the accelerator index of operator oi; operators
+	// absent from the map get a dedicated accelerator.
+	GroupOf map[int]int
+	// MaxTraffic[a] is Tmax for accelerator a (req/s).
+	MaxTraffic map[int]float64
+}
+
+// Validate checks the sharing specification against a problem.
+func (s SharedAccelerators) Validate(p *Problem) error {
+	for oi, a := range s.GroupOf {
+		if oi < 0 || oi >= len(p.Operators) {
+			return fmt.Errorf("shared accel references operator %d of %d: %w", oi, len(p.Operators), ErrInvalidParam)
+		}
+		if _, ok := s.MaxTraffic[a]; !ok {
+			return fmt.Errorf("accelerator %d has no capacity: %w", a, ErrInvalidParam)
+		}
+	}
+	for a, t := range s.MaxTraffic {
+		if t <= 0 {
+			return fmt.Errorf("accelerator %d capacity %v: %w", a, t, ErrInvalidParam)
+		}
+	}
+	return nil
+}
+
+// members returns operator indices per accelerator, sorted.
+func (s SharedAccelerators) members() map[int][]int {
+	out := make(map[int][]int)
+	for oi, a := range s.GroupOf {
+		out[a] = append(out[a], oi)
+	}
+	for a := range out {
+		sort.Ints(out[a])
+	}
+	return out
+}
+
+// SolveShared solves the placement with shared-accelerator capacity
+// constraints. Only the exact solver supports sharing (the coupled
+// capacities break the heuristic's per-operator packing), so instances
+// must be small enough for branch and bound.
+func SolveShared(p Problem, shared SharedAccelerators, opts Options) (Plan, error) {
+	if len(p.Groups) == 0 || len(p.Operators) == 0 {
+		return Plan{}, fmt.Errorf("empty problem: %w", ErrInvalidParam)
+	}
+	if err := shared.Validate(&p); err != nil {
+		return Plan{}, err
+	}
+	opts = opts.withDefaults()
+
+	active := make([]bool, len(p.Groups))
+	for i := range active {
+		active[i] = true
+	}
+	candidates, _ := candidateSets(p, active)
+	for gi := range p.Groups {
+		if len(candidates[gi]) == 0 {
+			return Plan{}, fmt.Errorf("group %d has no eligible operator: %w", gi, ErrInfeasible)
+		}
+	}
+
+	m := ilp.NewModel()
+	dVar := make([]int, len(p.Operators))
+	for oi, op := range p.Operators {
+		v, err := m.AddBinary(fmt.Sprintf("D_%d", op.ID), 1)
+		if err != nil {
+			return Plan{}, err
+		}
+		dVar[oi] = v
+	}
+	pVar := make(map[[2]int]int)
+	for gi := range p.Groups {
+		for _, oi := range candidates[gi] {
+			v, err := m.AddBinary(fmt.Sprintf("P_%d_%d", gi, p.Operators[oi].ID), 0)
+			if err != nil {
+				return Plan{}, err
+			}
+			pVar[[2]int{gi, oi}] = v
+			if err := m.AddConstraint([]ilp.Term{{Var: dVar[oi], Coef: 1}, {Var: v, Coef: -1}}, ilp.GE, 0); err != nil {
+				return Plan{}, err
+			}
+		}
+	}
+	for gi := range p.Groups {
+		terms := make([]ilp.Term, 0, len(candidates[gi]))
+		for _, oi := range candidates[gi] {
+			terms = append(terms, ilp.Term{Var: pVar[[2]int{gi, oi}], Coef: 1})
+		}
+		if err := m.AddConstraint(terms, ilp.EQ, 1); err != nil {
+			return Plan{}, err
+		}
+	}
+
+	// Capacity: dedicated operators use their own Tmax; shared ones use
+	// the joint accelerator constraint.
+	sharedMembers := shared.members()
+	dedicated := make([]bool, len(p.Operators))
+	for oi := range p.Operators {
+		dedicated[oi] = true
+	}
+	for _, ois := range sharedMembers {
+		for _, oi := range ois {
+			dedicated[oi] = false
+		}
+	}
+	addCapacity := func(ois []int, cap float64) error {
+		var terms []ilp.Term
+		for _, oi := range ois {
+			for gi := range p.Groups {
+				if v, ok := pVar[[2]int{gi, oi}]; ok {
+					terms = append(terms, ilp.Term{Var: v, Coef: p.Groups[gi].Total()})
+				}
+			}
+		}
+		if len(terms) == 0 {
+			return nil
+		}
+		return m.AddConstraint(terms, ilp.LE, cap)
+	}
+	for oi, op := range p.Operators {
+		if dedicated[oi] {
+			if err := addCapacity([]int{oi}, op.MaxTraffic); err != nil {
+				return Plan{}, err
+			}
+		}
+	}
+	for a, ois := range sharedMembers {
+		if err := addCapacity(ois, shared.MaxTraffic[a]); err != nil {
+			return Plan{}, err
+		}
+	}
+
+	// Extra-hop budget (Eq. 7) as in the dedicated case.
+	var hopTerms []ilp.Term
+	for key, v := range pVar {
+		if cost := p.ExtraHopCost(p.Groups[key[0]], p.Operators[key[1]]); cost > 0 {
+			hopTerms = append(hopTerms, ilp.Term{Var: v, Coef: cost})
+		}
+	}
+	if len(hopTerms) > 0 {
+		if err := m.AddConstraint(hopTerms, ilp.LE, p.ExtraHopBudget); err != nil {
+			return Plan{}, err
+		}
+	}
+
+	sol, err := m.Solve(ilp.Options{MaxNodes: opts.MaxNodes})
+	if err != nil {
+		return Plan{}, fmt.Errorf("shared ilp: %w: %v", ErrInfeasible, err)
+	}
+	if sol.Status == ilp.StatusInfeasible {
+		return Plan{}, fmt.Errorf("shared ilp infeasible: %w", ErrInfeasible)
+	}
+	plan := Plan{
+		Assignment: make([]int, len(p.Groups)),
+		Method:     MethodExact,
+		Optimal:    sol.Status == ilp.StatusOptimal,
+	}
+	for gi := range plan.Assignment {
+		plan.Assignment[gi] = -1
+	}
+	for key, v := range pVar {
+		if sol.X[v] > 0.5 {
+			plan.Assignment[key[0]] = key[1]
+		}
+	}
+	p.finishPlan(&plan)
+	// Validate against the joint capacities.
+	if err := validateShared(&p, shared, plan); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+// validateShared checks a plan against shared capacities plus the base
+// constraints other than per-operator capacity.
+func validateShared(p *Problem, shared SharedAccelerators, plan Plan) error {
+	loadByAccel := make(map[int]float64)
+	loadByOp := make(map[int]float64)
+	hops := 0.0
+	for gi, oi := range plan.Assignment {
+		if oi < 0 {
+			continue
+		}
+		g := p.Groups[gi]
+		if !p.Eligible(g, p.Operators[oi]) {
+			return fmt.Errorf("group %d ineligible at operator %d: %w", gi, oi, ErrInfeasible)
+		}
+		if a, ok := shared.GroupOf[oi]; ok {
+			loadByAccel[a] += g.Total()
+		} else {
+			loadByOp[oi] += g.Total()
+		}
+		hops += p.ExtraHopCost(g, p.Operators[oi])
+	}
+	for a, l := range loadByAccel {
+		if l > shared.MaxTraffic[a]+1e-6 {
+			return fmt.Errorf("shared accelerator %d overloaded %.1f > %.1f: %w", a, l, shared.MaxTraffic[a], ErrInfeasible)
+		}
+	}
+	for oi, l := range loadByOp {
+		if l > p.Operators[oi].MaxTraffic+1e-6 {
+			return fmt.Errorf("operator %d overloaded: %w", p.Operators[oi].ID, ErrInfeasible)
+		}
+	}
+	if hops > p.ExtraHopBudget+1e-6 {
+		return fmt.Errorf("extra hops %.1f over budget: %w", hops, ErrInfeasible)
+	}
+	return nil
+}

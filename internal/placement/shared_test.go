@@ -1,0 +1,128 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"netrs/internal/topo"
+)
+
+func TestSharedAcceleratorsValidate(t *testing.T) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildProblem(t, ft, rackGroups(t, ft, 1000, 0, 0), 1e9)
+	bad := []SharedAccelerators{
+		{GroupOf: map[int]int{999: 0}, MaxTraffic: map[int]float64{0: 1}},
+		{GroupOf: map[int]int{0: 7}, MaxTraffic: map[int]float64{}},
+		{GroupOf: map[int]int{0: 0}, MaxTraffic: map[int]float64{0: -5}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(&p); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestSolveSharedJointCapacityBinds(t *testing.T) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure tier-0 traffic, huge budget: dedicated solve packs everything
+	// onto one core RSNode (8 racks × 40k = 320k fits nothing single…
+	// use 10k per rack = 80k < 100k so one core suffices dedicated).
+	p := buildProblem(t, ft, rackGroups(t, ft, 10000, 0, 0), 1e9)
+	dedicated, err := Solve(p, Options{Method: MethodExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedicated.RSNodes) != 1 {
+		t.Fatalf("dedicated RSNodes = %d, want 1", len(dedicated.RSNodes))
+	}
+
+	// Now wire ALL core switches to one shared accelerator capped at
+	// 50 kreq/s: a single core no longer carries the 80 kreq/s total, and
+	// neither do all cores together — the solver must move half the
+	// traffic off the shared accelerator (onto aggs or ToRs).
+	shared := SharedAccelerators{
+		GroupOf:    map[int]int{},
+		MaxTraffic: map[int]float64{0: 50000},
+	}
+	coreSet := map[topo.NodeID]bool{}
+	for _, c := range ft.Cores() {
+		coreSet[c] = true
+	}
+	for oi, op := range p.Operators {
+		if coreSet[op.Switch] {
+			shared.GroupOf[oi] = 0
+		}
+	}
+	plan, err := SolveShared(p, shared, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLoad := 0.0
+	for gi, oi := range plan.Assignment {
+		if oi >= 0 && coreSet[p.Operators[oi].Switch] {
+			coreLoad += p.Groups[gi].Total()
+		}
+	}
+	if coreLoad > 50000+1e-6 {
+		t.Fatalf("shared accelerator carries %.0f > 50000", coreLoad)
+	}
+	if len(plan.RSNodes) < 2 {
+		t.Fatalf("joint capacity should force ≥ 2 RSNodes, got %d", len(plan.RSNodes))
+	}
+}
+
+func TestSolveSharedMatchesDedicatedWhenLoose(t *testing.T) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildProblem(t, ft, rackGroups(t, ft, 5000, 0, 0), 1e9)
+	// A shared accelerator with generous capacity must not change the
+	// optimum.
+	shared := SharedAccelerators{
+		GroupOf:    map[int]int{0: 0, 1: 0},
+		MaxTraffic: map[int]float64{0: 1e9},
+	}
+	plan, err := SolveShared(p, shared, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedicated, err := Solve(p, Options{Method: MethodExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.RSNodes) != len(dedicated.RSNodes) {
+		t.Fatalf("loose sharing changed RSNodes %d → %d", len(dedicated.RSNodes), len(plan.RSNodes))
+	}
+}
+
+func TestSolveSharedInfeasible(t *testing.T) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildProblem(t, ft, rackGroups(t, ft, 90000, 0, 0), 1e12)
+	// Every operator shares one accelerator far too small for the total.
+	shared := SharedAccelerators{
+		GroupOf:    map[int]int{},
+		MaxTraffic: map[int]float64{0: 1000},
+	}
+	for oi := range p.Operators {
+		shared.GroupOf[oi] = 0
+	}
+	if _, err := SolveShared(p, shared, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveSharedEmptyProblem(t *testing.T) {
+	if _, err := SolveShared(Problem{}, SharedAccelerators{}, Options{}); !errors.Is(err, ErrInvalidParam) {
+		t.Fatal("empty problem accepted")
+	}
+}

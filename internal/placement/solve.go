@@ -1,0 +1,470 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"netrs/internal/ilp"
+)
+
+// Method selects the placement solver.
+type Method int
+
+// Solver methods.
+const (
+	// MethodAuto picks exact for small instances and heuristic beyond
+	// the exact-size threshold.
+	MethodAuto Method = iota + 1
+	// MethodExact builds Eqs. (1)–(7) and solves with branch and bound.
+	MethodExact
+	// MethodHeuristic uses greedy packing plus local search.
+	MethodHeuristic
+	// MethodToR marks plans produced by ToRPlan.
+	MethodToR
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodExact:
+		return "exact-ilp"
+	case MethodHeuristic:
+		return "heuristic"
+	case MethodToR:
+		return "tor"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tunes Solve.
+type Options struct {
+	// Method picks the solver; zero value means MethodAuto.
+	Method Method
+	// MaxNodes bounds the branch-and-bound tree (exact solver); 0 uses
+	// the ilp package default. Early termination returns a suboptimal
+	// incumbent, mirroring the paper's time-limited solving.
+	MaxNodes int
+	// AllowDRS lets the solver degrade the highest-traffic groups when no
+	// fully in-network plan exists (§III-C scenario i).
+	AllowDRS bool
+	// ExactLimit is the largest number of P variables MethodAuto solves
+	// exactly; 0 means 128. The dense-simplex relaxation scales roughly
+	// cubically with the variable count, so larger instances go to the
+	// heuristic (as the paper's early-termination trade-off anticipates).
+	ExactLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Method == 0 {
+		o.Method = MethodAuto
+	}
+	if o.ExactLimit == 0 {
+		o.ExactLimit = 128
+	}
+	return o
+}
+
+// Solve computes a Replica Selection Plan. When the instance is infeasible
+// and AllowDRS is set, it repeatedly moves the highest-traffic remaining
+// group to Degraded Replica Selection and retries (§III-C: "the NetRS
+// controller turns DRS on for groups with the highest traffic"); otherwise
+// it returns ErrInfeasible.
+func Solve(p Problem, opts Options) (Plan, error) {
+	opts = opts.withDefaults()
+	if len(p.Groups) == 0 {
+		return Plan{}, fmt.Errorf("no traffic groups: %w", ErrInvalidParam)
+	}
+	if len(p.Operators) == 0 {
+		return Plan{}, fmt.Errorf("no operators: %w", ErrInvalidParam)
+	}
+
+	active := make([]bool, len(p.Groups))
+	for i := range active {
+		active[i] = true
+	}
+
+	// DRS loop: drop the heaviest group on each failure.
+	for {
+		plan, err := solveActive(p, active, opts)
+		if err == nil {
+			p.finishPlan(&plan)
+			if verr := p.Validate(plan); verr != nil {
+				return Plan{}, fmt.Errorf("solver produced invalid plan: %w", verr)
+			}
+			if len(plan.Degraded) > 0 {
+				plan.Optimal = false
+			}
+			return plan, nil
+		}
+		if !opts.AllowDRS {
+			return Plan{}, err
+		}
+		// Degrade the heaviest still-active group.
+		heaviest, best := -1, -1.0
+		for gi, a := range active {
+			if a && p.Groups[gi].Total() > best {
+				heaviest, best = gi, p.Groups[gi].Total()
+			}
+		}
+		if heaviest == -1 {
+			return Plan{}, fmt.Errorf("all groups degraded: %w", ErrInfeasible)
+		}
+		active[heaviest] = false
+	}
+}
+
+// solveActive solves the placement restricted to active groups; inactive
+// groups come back assigned -1.
+func solveActive(p Problem, active []bool, opts Options) (Plan, error) {
+	candidates, pVars := candidateSets(p, active)
+	for gi, a := range active {
+		if !a {
+			continue
+		}
+		if len(candidates[gi]) == 0 {
+			return Plan{}, fmt.Errorf("group %d has no eligible operator: %w", gi, ErrInfeasible)
+		}
+		// A group is assigned whole (Eq. 5 with binary P), so it must fit
+		// some eligible operator on its own.
+		fits := false
+		for _, oi := range candidates[gi] {
+			if p.Groups[gi].Total() <= p.Operators[oi].MaxTraffic+1e-9 {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			return Plan{}, fmt.Errorf("group %d traffic %.0f exceeds every eligible operator's capacity: %w",
+				gi, p.Groups[gi].Total(), ErrInfeasible)
+		}
+	}
+	method := opts.Method
+	if method == MethodAuto || method == MethodToR {
+		if pVars <= opts.ExactLimit {
+			method = MethodExact
+		} else {
+			method = MethodHeuristic
+		}
+	}
+	switch method {
+	case MethodExact:
+		return solveExact(p, active, candidates, opts)
+	case MethodHeuristic:
+		return solveHeuristic(p, active, candidates)
+	default:
+		return Plan{}, fmt.Errorf("method %v: %w", method, ErrInvalidParam)
+	}
+}
+
+// candidateSets computes, per active group, the eligible operator indices
+// (the R matrix restricted to R_ij = 1), and the total candidate count.
+func candidateSets(p Problem, active []bool) ([][]int, int) {
+	out := make([][]int, len(p.Groups))
+	total := 0
+	for gi, g := range p.Groups {
+		if !active[gi] {
+			continue
+		}
+		for oi, op := range p.Operators {
+			if p.Eligible(g, op) {
+				out[gi] = append(out[gi], oi)
+			}
+		}
+		total += len(out[gi])
+	}
+	return out, total
+}
+
+// solveExact builds the §III-B ILP and solves it with branch and bound.
+func solveExact(p Problem, active []bool, candidates [][]int, opts Options) (Plan, error) {
+	m := ilp.NewModel()
+
+	totalTraffic := 0.0
+	for gi, g := range p.Groups {
+		if active[gi] {
+			totalTraffic += g.Total()
+		}
+	}
+
+	// D_j: operator opened as RSNode (objective: minimize ΣD_j, Eq. 1).
+	dVar := make([]int, len(p.Operators))
+	for oi, op := range p.Operators {
+		v, err := m.AddBinary(fmt.Sprintf("D_%d", op.ID), 1)
+		if err != nil {
+			return Plan{}, err
+		}
+		dVar[oi] = v
+	}
+	// P_ij: group i served by operator j. Only eligible pairs get
+	// variables, which realizes Eq. (4) by construction.
+	pVar := make(map[[2]int]int)
+	for gi := range p.Groups {
+		if !active[gi] {
+			continue
+		}
+		for _, oi := range candidates[gi] {
+			v, err := m.AddBinary(fmt.Sprintf("P_%d_%d", gi, p.Operators[oi].ID), 0)
+			if err != nil {
+				return Plan{}, err
+			}
+			pVar[[2]int{gi, oi}] = v
+			// Eq. (3): D_j − P_ij ≥ 0.
+			if err := m.AddConstraint([]ilp.Term{{Var: dVar[oi], Coef: 1}, {Var: v, Coef: -1}}, ilp.GE, 0); err != nil {
+				return Plan{}, err
+			}
+		}
+	}
+	// Eq. (5): each active group assigned exactly once.
+	for gi := range p.Groups {
+		if !active[gi] {
+			continue
+		}
+		terms := make([]ilp.Term, 0, len(candidates[gi]))
+		for _, oi := range candidates[gi] {
+			terms = append(terms, ilp.Term{Var: pVar[[2]int{gi, oi}], Coef: 1})
+		}
+		if err := m.AddConstraint(terms, ilp.EQ, 1); err != nil {
+			return Plan{}, err
+		}
+	}
+	// Eq. (6): operator capacity.
+	for oi, op := range p.Operators {
+		var terms []ilp.Term
+		for gi := range p.Groups {
+			if !active[gi] {
+				continue
+			}
+			if v, ok := pVar[[2]int{gi, oi}]; ok {
+				terms = append(terms, ilp.Term{Var: v, Coef: p.Groups[gi].Total()})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		if err := m.AddConstraint(terms, ilp.LE, op.MaxTraffic); err != nil {
+			return Plan{}, err
+		}
+	}
+	// Eq. (7): global extra-hop budget.
+	var hopTerms []ilp.Term
+	for key, v := range pVar {
+		cost := p.ExtraHopCost(p.Groups[key[0]], p.Operators[key[1]])
+		if cost > 0 {
+			hopTerms = append(hopTerms, ilp.Term{Var: v, Coef: cost})
+		}
+	}
+	if len(hopTerms) > 0 {
+		if err := m.AddConstraint(hopTerms, ilp.LE, p.ExtraHopBudget); err != nil {
+			return Plan{}, err
+		}
+	}
+
+	// Strengthening cuts (solver aids; every feasible plan satisfies
+	// them). First, a capacity cover: the opened RSNodes must jointly
+	// absorb the total traffic, which ties the LP bound to the D
+	// variables and guides branching. Second, the greedy heuristic's
+	// RSNode count is a valid upper bound on the optimum.
+	cover := make([]ilp.Term, len(p.Operators))
+	for oi, op := range p.Operators {
+		cover[oi] = ilp.Term{Var: dVar[oi], Coef: op.MaxTraffic}
+	}
+	if err := m.AddConstraint(cover, ilp.GE, totalTraffic); err != nil {
+		return Plan{}, err
+	}
+	if heur, err := solveHeuristic(p, active, candidates); err == nil {
+		open := map[int]bool{}
+		for _, oi := range heur.Assignment {
+			if oi >= 0 {
+				open[oi] = true
+			}
+		}
+		bound := make([]ilp.Term, len(p.Operators))
+		for oi := range p.Operators {
+			bound[oi] = ilp.Term{Var: dVar[oi], Coef: 1}
+		}
+		if err := m.AddConstraint(bound, ilp.LE, float64(len(open))); err != nil {
+			return Plan{}, err
+		}
+	}
+
+	sol, err := m.Solve(ilp.Options{MaxNodes: opts.MaxNodes})
+	if err != nil {
+		return Plan{}, fmt.Errorf("ilp: %w: %v", ErrInfeasible, err)
+	}
+	if sol.Status == ilp.StatusInfeasible {
+		return Plan{}, fmt.Errorf("ilp reports infeasible: %w", ErrInfeasible)
+	}
+
+	plan := Plan{
+		Assignment: make([]int, len(p.Groups)),
+		Method:     MethodExact,
+		Optimal:    sol.Status == ilp.StatusOptimal,
+	}
+	for gi := range plan.Assignment {
+		plan.Assignment[gi] = -1
+	}
+	for key, v := range pVar {
+		if sol.X[v] > 0.5 {
+			plan.Assignment[key[0]] = key[1]
+		}
+	}
+	return plan, nil
+}
+
+// solveHeuristic packs groups into as few operators as possible: it
+// repeatedly opens the operator able to absorb the most remaining traffic
+// within capacity and hop budget (preferring cheaper-hop assignments),
+// then runs a local-search pass that tries to close each open RSNode by
+// redistributing its groups.
+func solveHeuristic(p Problem, active []bool, candidates [][]int) (Plan, error) {
+	assignment := make([]int, len(p.Groups))
+	for gi := range assignment {
+		assignment[gi] = -1
+	}
+	remaining := 0
+	unassigned := make([]bool, len(p.Groups))
+	for gi, a := range active {
+		if a {
+			unassigned[gi] = true
+			remaining++
+		}
+	}
+	load := make([]float64, len(p.Operators))
+	open := make([]bool, len(p.Operators))
+	hopsLeft := p.ExtraHopBudget
+
+	// groupsPerOp[oi] lists groups eligible for operator oi.
+	groupsPerOp := make([][]int, len(p.Operators))
+	for gi, cands := range candidates {
+		for _, oi := range cands {
+			groupsPerOp[oi] = append(groupsPerOp[oi], gi)
+		}
+	}
+
+	for remaining > 0 {
+		// Evaluate each closed-or-open operator: how many unassigned
+		// groups could it take, greedily by ascending hop cost?
+		bestOp, bestCount, bestTraffic := -1, 0, 0.0
+		var bestTake []int
+		for oi := range p.Operators {
+			slack := p.Operators[oi].MaxTraffic - load[oi]
+			if slack <= 0 {
+				continue
+			}
+			// Candidates sorted by ascending hop cost, then descending
+			// traffic to fill capacity efficiently.
+			cands := make([]int, 0, len(groupsPerOp[oi]))
+			for _, gi := range groupsPerOp[oi] {
+				if unassigned[gi] {
+					cands = append(cands, gi)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				ca := p.ExtraHopCost(p.Groups[cands[a]], p.Operators[oi])
+				cb := p.ExtraHopCost(p.Groups[cands[b]], p.Operators[oi])
+				if ca != cb {
+					return ca < cb
+				}
+				ta, tb := p.Groups[cands[a]].Total(), p.Groups[cands[b]].Total()
+				if ta != tb {
+					return ta > tb
+				}
+				return cands[a] < cands[b]
+			})
+			take := make([]int, 0, len(cands))
+			slackLeft, budgetLeft, traffic := slack, hopsLeft, 0.0
+			for _, gi := range cands {
+				tot := p.Groups[gi].Total()
+				cost := p.ExtraHopCost(p.Groups[gi], p.Operators[oi])
+				if tot <= slackLeft+1e-9 && cost <= budgetLeft+1e-9 {
+					take = append(take, gi)
+					slackLeft -= tot
+					budgetLeft -= cost
+					traffic += tot
+				}
+			}
+			if len(take) > bestCount || (len(take) == bestCount && traffic > bestTraffic) {
+				bestOp, bestCount, bestTraffic, bestTake = oi, len(take), traffic, take
+			}
+		}
+		if bestOp == -1 || bestCount == 0 {
+			return Plan{}, fmt.Errorf("heuristic cannot place %d groups: %w", remaining, ErrInfeasible)
+		}
+		open[bestOp] = true
+		for _, gi := range bestTake {
+			assignment[gi] = bestOp
+			unassigned[gi] = false
+			load[bestOp] += p.Groups[gi].Total()
+			hopsLeft -= p.ExtraHopCost(p.Groups[gi], p.Operators[bestOp])
+			remaining--
+		}
+	}
+
+	// Local search: try to close RSNodes with few groups by moving their
+	// groups to other open operators with slack.
+	openList := make([]int, 0)
+	for oi, o := range open {
+		if o {
+			openList = append(openList, oi)
+		}
+	}
+	sort.Slice(openList, func(a, b int) bool { return load[openList[a]] < load[openList[b]] })
+	for _, oi := range openList {
+		var members []int
+		for gi, a := range assignment {
+			if a == oi {
+				members = append(members, gi)
+			}
+		}
+		if len(members) == 0 {
+			open[oi] = false
+			continue
+		}
+		// Tentatively relocate every member elsewhere.
+		moves := make(map[int]int, len(members))
+		loadCopy := append([]float64(nil), load...)
+		budget := hopsLeft
+		feasible := true
+		for _, gi := range members {
+			placed := false
+			cost0 := p.ExtraHopCost(p.Groups[gi], p.Operators[oi])
+			for _, target := range candidates[gi] {
+				if target == oi || !open[target] {
+					continue
+				}
+				tot := p.Groups[gi].Total()
+				cost := p.ExtraHopCost(p.Groups[gi], p.Operators[target])
+				if loadCopy[target]+tot <= p.Operators[target].MaxTraffic+1e-9 &&
+					cost-cost0 <= budget+1e-9 {
+					moves[gi] = target
+					loadCopy[target] += tot
+					budget -= cost - cost0
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		for gi, target := range moves {
+			assignment[gi] = target
+			load[target] += p.Groups[gi].Total()
+			load[oi] -= p.Groups[gi].Total()
+		}
+		hopsLeft = budget
+		open[oi] = false
+	}
+
+	return Plan{Assignment: assignment, Method: MethodHeuristic}, nil
+}

@@ -1,0 +1,103 @@
+// Package render draws grouped horizontal bar charts as plain text — a
+// terminal-friendly stand-in for the paper's figure panels.
+package render
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrInvalidParam reports malformed chart data.
+var ErrInvalidParam = errors.New("render: invalid parameter")
+
+// Series is one named data series (a scheme, in the NetRS figures).
+type Series struct {
+	Name string
+	// Values are aligned with the chart's Labels; NaN marks a missing
+	// cell.
+	Values []float64
+}
+
+// BarChart describes one grouped bar chart.
+type BarChart struct {
+	Title string
+	// XLabel names the value axis (the bars' magnitude).
+	XLabel string
+	// Labels are the groups, one per swept value.
+	Labels []string
+	Series []Series
+	// Width is the maximum bar width in runes (default 40).
+	Width int
+}
+
+// Render draws the chart. Every group shows one bar per series, scaled to
+// the global maximum.
+func (c BarChart) Render() (string, error) {
+	if len(c.Labels) == 0 || len(c.Series) == 0 {
+		return "", fmt.Errorf("empty chart: %w", ErrInvalidParam)
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Labels) {
+			return "", fmt.Errorf("series %q has %d values for %d labels: %w",
+				s.Name, len(s.Values), len(c.Labels), ErrInvalidParam)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < 0 {
+				return "", fmt.Errorf("series %q has negative value %v: %w", s.Name, v, ErrInvalidParam)
+			}
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	nameWidth := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	labelWidth := 0
+	for _, l := range c.Labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for li, label := range c.Labels {
+		fmt.Fprintf(&b, "%-*s\n", labelWidth, label)
+		for _, s := range c.Series {
+			v := s.Values[li]
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "  %-*s %s\n", nameWidth, s.Name, "(no data)")
+				continue
+			}
+			bar := int(math.Round(v / maxVal * float64(width)))
+			if bar == 0 && v > 0 {
+				bar = 1
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.3f\n", nameWidth, s.Name, strings.Repeat("█", bar), v)
+		}
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%*s(bar length ∝ %s, max %.3f)\n", labelWidth+3, "", c.XLabel, maxVal)
+	}
+	return b.String(), nil
+}

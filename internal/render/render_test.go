@@ -1,0 +1,103 @@
+package render
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := BarChart{
+		Title:  "latency",
+		XLabel: "ms",
+		Labels: []string{"30%", "90%"},
+		Series: []Series{
+			{Name: "CliRS", Values: []float64{3, 5.4}},
+			{Name: "NetRS-ILP", Values: []float64{2.7, 2.8}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"latency", "30%", "90%", "CliRS", "NetRS-ILP", "█", "5.400", "(bar length ∝ ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value owns the longest bar.
+	lines := strings.Split(out, "\n")
+	var maxBar, maxBarValueLine int
+	for i, line := range lines {
+		if n := strings.Count(line, "█"); n > maxBar {
+			maxBar, maxBarValueLine = n, i
+		}
+	}
+	if !strings.Contains(lines[maxBarValueLine], "5.400") {
+		t.Fatalf("longest bar is not the max value:\n%s", out)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := (BarChart{}).Render(); !errors.Is(err, ErrInvalidParam) {
+		t.Error("empty chart accepted")
+	}
+	c := BarChart{
+		Labels: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{1, 2}}},
+	}
+	if _, err := c.Render(); !errors.Is(err, ErrInvalidParam) {
+		t.Error("misaligned series accepted")
+	}
+	c = BarChart{
+		Labels: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{-1}}},
+	}
+	if _, err := c.Render(); !errors.Is(err, ErrInvalidParam) {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestRenderMissingData(t *testing.T) {
+	c := BarChart{
+		Labels: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{math.NaN()}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("missing cell not marked:\n%s", out)
+	}
+}
+
+func TestRenderTinyValuesGetMinimumBar(t *testing.T) {
+	c := BarChart{
+		Labels: []string{"a"},
+		Series: []Series{
+			{Name: "big", Values: []float64{1000}},
+			{Name: "tiny", Values: []float64{0.001}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "█") {
+			t.Fatalf("nonzero value rendered without a bar:\n%s", out)
+		}
+	}
+}
+
+func TestRenderAllZeros(t *testing.T) {
+	c := BarChart{
+		Labels: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{0}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("all-zero chart failed: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package selection defines the replica-selection abstraction every
+// RSNode in the reproduction uses — whether the RSNode is a client
+// (CliRS), a ToR operator (NetRS-ToR), or an ILP-placed operator
+// (NetRS-ILP) — together with the baseline algorithms the literature
+// compares against (§VI): random, round-robin, least-outstanding-requests,
+// the power of two choices, and a Cassandra-style dynamic snitch. The C3
+// algorithm itself lives in package c3; Adapter bridges it into the same
+// interface.
+package selection
+
+import (
+	"errors"
+	"fmt"
+
+	"netrs/internal/c3"
+	"netrs/internal/kv"
+	"netrs/internal/sim"
+)
+
+// Errors shared by selectors.
+var (
+	ErrInvalidParam = errors.New("selection: invalid parameter")
+	ErrNoCandidates = errors.New("selection: empty candidate set")
+)
+
+// Selector picks replicas for read requests and learns from responses.
+// Implementations are single-threaded, like the simulation that drives
+// them.
+type Selector interface {
+	// Pick chooses a replica among candidates and reserves the send. A
+	// positive delay instructs the caller to hold the request (rate
+	// shaping); most algorithms always return zero.
+	Pick(candidates []int) (server int, delay sim.Time, err error)
+	// Rank orders candidates from most to least preferred without
+	// reserving anything; schemes use it for backup replicas (DRS) and
+	// redundant requests.
+	Rank(candidates []int) []int
+	// OnResponse feeds back an observed response.
+	OnResponse(server int, latency sim.Time, status kv.Status)
+	// Name identifies the algorithm.
+	Name() string
+}
+
+// Abandoner is implemented by selectors that can release the in-flight
+// slot of a request that will never be answered — canceled duplicates and
+// requests lost to failed operators.
+type Abandoner interface {
+	OnAbandon(server int)
+}
+
+// Algorithm names accepted by New.
+const (
+	AlgoC3               = "c3"
+	AlgoC3NoRate         = "c3-norate"
+	AlgoRandom           = "random"
+	AlgoRoundRobin       = "roundrobin"
+	AlgoLeastOutstanding = "lor"
+	AlgoTwoChoices       = "p2c"
+	AlgoDynamicSnitch    = "snitch"
+)
+
+// Algorithms lists every algorithm New understands.
+func Algorithms() []string {
+	return []string{
+		AlgoC3, AlgoC3NoRate, AlgoRandom, AlgoRoundRobin,
+		AlgoLeastOutstanding, AlgoTwoChoices, AlgoDynamicSnitch,
+	}
+}
+
+// New constructs a selector by algorithm name. The engine drives C3's
+// rate-control clock; rng feeds the randomized baselines.
+func New(name string, eng *sim.Engine, rng *sim.RNG) (Selector, error) {
+	switch name {
+	case AlgoC3:
+		inner, err := c3.NewSelector(c3.NewDefaultConfig(), eng)
+		if err != nil {
+			return nil, err
+		}
+		return &Adapter{inner: inner}, nil
+	case AlgoC3NoRate:
+		cfg := c3.NewDefaultConfig()
+		cfg.RateControl = false
+		inner, err := c3.NewSelector(cfg, eng)
+		if err != nil {
+			return nil, err
+		}
+		return &Adapter{inner: inner, name: AlgoC3NoRate}, nil
+	case AlgoRandom:
+		if rng == nil {
+			return nil, fmt.Errorf("random selector needs an rng: %w", ErrInvalidParam)
+		}
+		return &Random{rng: rng}, nil
+	case AlgoRoundRobin:
+		return &RoundRobin{}, nil
+	case AlgoLeastOutstanding:
+		return NewLeastOutstanding(), nil
+	case AlgoTwoChoices:
+		if rng == nil {
+			return nil, fmt.Errorf("p2c selector needs an rng: %w", ErrInvalidParam)
+		}
+		return NewTwoChoices(rng), nil
+	case AlgoDynamicSnitch:
+		return NewDynamicSnitch()
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q: %w", name, ErrInvalidParam)
+	}
+}
+
+// NewC3 builds a C3-backed selector with an explicit configuration —
+// the constructor the cluster wiring uses so it can set the concurrency
+// weight to the number of RSNodes.
+func NewC3(cfg c3.Config, eng *sim.Engine) (Selector, error) {
+	inner, err := c3.NewSelector(cfg, eng)
+	if err != nil {
+		return nil, err
+	}
+	name := AlgoC3
+	if !cfg.RateControl {
+		name = AlgoC3NoRate
+	}
+	return &Adapter{inner: inner, name: name}, nil
+}
+
+// Adapter exposes a c3.Selector through the Selector interface.
+type Adapter struct {
+	inner *c3.Selector
+	name  string
+}
+
+var _ Selector = (*Adapter)(nil)
+
+// Pick delegates to C3's ranked, rate-shaped pick.
+func (a *Adapter) Pick(candidates []int) (int, sim.Time, error) {
+	srv, delay, err := a.inner.Pick(candidates)
+	if err != nil {
+		return 0, 0, fmt.Errorf("c3 pick: %w", err)
+	}
+	return srv, delay, nil
+}
+
+// Rank delegates to C3's Ψ ordering.
+func (a *Adapter) Rank(candidates []int) []int { return a.inner.Rank(candidates) }
+
+// OnResponse delegates to C3.
+func (a *Adapter) OnResponse(server int, latency sim.Time, status kv.Status) {
+	a.inner.OnResponse(server, latency, status)
+}
+
+var _ Abandoner = (*Adapter)(nil)
+
+// OnAbandon releases C3's outstanding slot for a request that will never
+// be answered.
+func (a *Adapter) OnAbandon(server int) { a.inner.OnTimeoutAbandon(server) }
+
+// Name returns the algorithm name.
+func (a *Adapter) Name() string {
+	if a.name == "" {
+		return AlgoC3
+	}
+	return a.name
+}
+
+// Inner exposes the wrapped C3 instance for instrumentation.
+func (a *Adapter) Inner() *c3.Selector { return a.inner }

@@ -1,0 +1,207 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a priority queue of timestamped events and executes them
+// in nondecreasing time order. Events scheduled for the same instant run in
+// the order they were scheduled (FIFO), which makes runs fully deterministic
+// for a fixed seed and schedule order.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Time is a simulated instant measured in integer nanoseconds since the
+// start of the simulation. Using integers avoids floating-point drift in
+// long runs and makes event ordering exact.
+type Time int64
+
+// Common duration units expressed as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Float64Ms converts a simulated time to floating-point milliseconds.
+func (t Time) Float64Ms() float64 { return float64(t) / float64(Millisecond) }
+
+// Float64Us converts a simulated time to floating-point microseconds.
+func (t Time) Float64Us() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with a millisecond unit, the natural scale of the
+// experiments in this repository.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Float64Ms()) }
+
+// FromMs converts floating-point milliseconds to a Time delta.
+func FromMs(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// FromUs converts floating-point microseconds to a Time delta.
+func FromUs(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// FromSeconds converts floating-point seconds to a Time delta.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Handler is the unit of simulated work. It runs at its scheduled instant
+// with the engine's clock already advanced to that instant.
+type Handler func()
+
+// ErrNegativeDelay reports an attempt to schedule an event in the past.
+var ErrNegativeDelay = errors.New("sim: negative delay")
+
+// event is a scheduled handler. seq breaks ties between events that share a
+// timestamp so execution order is the scheduling order.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   Handler
+	dead bool
+}
+
+// EventRef identifies a scheduled event so it can be canceled. The zero
+// value refers to no event.
+type EventRef struct {
+	ev *event
+}
+
+// Cancel marks the referenced event as dead; a dead event is skipped when
+// its time comes. Canceling an already-executed or zero ref is a no-op.
+// It reports whether the event was live before the call.
+func (r EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.dead {
+		return false
+	}
+	r.ev.dead = true
+	return true
+}
+
+// Live reports whether the referenced event is still pending.
+func (r EventRef) Live() bool { return r.ev != nil && !r.ev.dead }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; simulations are deterministic single-goroutine programs.
+type Engine struct {
+	now       Time
+	seq       uint64
+	heap      eventHeap
+	executed  uint64
+	scheduled uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty agenda.
+func NewEngine() *Engine {
+	return &Engine{heap: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events on the agenda, including canceled
+// events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Executed returns how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Scheduled returns how many events have been scheduled so far.
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Schedule runs fn after delay ticks of simulated time. A zero delay runs fn
+// after all handlers already scheduled for the current instant. It returns a
+// reference usable to cancel the event and an error for negative delays.
+func (e *Engine) Schedule(delay Time, fn Handler) (EventRef, error) {
+	if delay < 0 {
+		return EventRef{}, ErrNegativeDelay
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute instant at. Scheduling in the past is
+// an error.
+func (e *Engine) ScheduleAt(at Time, fn Handler) (EventRef, error) {
+	if at < e.now {
+		return EventRef{}, fmt.Errorf("sim: schedule at %v before now %v: %w", at, e.now, ErrNegativeDelay)
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	e.scheduled++
+	e.heap.push(ev)
+	return EventRef{ev: ev}, nil
+}
+
+// MustSchedule is Schedule for callers that guarantee a nonnegative delay,
+// which is the common case inside simulation code. It panics on negative
+// delay, which indicates a programming error rather than a runtime
+// condition.
+func (e *Engine) MustSchedule(delay Time, fn Handler) EventRef {
+	ref, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+// Stop makes the current Run call return after the in-flight handler
+// completes. The agenda is preserved, so Run may be called again.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the earliest pending live event. It reports whether an event
+// was executed (false means the agenda held no live events).
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the agenda is exhausted or Stop is called. It
+// returns the number of events executed by this call.
+func (e *Engine) Run() uint64 {
+	e.stopped = false
+	start := e.executed
+	for !e.stopped && e.Step() {
+	}
+	return e.executed - start
+}
+
+// RunUntil executes events with timestamps not after deadline, then
+// advances the clock to deadline — unless Stop was called, in which case
+// the clock stays at the stopping instant. It returns the number of events
+// executed by this call.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	start := e.executed
+	for !e.stopped {
+		ev := e.peekLive()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.executed - start
+}
+
+// peekLive discards dead events from the top of the heap and returns the
+// earliest live event without executing it, or nil.
+func (e *Engine) peekLive() *event {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		if !ev.dead {
+			return ev
+		}
+		e.heap.pop()
+	}
+	return nil
+}

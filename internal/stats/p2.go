@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the Jain/Chlamtac P² streaming quantile estimator: it
+// tracks a single quantile in O(1) memory without storing samples. The
+// CliRS-R95 scheme uses it so each client can maintain its expected
+// 95th-percentile latency and reissue requests that outlive it (§V-A).
+type P2Quantile struct {
+	q       float64
+	heights [5]float64
+	pos     [5]float64
+	desired [5]float64
+	incr    [5]float64
+	n       int
+}
+
+// NewP2Quantile returns an estimator for quantile q in (0, 1).
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("stats: p2 quantile %v out of (0, 1)", q)
+	}
+	p := &P2Quantile{q: q}
+	p.desired = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Observe folds one sample into the estimator.
+func (p *P2Quantile) Observe(v float64) {
+	if p.n < 5 {
+		p.heights[p.n] = v
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.heights[:])
+			for i := range p.pos {
+				p.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+
+	// Locate the cell containing v and update extreme markers.
+	var k int
+	switch {
+	case v < p.heights[0]:
+		p.heights[0] = v
+		k = 0
+	case v >= p.heights[4]:
+		p.heights[4] = v
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if v < p.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.desired {
+		p.desired[i] += p.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+	p.n++
+}
+
+// parabolic computes the P² piecewise-parabolic height prediction.
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots.
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five samples it
+// returns the best available order statistic (or zero with no samples).
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		tmp := make([]float64, p.n)
+		copy(tmp, p.heights[:p.n])
+		sort.Float64s(tmp)
+		idx := int(math.Ceil(p.q*float64(p.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return tmp[idx]
+	}
+	return p.heights[2]
+}
+
+// Observations returns the number of samples folded in.
+func (p *P2Quantile) Observations() int { return p.n }

@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in one pass with Welford's
+// algorithm — numerically stable for long series.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Observe folds one value in.
+func (w *Welford) Observe(v float64) {
+	w.n++
+	delta := v - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (v - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean (zero with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CV returns the coefficient of variation (σ/µ), or zero when the mean
+// is zero. The experiments use it to quantify load imbalance across
+// servers: "herd behavior" concentrates load, raising the CV.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}

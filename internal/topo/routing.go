@@ -1,0 +1,301 @@
+package topo
+
+import "fmt"
+
+// Route returns a shortest up–down path from x to y, inclusive of both
+// endpoints. Where the topology offers multiple equal-cost paths, the hash
+// picks one deterministically (ECMP): the same hash always yields the same
+// path, and distinct hashes spread over the candidates.
+//
+// The analytic cases cover every flow the NetRS schemes generate
+// (host↔host, host↔switch, switch↔host, including detours through RSNode
+// switches); anything else falls back to a deterministic BFS.
+func (t *Topology) Route(x, y NodeID, hash uint64) ([]NodeID, error) {
+	if _, err := t.Node(x); err != nil {
+		return nil, err
+	}
+	if _, err := t.Node(y); err != nil {
+		return nil, err
+	}
+	if x == y {
+		return []NodeID{x}, nil
+	}
+
+	nx, ny := t.nodes[x], t.nodes[y]
+
+	// Down-path: x is a switch covering y.
+	if nx.Kind == KindSwitch && t.Contains(x, y) {
+		return t.downPath(x, y, hash)
+	}
+	// Up-path: y is a switch covering x.
+	if ny.Kind == KindSwitch && t.Contains(y, x) {
+		down, err := t.downPath(y, x, hash)
+		if err != nil {
+			return nil, err
+		}
+		return reversePath(down), nil
+	}
+
+	// Rendezvous routing between two covered endpoints.
+	if path, ok, err := t.rendezvous(x, y, hash); err != nil {
+		return nil, err
+	} else if ok {
+		return path, nil
+	}
+	return t.bfs(x, y)
+}
+
+// downPath walks from switch s down to node n, assuming Contains(s, n).
+func (t *Topology) downPath(s, n NodeID, hash uint64) ([]NodeID, error) {
+	sw := t.nodes[s]
+	nd := t.nodes[n]
+	switch sw.Tier {
+	case TierToR:
+		if n == s {
+			return []NodeID{s}, nil
+		}
+		if nd.Kind == KindHost {
+			return []NodeID{s, n}, nil
+		}
+	case TierAgg:
+		if n == s {
+			return []NodeID{s}, nil
+		}
+		if nd.Rack < 0 {
+			break // a sibling agg; not a pure down-path
+		}
+		tor := t.torByRack[nd.Rack]
+		if n == tor {
+			return []NodeID{s, tor}, nil
+		}
+		if nd.Kind == KindHost {
+			return []NodeID{s, tor, n}, nil
+		}
+	case TierCore:
+		if n == s {
+			return []NodeID{s}, nil
+		}
+		if nd.Pod < 0 {
+			break // another core; not a down-path
+		}
+		agg := t.coreDownAgg[s][nd.Pod]
+		if agg == InvalidNode {
+			break
+		}
+		if n == agg {
+			return []NodeID{s, agg}, nil
+		}
+		if nd.Rack < 0 {
+			break // a different agg of the pod; needs a ToR bounce
+		}
+		rest, err := t.downPath(agg, n, hash)
+		if err != nil {
+			return nil, err
+		}
+		return append([]NodeID{s}, rest...), nil
+	}
+	return t.bfs(s, n)
+}
+
+// rendezvous builds up-path(x→m) + down-path(m→y) for a meeting switch m
+// chosen by ECMP. It reports ok=false when the analytic cases do not apply.
+func (t *Topology) rendezvous(x, y NodeID, hash uint64) ([]NodeID, bool, error) {
+	nx, ny := t.nodes[x], t.nodes[y]
+	// Both endpoints must hang off racks (hosts or ToRs) or be aggs for
+	// the analytic approach; cores were handled by Contains above.
+	if nx.Tier == TierCore || ny.Tier == TierCore {
+		return nil, false, nil
+	}
+
+	// Same rack: meet at the ToR.
+	if nx.Rack >= 0 && nx.Rack == ny.Rack {
+		m := t.torByRack[nx.Rack]
+		return t.join(x, m, y, hash)
+	}
+	// Same pod: meet at an aggregation switch of the pod. From a rack
+	// every agg of the pod is reachable; from an agg only itself (already
+	// handled by Contains).
+	if nx.Pod >= 0 && nx.Pod == ny.Pod && nx.Rack >= 0 && ny.Rack >= 0 {
+		aggs := t.aggsByPod[nx.Pod]
+		m := aggs[int(hash%uint64(len(aggs)))]
+		return t.join(x, m, y, hash)
+	}
+	// Cross-pod (or one endpoint is an agg of a different pod): meet at a
+	// core. Candidates are restricted by agg endpoints, which reach only
+	// their core group.
+	candidates := t.coreCandidates(x)
+	candidates = intersectSorted(candidates, t.coreCandidates(y))
+	if len(candidates) == 0 {
+		return nil, false, nil
+	}
+	m := candidates[int(hash%uint64(len(candidates)))]
+	return t.join(x, m, y, hash)
+}
+
+// coreCandidates returns the cores reachable on a pure up-path from n.
+func (t *Topology) coreCandidates(n NodeID) []NodeID {
+	nd := t.nodes[n]
+	switch nd.Tier {
+	case TierAgg:
+		return t.up[n]
+	case TierToR, TierHost:
+		return t.cores
+	default:
+		return nil
+	}
+}
+
+// join concatenates the up-path x→m with the down-path m→y.
+func (t *Topology) join(x, m, y NodeID, hash uint64) ([]NodeID, bool, error) {
+	upSeg, err := t.upPath(x, m)
+	if err != nil {
+		return nil, false, err
+	}
+	downSeg, err := t.downPath(m, y, hash)
+	if err != nil {
+		return nil, false, err
+	}
+	return append(upSeg, downSeg[1:]...), true, nil
+}
+
+// upPath climbs from node n to an ancestor switch m with Contains(m, n).
+// Fat-trees make the climb unique once the target is fixed: a host has one
+// ToR, a rack reaches a given core through exactly one agg (the pod member
+// of the core's group).
+func (t *Topology) upPath(n, m NodeID) ([]NodeID, error) {
+	if n == m {
+		return []NodeID{n}, nil
+	}
+	nd := t.nodes[n]
+	mw := t.nodes[m]
+	switch mw.Tier {
+	case TierToR:
+		if nd.Kind == KindHost && t.torByRack[nd.Rack] == m {
+			return []NodeID{n, m}, nil
+		}
+	case TierAgg:
+		switch nd.Tier {
+		case TierHost:
+			tor := t.torByRack[nd.Rack]
+			if t.Linked(tor, m) {
+				return []NodeID{n, tor, m}, nil
+			}
+		case TierToR:
+			if t.Linked(n, m) {
+				return []NodeID{n, m}, nil
+			}
+		}
+	case TierCore:
+		switch nd.Tier {
+		case TierAgg:
+			if t.Linked(n, m) {
+				return []NodeID{n, m}, nil
+			}
+		case TierToR, TierHost:
+			if nd.Pod >= 0 {
+				agg := t.coreDownAgg[m][nd.Pod]
+				if agg != InvalidNode {
+					rest, err := t.upPath(n, agg)
+					if err == nil {
+						return append(rest, m), nil
+					}
+				}
+			}
+		}
+	}
+	return t.bfs(n, m)
+}
+
+// bfs finds a shortest path with deterministic tie-breaking (lowest
+// neighbor ID first). It backs the rare flows the analytic router does not
+// cover.
+func (t *Topology) bfs(x, y NodeID) ([]NodeID, error) {
+	prev := make([]NodeID, len(t.nodes))
+	for i := range prev {
+		prev[i] = InvalidNode
+	}
+	prev[x] = x
+	queue := []NodeID{x}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == y {
+			var path []NodeID
+			for n := y; ; n = prev[n] {
+				path = append(path, n)
+				if n == x {
+					break
+				}
+			}
+			return reversePath(path), nil
+		}
+		for _, nb := range t.neighbors[cur] {
+			if prev[nb] == InvalidNode {
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return nil, fmt.Errorf("from %d to %d: %w", x, y, ErrNoRoute)
+}
+
+// RouteVia returns the path from x to y that detours through the switch
+// via: the request path of a NetRS flow whose RSNode is out of the default
+// path. The via switch appears exactly once.
+func (t *Topology) RouteVia(x, via, y NodeID, hash uint64) ([]NodeID, error) {
+	first, err := t.Route(x, via, hash)
+	if err != nil {
+		return nil, err
+	}
+	second, err := t.Route(via, y, hash)
+	if err != nil {
+		return nil, err
+	}
+	return append(first, second[1:]...), nil
+}
+
+// Forwards counts the switch traversals on a path — the paper's unit when
+// budgeting extra hops (§III-B: a same-rack request is "forwarded once").
+func (t *Topology) Forwards(path []NodeID) int {
+	n := 0
+	for _, id := range path {
+		if t.nodes[id].Kind == KindSwitch {
+			n++
+		}
+	}
+	return n
+}
+
+// Links returns the number of link traversals on a path.
+func Links(path []NodeID) int {
+	if len(path) == 0 {
+		return 0
+	}
+	return len(path) - 1
+}
+
+func reversePath(p []NodeID) []NodeID {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// intersectSorted intersects two ascending NodeID slices.
+func intersectSorted(a, b []NodeID) []NodeID {
+	var out []NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"netrs/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []TraceEntry{
+		{At: 0, Client: 3, Key: 42},
+		{At: 1500, Client: 0, Key: 7},
+		{At: 1500, Client: 1, Key: 7},
+		{At: 90000, Client: 2, Key: 1 << 40},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d entries", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"arrival_ns,client,key\n1,2\n",           // too few fields
+		"x,0,0\n",                                // bad arrival
+		"-5,0,0\n",                               // negative arrival
+		"0,x,0\n",                                // bad client
+		"0,-1,0\n",                               // negative client
+		"0,0,x\n",                                // bad key
+		"arrival_ns,client,key\n10,0,0\n5,0,0\n", // unsorted
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Blank lines and header are tolerated.
+	out, err := ReadTrace(strings.NewReader("arrival_ns,client,key\n\n1,2,3\n"))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("lenient parse = %v, %v", out, err)
+	}
+}
+
+func TestTraceSourceReplaysAtRecordedInstants(t *testing.T) {
+	eng := sim.NewEngine()
+	entries := []TraceEntry{
+		{At: 100, Client: 1, Key: 11},
+		{At: 250, Client: 2, Key: 22},
+		{At: 900, Client: 0, Key: 33},
+	}
+	type got struct {
+		at  sim.Time
+		req Request
+	}
+	var fired []got
+	src, err := NewTraceSource(entries, eng, func(r Request) {
+		fired = append(fired, got{eng.Now(), r})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("len = %d", src.Len())
+	}
+	if err := src.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if src.Emitted() != 3 || len(fired) != 3 {
+		t.Fatalf("emitted %d", src.Emitted())
+	}
+	for i, f := range fired {
+		if f.at != entries[i].At || f.req.Client != entries[i].Client || f.req.Key != entries[i].Key || f.req.Index != i {
+			t.Fatalf("replay %d = %+v at %v", i, f.req, f.at)
+		}
+	}
+}
+
+func TestTraceSourceValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	emit := func(Request) {}
+	if _, err := NewTraceSource(nil, eng, emit); !errors.Is(err, ErrInvalidParam) {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTraceSource([]TraceEntry{{}}, nil, emit); !errors.Is(err, ErrInvalidParam) {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewTraceSource([]TraceEntry{{}}, eng, nil); !errors.Is(err, ErrInvalidParam) {
+		t.Error("nil emit accepted")
+	}
+	unsorted := []TraceEntry{{At: 10}, {At: 5}}
+	if _, err := NewTraceSource(unsorted, eng, emit); !errors.Is(err, ErrInvalidParam) {
+		t.Error("unsorted trace accepted")
+	}
+}
+
+func TestRecordingSourceCapturesAndReplays(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := sourceConfig(500)
+	var live []Request
+	rec, err := NewRecordingSource(cfg, eng, sim.NewRNG(12), func(r Request) { live = append(live, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start()
+	eng.Run()
+	entries := rec.Entries()
+	if len(entries) != 500 || len(live) != 500 {
+		t.Fatalf("recorded %d, emitted %d", len(entries), len(live))
+	}
+
+	// Serialize, re-read, replay: the replayed stream must match the
+	// original emissions exactly.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := sim.NewEngine()
+	var replayed []Request
+	src, err := NewTraceSource(parsed, eng2, func(r Request) { replayed = append(replayed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng2.Run()
+	if len(replayed) != len(live) {
+		t.Fatalf("replayed %d of %d", len(replayed), len(live))
+	}
+	for i := range live {
+		if replayed[i].Client != live[i].Client || replayed[i].Key != live[i].Key {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, replayed[i], live[i])
+		}
+	}
+}

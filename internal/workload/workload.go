@@ -1,0 +1,201 @@
+// Package workload generates the open-loop read workload of §V: a fixed
+// population of clients and servers randomly deployed across end-hosts
+// (one role per host), a set of Poisson workload generators whose
+// aggregate rate realizes the target system utilization, Zipfian key
+// popularity over a large key space, and optional client demand skew (x%
+// of requests issued by 20% of the clients).
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"netrs/internal/dist"
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+)
+
+// ErrInvalidParam reports out-of-domain configuration.
+var ErrInvalidParam = errors.New("workload: invalid parameter")
+
+// Deployment assigns roles to end-hosts.
+type Deployment struct {
+	// ServerHosts[i] is the host of server i.
+	ServerHosts []topo.NodeID
+	// ClientHosts[i] is the host of client i.
+	ClientHosts []topo.NodeID
+}
+
+// Deploy places servers and clients on uniformly random distinct hosts,
+// each host taking at most one role (§V-A, citing measurement studies of
+// real deployments).
+func Deploy(t *topo.Topology, servers, clients int, rng *sim.RNG) (Deployment, error) {
+	if t == nil {
+		return Deployment{}, fmt.Errorf("nil topology: %w", ErrInvalidParam)
+	}
+	if servers < 1 || clients < 1 {
+		return Deployment{}, fmt.Errorf("servers=%d clients=%d: %w", servers, clients, ErrInvalidParam)
+	}
+	hosts := t.Hosts()
+	if servers+clients > len(hosts) {
+		return Deployment{}, fmt.Errorf("%d roles exceed %d hosts: %w", servers+clients, len(hosts), ErrInvalidParam)
+	}
+	perm := rng.Perm(len(hosts))
+	d := Deployment{
+		ServerHosts: make([]topo.NodeID, servers),
+		ClientHosts: make([]topo.NodeID, clients),
+	}
+	for i := 0; i < servers; i++ {
+		d.ServerHosts[i] = hosts[perm[i]]
+	}
+	for i := 0; i < clients; i++ {
+		d.ClientHosts[i] = hosts[perm[servers+i]]
+	}
+	return d, nil
+}
+
+// Request is one generated read.
+type Request struct {
+	// Index is the 0-based emission order.
+	Index int
+	// Client is the issuing client's index.
+	Client int
+	// Key is the accessed key.
+	Key uint64
+}
+
+// SourceConfig parameterizes the request source.
+type SourceConfig struct {
+	// Generators is the number of independent Poisson processes (200 in
+	// the paper).
+	Generators int
+	// RatePerSec is the aggregate arrival rate A, split evenly across
+	// generators.
+	RatePerSec float64
+	// Clients is the client population size.
+	Clients int
+	// DemandSkew is the fraction of requests issued by HotFraction of
+	// the clients; 0 (or 1/… uniform share) means no skew. §V-B2
+	// measures skew as "the percentage of requests issued by 20%
+	// clients".
+	DemandSkew float64
+	// HotFraction is the fraction of clients that are "high-demand"
+	// (0.2 in the paper). Ignored when DemandSkew is 0.
+	HotFraction float64
+	// Keys is the key-space size (100 million).
+	Keys uint64
+	// ZipfTheta is the Zipfian exponent (0.99).
+	ZipfTheta float64
+	// Total is the number of requests to emit before stopping.
+	Total int
+}
+
+func (c SourceConfig) validate() error {
+	if c.Generators < 1 || c.RatePerSec <= 0 || c.Clients < 1 || c.Total < 1 {
+		return fmt.Errorf("source %+v: %w", c, ErrInvalidParam)
+	}
+	if c.Keys < 2 || c.ZipfTheta <= 0 || c.ZipfTheta >= 1 {
+		return fmt.Errorf("keys=%d theta=%v: %w", c.Keys, c.ZipfTheta, ErrInvalidParam)
+	}
+	if c.DemandSkew < 0 || c.DemandSkew > 1 {
+		return fmt.Errorf("demand skew %v: %w", c.DemandSkew, ErrInvalidParam)
+	}
+	if c.DemandSkew > 0 && (c.HotFraction <= 0 || c.HotFraction > 1) {
+		return fmt.Errorf("hot fraction %v: %w", c.HotFraction, ErrInvalidParam)
+	}
+	return nil
+}
+
+// Source drives the open-loop workload on a simulation engine.
+type Source struct {
+	cfg     SourceConfig
+	eng     *sim.Engine
+	emit    func(Request)
+	zipf    *dist.Zipf
+	clients *dist.Alias
+	procs   []*dist.Poisson
+	emitted int
+}
+
+// NewSource builds a request source. emit is invoked at each arrival
+// instant, in emission order.
+func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Request)) (*Source, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || emit == nil {
+		return nil, fmt.Errorf("nil engine or emit: %w", ErrInvalidParam)
+	}
+	s := &Source{cfg: cfg, eng: eng, emit: emit}
+
+	z, err := dist.NewZipf(cfg.Keys, cfg.ZipfTheta, rng.Stream(1))
+	if err != nil {
+		return nil, err
+	}
+	s.zipf = z.Scrambled()
+
+	weights := make([]float64, cfg.Clients)
+	if cfg.DemandSkew > 0 {
+		weights, err = dist.SkewedWeights(cfg.Clients, cfg.HotFraction, cfg.DemandSkew)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	s.clients, err = dist.NewAlias(weights, rng.Stream(2))
+	if err != nil {
+		return nil, err
+	}
+
+	perGen := cfg.RatePerSec / float64(cfg.Generators)
+	for g := 0; g < cfg.Generators; g++ {
+		proc, err := dist.NewPoisson(perGen, rng.Stream(uint64(100+g)))
+		if err != nil {
+			return nil, err
+		}
+		s.procs = append(s.procs, proc)
+	}
+	return s, nil
+}
+
+// Start schedules every generator's first arrival.
+func (s *Source) Start() {
+	for _, proc := range s.procs {
+		proc := proc
+		s.eng.MustSchedule(proc.NextInterarrival(), func() { s.tick(proc) })
+	}
+}
+
+func (s *Source) tick(proc *dist.Poisson) {
+	if s.emitted >= s.cfg.Total {
+		return // the source has drained; let the engine wind down
+	}
+	req := Request{
+		Index:  s.emitted,
+		Client: s.clients.Draw(),
+		Key:    s.zipf.Draw(),
+	}
+	s.emitted++
+	s.emit(req)
+	if s.emitted < s.cfg.Total {
+		s.eng.MustSchedule(proc.NextInterarrival(), func() { s.tick(proc) })
+	}
+}
+
+// Emitted returns how many requests have been generated.
+func (s *Source) Emitted() int { return s.emitted }
+
+// UtilizationRate converts a target system utilization into the aggregate
+// arrival rate A of §V-B: utilization = tkv·A/(Ns·Np), hence
+// A = utilization·Ns·Np/tkv (in requests per second).
+func UtilizationRate(utilization float64, servers, parallelism int, meanServiceTime sim.Time) (float64, error) {
+	if utilization <= 0 || servers < 1 || parallelism < 1 || meanServiceTime <= 0 {
+		return 0, fmt.Errorf("utilization=%v servers=%d np=%d tkv=%v: %w",
+			utilization, servers, parallelism, meanServiceTime, ErrInvalidParam)
+	}
+	perServer := float64(parallelism) / (float64(meanServiceTime) / float64(sim.Second))
+	return utilization * float64(servers) * perServer, nil
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+)
+
+func TestDeploy(t *testing.T) {
+	ft, err := topo.NewFatTree(8) // 128 hosts
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	d, err := Deploy(ft, 20, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ServerHosts) != 20 || len(d.ClientHosts) != 50 {
+		t.Fatalf("deployment sizes %d/%d", len(d.ServerHosts), len(d.ClientHosts))
+	}
+	seen := map[topo.NodeID]bool{}
+	for _, h := range append(append([]topo.NodeID{}, d.ServerHosts...), d.ClientHosts...) {
+		if seen[h] {
+			t.Fatal("host assigned two roles")
+		}
+		seen[h] = true
+		node, err := ft.Node(h)
+		if err != nil || node.Kind != topo.KindHost {
+			t.Fatal("role on non-host")
+		}
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	ft, err := topo.NewFatTree(4) // 16 hosts
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	if _, err := Deploy(nil, 1, 1, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Deploy(ft, 0, 1, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Error("zero servers accepted")
+	}
+	if _, err := Deploy(ft, 10, 7, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestDeployDeterministicPerSeed(t *testing.T) {
+	ft, err := topo.NewFatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Deploy(ft, 10, 10, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deploy(ft, 10, 10, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ServerHosts {
+		if a.ServerHosts[i] != b.ServerHosts[i] {
+			t.Fatal("same seed produced different deployments")
+		}
+	}
+	c, err := Deploy(ft, 10, 10, sim.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range a.ServerHosts {
+		if a.ServerHosts[i] != c.ServerHosts[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical deployments")
+	}
+}
+
+func sourceConfig(total int) SourceConfig {
+	return SourceConfig{
+		Generators: 10,
+		RatePerSec: 100000,
+		Clients:    50,
+		Keys:       1 << 20,
+		ZipfTheta:  0.99,
+		Total:      total,
+	}
+}
+
+func TestSourceEmitsExactlyTotal(t *testing.T) {
+	eng := sim.NewEngine()
+	var got []Request
+	src, err := NewSource(sourceConfig(5000), eng, sim.NewRNG(3), func(r Request) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	eng.Run()
+	if len(got) != 5000 || src.Emitted() != 5000 {
+		t.Fatalf("emitted %d, want 5000", len(got))
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Fatalf("request %d has index %d", i, r.Index)
+		}
+		if r.Client < 0 || r.Client >= 50 {
+			t.Fatalf("client %d out of range", r.Client)
+		}
+		if r.Key >= 1<<20 {
+			t.Fatalf("key %d out of range", r.Key)
+		}
+	}
+}
+
+func TestSourceRate(t *testing.T) {
+	eng := sim.NewEngine()
+	count := 0
+	cfg := sourceConfig(20000)
+	src, err := NewSource(cfg, eng, sim.NewRNG(4), func(Request) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	eng.Run()
+	// 20000 requests at 100k/s should take ≈ 0.2 simulated seconds.
+	span := float64(eng.Now()) / float64(sim.Second)
+	if math.Abs(span-0.2)/0.2 > 0.1 {
+		t.Fatalf("span = %vs, want ~0.2s", span)
+	}
+}
+
+func TestSourceUniformDemand(t *testing.T) {
+	eng := sim.NewEngine()
+	counts := make([]int, 50)
+	src, err := NewSource(sourceConfig(100000), eng, sim.NewRNG(5), func(r Request) { counts[r.Client]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	eng.Run()
+	for c, n := range counts {
+		if n < 1400 || n > 2600 {
+			t.Fatalf("client %d issued %d of 100000 (want ~2000)", c, n)
+		}
+	}
+}
+
+func TestSourceDemandSkew(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := sourceConfig(100000)
+	cfg.DemandSkew = 0.9
+	cfg.HotFraction = 0.2
+	counts := make([]int, 50)
+	src, err := NewSource(cfg, eng, sim.NewRNG(6), func(r Request) { counts[r.Client]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	eng.Run()
+	hot := 0
+	for c := 0; c < 10; c++ {
+		hot += counts[c]
+	}
+	frac := float64(hot) / 100000
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hot 20%% of clients issued %.3f of requests, want 0.9", frac)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	emit := func(Request) {}
+	bad := []SourceConfig{
+		{},
+		{Generators: 1, RatePerSec: 1, Clients: 1, Keys: 10, ZipfTheta: 0.99}, // Total 0
+		{Generators: 1, RatePerSec: 1, Clients: 1, Keys: 1, ZipfTheta: 0.99, Total: 1},
+		{Generators: 1, RatePerSec: 1, Clients: 1, Keys: 10, ZipfTheta: 1.5, Total: 1},
+		{Generators: 1, RatePerSec: 1, Clients: 1, Keys: 10, ZipfTheta: 0.99, Total: 1, DemandSkew: 2},
+		{Generators: 1, RatePerSec: 1, Clients: 1, Keys: 10, ZipfTheta: 0.99, Total: 1, DemandSkew: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSource(cfg, eng, rng, emit); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	good := sourceConfig(1)
+	if _, err := NewSource(good, nil, rng, emit); !errors.Is(err, ErrInvalidParam) {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewSource(good, eng, rng, nil); !errors.Is(err, ErrInvalidParam) {
+		t.Error("nil emit accepted")
+	}
+}
+
+func TestUtilizationRate(t *testing.T) {
+	// The paper's default: 90% of 100 servers × 4-way at 4 ms mean →
+	// A = 0.9·100·4/0.004s = 90000 req/s.
+	a, err := UtilizationRate(0.9, 100, 4, 4*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-90000) > 1e-6 {
+		t.Fatalf("A = %v, want 90000", a)
+	}
+	if _, err := UtilizationRate(0, 1, 1, 1); !errors.Is(err, ErrInvalidParam) {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := UtilizationRate(0.5, 1, 1, 0); !errors.Is(err, ErrInvalidParam) {
+		t.Error("zero service time accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Package netrs is a library-scale reproduction of "NetRS: Cutting
+// Response Latency in Distributed Key-Value Stores with In-Network Replica
+// Selection" (Su, Feng, Hua, Shi, Zhu — ICDCS 2018).
+//
+// NetRS moves replica selection for read-dominant key-value stores off the
+// clients and into programmable network devices: each NetRS operator (a
+// programmable switch plus a network accelerator) aggregates the traffic
+// of many clients, giving its replica-selection algorithm a fresher view
+// of server state and shrinking the population of independent selectors
+// whose simultaneous decisions cause "herd behavior". A controller places
+// these RSNodes by solving an integer linear program that minimizes their
+// number under accelerator-capacity and extra-hop constraints.
+//
+// This package is the public facade. It exposes the experiment
+// configuration, the four schemes of the paper's evaluation (CliRS,
+// CliRS-R95, NetRS-ToR, NetRS-ILP), single-run and repeated-run entry
+// points, and sweep definitions that regenerate every figure of the
+// paper's §V. The machinery lives in internal packages:
+//
+//   - internal/sim — deterministic discrete-event engine
+//   - internal/topo — k-ary fat-tree topologies and ECMP routing
+//   - internal/kv — consistent-hash ring and fluctuating replica servers
+//   - internal/c3, internal/selection — the C3 algorithm and baselines
+//   - internal/wire — the NetRS packet format (Fig. 2)
+//   - internal/fabric — operators, accelerators, monitors, controller
+//   - internal/ilp, internal/placement — the RSNode-placement ILP (§III)
+//   - internal/workload, internal/cluster — workload and experiment wiring
+//   - internal/kvnet — a real UDP implementation of the protocol
+package netrs
+
+import (
+	"fmt"
+
+	"netrs/internal/cluster"
+	"netrs/internal/sim"
+	"netrs/internal/stats"
+)
+
+// Config is the full experiment parameter set; see cluster.Config for
+// field documentation. DefaultConfig returns the paper's §V-A values.
+type Config = cluster.Config
+
+// Result reports one experiment run.
+type Result = cluster.Result
+
+// Scheme selects the replica-selection deployment under test.
+type Scheme = cluster.Scheme
+
+// Summary holds the per-run latency statistics (mean, p95, p99, p99.9).
+type Summary = stats.Summary
+
+// The paper's four schemes.
+const (
+	SchemeCliRS    = cluster.SchemeCliRS
+	SchemeCliRSR95 = cluster.SchemeCliRSR95
+	SchemeNetRSToR = cluster.SchemeNetRSToR
+	SchemeNetRSILP = cluster.SchemeNetRSILP
+)
+
+// Time is the simulated-time type (integer nanoseconds).
+type Time = sim.Time
+
+// Millisecond and friends re-export the simulated time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultConfig returns the paper's experimental defaults (16-ary
+// fat-tree, 100 servers × 4-way at 4 ms, 500 clients, 200 generators, 90%
+// utilization, Zipf 0.99 over 100 M keys), with the request count scaled
+// down from 6 M to 100 k so a run completes in seconds.
+func DefaultConfig() Config { return cluster.DefaultConfig() }
+
+// Schemes lists the four schemes in the paper's order.
+func Schemes() []Scheme { return cluster.Schemes() }
+
+// ParseScheme resolves a scheme by its printed name.
+func ParseScheme(name string) (Scheme, error) { return cluster.ParseScheme(name) }
+
+// Run executes one experiment.
+func Run(cfg Config) (Result, error) { return cluster.Run(cfg) }
+
+// RunRepeated executes the experiment once per seed — the paper repeats
+// every experiment three times with different random deployments — and
+// returns the per-run results plus the merged summary.
+func RunRepeated(cfg Config, seeds []uint64) ([]Result, Summary, error) {
+	if len(seeds) == 0 {
+		return nil, Summary{}, fmt.Errorf("netrs: no seeds given")
+	}
+	results := make([]Result, 0, len(seeds))
+	summaries := make([]Summary, 0, len(seeds))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			return nil, Summary{}, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		results = append(results, res)
+		summaries = append(summaries, res.Summary)
+	}
+	merged, err := stats.MergeSummaries(summaries)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	return results, merged, nil
+}
+
+// DefaultSeeds returns the three deployment seeds used throughout the
+// reproduction, mirroring the paper's three repetitions.
+func DefaultSeeds() []uint64 { return []uint64{1, 2, 3} }

@@ -1,0 +1,172 @@
+package netrs
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig shrinks the experiment so facade tests run in milliseconds.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FatTreeK = 8
+	cfg.Servers = 20
+	cfg.Clients = 40
+	cfg.Generators = 20
+	cfg.Requests = 2000
+	cfg.Keys = 1 << 20
+	cfg.VNodes = 16
+	return cfg
+}
+
+func TestRunFacade(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheme = SchemeNetRSToR
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Count != cfg.Requests {
+		t.Fatalf("measured %d", res.Summary.Count)
+	}
+}
+
+func TestRunRepeatedMerges(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheme = SchemeCliRS
+	runs, merged, err := RunRepeated(cfg, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	if merged.Count != 3*cfg.Requests {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	// The merged mean is the average of the three per-run means.
+	want := (runs[0].Summary.MeanMs + runs[1].Summary.MeanMs + runs[2].Summary.MeanMs) / 3
+	if diff := merged.MeanMs - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("merged mean %v, want %v", merged.MeanMs, want)
+	}
+	if _, _, err := RunRepeated(cfg, nil); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+func TestDefaultSeedsMirrorPaper(t *testing.T) {
+	if len(DefaultSeeds()) != 3 {
+		t.Fatalf("DefaultSeeds = %v, want 3 repetitions as in the paper", DefaultSeeds())
+	}
+}
+
+func TestPaperFiguresDefinitions(t *testing.T) {
+	figs := PaperFigures()
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d, want 4 (Figs. 4–7)", len(figs))
+	}
+	wantPoints := map[string][]string{
+		"fig4": {"100", "300", "500", "700"},
+		"fig5": {"70%", "80%", "90%", "95%"},
+		"fig6": {"30%", "50%", "70%", "90%"},
+		"fig7": {"0.1", "0.5", "1.0", "2.0", "4.0"},
+	}
+	for _, f := range figs {
+		want := wantPoints[f.ID]
+		if len(f.Points) != len(want) {
+			t.Fatalf("%s has %d points, want %d", f.ID, len(f.Points), len(want))
+		}
+		for i, pt := range f.Points {
+			if pt.X != want[i] {
+				t.Fatalf("%s point %d = %q, want %q", f.ID, i, pt.X, want[i])
+			}
+			cfg := DefaultConfig()
+			pt.Mutate(&cfg) // must not panic and must change something
+		}
+	}
+	// Mutations touch the right knobs.
+	cfg := DefaultConfig()
+	Figure4().Points[0].Mutate(&cfg)
+	if cfg.Clients != 100 {
+		t.Fatal("fig4 does not mutate clients")
+	}
+	cfg = DefaultConfig()
+	Figure5().Points[3].Mutate(&cfg)
+	if cfg.DemandSkew != 0.95 {
+		t.Fatal("fig5 does not mutate skew")
+	}
+	cfg = DefaultConfig()
+	Figure6().Points[0].Mutate(&cfg)
+	if cfg.Utilization != 0.3 {
+		t.Fatal("fig6 does not mutate utilization")
+	}
+	cfg = DefaultConfig()
+	Figure7().Points[0].Mutate(&cfg)
+	if cfg.MeanServiceTime != Millisecond/10 {
+		t.Fatal("fig7 does not mutate service time")
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	for _, id := range []string{"fig4", "4", "FIG5", "7"} {
+		if _, err := FigureByID(id); err != nil {
+			t.Errorf("FigureByID(%q): %v", id, err)
+		}
+	}
+	if _, err := FigureByID("fig9"); err == nil {
+		t.Error("bogus figure resolved")
+	}
+}
+
+func TestRunSweepAndTable(t *testing.T) {
+	base := testConfig()
+	sw := Sweep{
+		ID:    "mini",
+		Title: "miniature utilization sweep",
+		XAxis: "Utilization",
+		Points: []SweepPoint{
+			{X: "30%", Mutate: func(c *Config) { c.Utilization = 0.3 }},
+			{X: "90%", Mutate: func(c *Config) { c.Utilization = 0.9 }},
+		},
+		Schemes: []Scheme{SchemeCliRS, SchemeNetRSILP},
+	}
+	var cells int
+	res, err := RunSweep(base, sw, []uint64{1}, func(string, Scheme) { cells++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != 4 || len(res.Cells) != 4 {
+		t.Fatalf("evaluated %d cells, want 4", len(res.Cells))
+	}
+	lo, ok := res.Lookup("30%", SchemeCliRS)
+	if !ok {
+		t.Fatal("missing cell")
+	}
+	hi, ok := res.Lookup("90%", SchemeCliRS)
+	if !ok {
+		t.Fatal("missing cell")
+	}
+	if lo.MeanMs >= hi.MeanMs {
+		t.Fatalf("30%% mean %.3f not below 90%% mean %.3f", lo.MeanMs, hi.MeanMs)
+	}
+	if _, ok := res.Lookup("50%", SchemeCliRS); ok {
+		t.Fatal("lookup invented a cell")
+	}
+
+	table := res.Table()
+	for _, want := range []string{"MINI", "Avg.", "99th Percentile", "Utilization", "CliRS", "NetRS-ILP", "30%", "90%"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	reds := res.Reductions()
+	if len(reds["Avg."]) != 2 {
+		t.Fatalf("reductions = %v", reds)
+	}
+	if res.MaxReduction("Avg.") < reds["Avg."][0] && res.MaxReduction("Avg.") < reds["Avg."][1] {
+		t.Fatal("MaxReduction not the maximum")
+	}
+	if res.MaxReduction("nope") != 0 {
+		t.Fatal("unknown metric should yield 0")
+	}
+}
