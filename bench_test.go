@@ -14,6 +14,8 @@ package netrs
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"strconv"
 	"testing"
@@ -195,6 +197,79 @@ func BenchmarkAblationAccelerator(b *testing.B) {
 			}, SchemeNetRSILP)
 		})
 	}
+}
+
+// sweepFingerprint folds every statistic of every cell, bit for bit, into
+// a 53-bit digest (exactly representable as a float64 benchmark metric).
+// Equal digests across BenchmarkSweepSequential and BenchmarkSweepParallel
+// confirm the executor's bit-identical-results guarantee on this machine.
+func sweepFingerprint(res SweepResult) float64 {
+	h := fnv.New64a()
+	mix := func(v float64) {
+		var buf [8]byte
+		bits := math.Float64bits(v)
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	mixSummary := func(s Summary) {
+		mix(float64(s.Count))
+		mix(s.MeanMs)
+		mix(s.P95Ms)
+		mix(s.P99Ms)
+		mix(s.P999Ms)
+	}
+	for _, c := range res.Cells {
+		mixSummary(c.Merged)
+		for _, r := range c.Runs {
+			mixSummary(r.Summary)
+		}
+	}
+	return float64(h.Sum64() >> 11)
+}
+
+// benchSweep runs the Fig. 4 sweep end to end — every (point, scheme,
+// seed) trial — at the given trial parallelism. One iteration is one full
+// sweep, so ns/op compares wall-clock directly across parallelism levels.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchConfig()
+	// A full sweep multiplies the per-cell cost by points × schemes ×
+	// seeds; trim the request depth so one iteration stays tractable.
+	if cfg.Requests > 5000 && os.Getenv("NETRS_REQUESTS") == "" {
+		cfg.Requests = 5000
+	}
+	seeds := DeriveSeeds(1, 2)
+	sw := Figure4()
+	var fp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunSweepWith(cfg, sw, seeds, nil, RunOptions{Parallelism: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp = sweepFingerprint(res)
+	}
+	b.ReportMetric(fp, "digest")
+}
+
+// BenchmarkSweepSequential is the baseline: the Fig. 4 sweep with
+// Parallelism=1, i.e. the pre-executor nested-loop behavior.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same sweep fanned across GOMAXPROCS
+// workers (NETRS_PARALLEL overrides). On an N-core runner the speedup
+// approaches min(N, trials); the digest metric must match
+// BenchmarkSweepSequential exactly.
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := 0
+	if env := os.Getenv("NETRS_PARALLEL"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n >= 0 {
+			workers = n
+		}
+	}
+	benchSweep(b, workers)
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: simulated

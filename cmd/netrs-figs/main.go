@@ -10,6 +10,10 @@
 // The paper runs 6 M requests per point on a 1024-host fat-tree; that is
 // hours of simulation per figure. -requests and -scale trade statistical
 // depth for wall-clock time while preserving the comparisons' shape.
+//
+// Every (point, scheme, seed) trial is an independent simulation; -parallel
+// (or the NETRS_PARALLEL environment variable) fans them across a worker
+// pool. Results are bit-identical at every parallelism level.
 package main
 
 import (
@@ -17,10 +21,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"netrs"
+	"netrs/internal/cliutil"
 )
 
 func main() {
@@ -64,6 +69,7 @@ func run(args []string) error {
 	scale := fs.String("scale", "medium", "cluster scale: paper, medium, small")
 	chart := fs.Bool("chart", false, "also draw bar charts for the Avg and 99th panels")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	parallel := fs.Int("parallel", 0, "concurrent trials: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +81,12 @@ func run(args []string) error {
 		}
 		*requests = n
 	}
+	if err := cliutil.ApplyEnvParallel(fs, "parallel", parallel); err != nil {
+		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: want a nonnegative integer", *parallel)
+	}
 
 	base, err := scaledConfig(*scale)
 	if err != nil {
@@ -82,13 +94,9 @@ func run(args []string) error {
 	}
 	base.Requests = *requests
 
-	var seeds []uint64
-	for _, s := range strings.Split(*seedsFlag, ",") {
-		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
-		if err != nil {
-			return fmt.Errorf("seed %q: %w", s, err)
-		}
-		seeds = append(seeds, v)
+	seeds, err := cliutil.ParseSeeds(*seedsFlag)
+	if err != nil {
+		return err
 	}
 
 	var sweeps []netrs.Sweep
@@ -104,14 +112,25 @@ func run(args []string) error {
 
 	for _, sw := range sweeps {
 		start := time.Now()
-		progress := func(x string, s netrs.Scheme) {
-			if !*quiet {
+		var progress func(x string, s netrs.Scheme)
+		if !*quiet {
+			// Trials report concurrently; serialize the progress lines.
+			var mu sync.Mutex
+			progress = func(x string, s netrs.Scheme) {
+				mu.Lock()
+				defer mu.Unlock()
 				fmt.Fprintf(os.Stderr, "[%s] x=%-6s %-10s (%.0fs elapsed)\n",
 					sw.ID, x, s, time.Since(start).Seconds())
 			}
 		}
-		res, err := netrs.RunSweep(base, sw, seeds, progress)
+		res, err := netrs.RunSweepWith(base, sw, seeds, progress, netrs.RunOptions{Parallelism: *parallel})
 		if err != nil {
+			// A failed cell no longer voids the sweep: print whatever
+			// completed before reporting the failure.
+			if len(res.Cells) > 0 {
+				fmt.Println(res.Table())
+				fmt.Fprintf(os.Stderr, "netrs-figs: %s incomplete: %d cells finished\n", sw.ID, len(res.Cells))
+			}
 			return err
 		}
 		fmt.Println(res.Table())

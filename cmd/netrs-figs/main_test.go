@@ -50,3 +50,22 @@ func TestEnvRequestsOverride(t *testing.T) {
 		t.Fatal("bad NETRS_REQUESTS accepted")
 	}
 }
+
+func TestParallelFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 small simulations")
+	}
+	err := run([]string{
+		"-fig", "6", "-requests", "400", "-seeds", "1,2", "-scale", "small", "-quiet", "-parallel", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvParallelOverride(t *testing.T) {
+	t.Setenv("NETRS_PARALLEL", "zero")
+	if err := run([]string{"-fig", "4", "-scale", "small", "-quiet"}); err == nil {
+		t.Fatal("bad NETRS_PARALLEL accepted")
+	}
+}

@@ -1,10 +1,14 @@
-// Command netrs-sim runs a single NetRS experiment and prints its latency
-// summary.
+// Command netrs-sim runs a NetRS experiment and prints its latency
+// summary. With -seeds it repeats the experiment once per seed — in
+// parallel up to -parallel workers (or NETRS_PARALLEL) — and reports the
+// per-seed results plus the merged summary, mirroring the paper's three
+// repetitions.
 //
 // Usage:
 //
 //	netrs-sim -scheme NetRS-ILP -requests 100000 -utilization 0.9
 //	netrs-sim -scheme CliRS -clients 700 -json
+//	netrs-sim -scheme NetRS-ILP -seeds 1,2,3 -parallel 3
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"netrs"
+	"netrs/internal/cliutil"
 	"netrs/internal/sim"
 )
 
@@ -31,6 +36,9 @@ func run(args []string) error {
 
 	scheme := fs.String("scheme", "NetRS-ILP", "scheme: CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP")
 	seed := fs.Uint64("seed", def.Seed, "random seed (deployment, workload, service times)")
+	seedsFlag := fs.String("seeds", "", "comma-separated seeds for repeated runs (overrides -seed; merged summary reported)")
+	trialPar := fs.Int("parallel", 0, "concurrent repeated runs: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default; not -parallelism, which is per-server capacity)")
+	statsCap := fs.Int("stats-cap", 0, "bound latency-recorder memory to this many exact samples (0 = exact mode)")
 	k := fs.Int("k", def.FatTreeK, "fat-tree arity (k=16 → 1024 hosts)")
 	servers := fs.Int("servers", def.Servers, "number of replica servers (Ns)")
 	parallel := fs.Int("parallelism", def.Parallelism, "per-server parallelism (Np)")
@@ -51,13 +59,26 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliutil.ApplyEnvParallel(fs, "parallel", trialPar); err != nil {
+		return err
+	}
+	if *trialPar < 0 {
+		return fmt.Errorf("-parallel %d: want a nonnegative integer", *trialPar)
+	}
+	var seeds []uint64
+	if *seedsFlag != "" {
+		var err error
+		if seeds, err = cliutil.ParseSeeds(*seedsFlag); err != nil {
+			return err
+		}
+	}
 
 	if *configPath != "" {
 		cfg, err := netrs.LoadConfig(*configPath)
 		if err != nil {
 			return err
 		}
-		return execute(cfg, *jsonOut, *tracePath)
+		return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
 	}
 
 	cfg := def
@@ -74,6 +95,7 @@ func run(args []string) error {
 	cfg.WarmupFraction = *warmup
 	cfg.RateControl = *rateControl
 	cfg.RackLevelGroups = *rackGroups
+	cfg.StatsSampleCap = *statsCap
 
 	s, err := netrs.ParseScheme(*scheme)
 	if err != nil {
@@ -88,11 +110,21 @@ func run(args []string) error {
 		fmt.Printf("wrote %s\n", *saveConfig)
 		return nil
 	}
-	return execute(cfg, *jsonOut, *tracePath)
+	return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
 }
 
-// execute runs the experiment and prints the result.
-func execute(cfg netrs.Config, jsonOut bool, tracePath string) error {
+// execute runs the experiment — once, or repeated over seeds — and prints
+// the result.
+func execute(cfg netrs.Config, seeds []uint64, parallel int, jsonOut bool, tracePath string) error {
+	if len(seeds) > 1 {
+		if tracePath != "" {
+			return fmt.Errorf("-trace needs a single run; drop -seeds or pass one seed")
+		}
+		return executeRepeated(cfg, seeds, parallel, jsonOut)
+	}
+	if len(seeds) == 1 {
+		cfg.Seed = seeds[0]
+	}
 	if tracePath != "" {
 		cfg.KeepLatencyTrace = true
 	}
@@ -130,5 +162,28 @@ func execute(cfg netrs.Config, jsonOut bool, tracePath string) error {
 	}
 	fmt.Printf("simulated   %v for %d requests\n", res.SimulatedSpan, res.Completed)
 	fmt.Printf("accel util  %.1f%% (busiest accelerator)\n", 100*res.MaxAccelUtilization)
+	return nil
+}
+
+// executeRepeated runs the experiment once per seed through the parallel
+// executor and prints the per-seed and merged summaries.
+func executeRepeated(cfg netrs.Config, seeds []uint64, parallel int, jsonOut bool) error {
+	runs, merged, err := netrs.RunRepeatedWith(cfg, seeds, netrs.RunOptions{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Runs   []netrs.Result `json:"runs"`
+			Merged netrs.Summary  `json:"merged"`
+		}{runs, merged})
+	}
+	fmt.Printf("scheme      %s (%d repetitions)\n", runs[0].Scheme, len(runs))
+	for i, res := range runs {
+		fmt.Printf("seed %-6d %s\n", seeds[i], res.Summary.String())
+	}
+	fmt.Printf("merged      %s\n", merged.String())
 	return nil
 }

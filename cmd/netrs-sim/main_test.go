@@ -39,6 +39,51 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunRepeatedSeeds(t *testing.T) {
+	if err := run(tinyArgs("-seeds", "1,2", "-parallel", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyArgs("-seeds", "1,2", "-json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyArgs("-seeds", "nope")); err == nil {
+		t.Fatal("bad seed list accepted")
+	}
+	if err := run(tinyArgs("-seeds", "1,2", "-trace", "/tmp/should-not-happen.csv")); err == nil {
+		t.Fatal("trace with repeated seeds accepted")
+	}
+}
+
+func TestRunStatsCap(t *testing.T) {
+	if err := run(tinyArgs("-stats-cap", "100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyArgs("-stats-cap", "-5")); err == nil {
+		t.Fatal("negative stats cap accepted")
+	}
+}
+
+func TestNegativeParallelRejected(t *testing.T) {
+	if err := run(tinyArgs("-parallel", "-1")); err == nil {
+		t.Fatal("negative -parallel accepted")
+	}
+}
+
+func TestEnvParallel(t *testing.T) {
+	t.Setenv("NETRS_PARALLEL", "2")
+	if err := run(tinyArgs("-seeds", "1,2")); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("NETRS_PARALLEL", "-1")
+	if err := run(tinyArgs()); err == nil {
+		t.Fatal("bad NETRS_PARALLEL accepted")
+	}
+	// An explicit flag outranks a bad environment value.
+	if err := run(tinyArgs("-parallel", "1")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunConfigRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cfg.json")
 	if err := run(tinyArgs("-save-config", path)); err != nil {

@@ -1,13 +1,16 @@
 package netrs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"netrs/internal/exec"
 	"netrs/internal/render"
 	"netrs/internal/sim"
+	"netrs/internal/stats"
 )
 
 // SweepPoint is one x-axis value of a figure: a label and the mutation it
@@ -129,29 +132,98 @@ type SweepResult struct {
 }
 
 // RunSweep evaluates a figure: every point × every scheme × every seed.
-// Progress (if non-nil) is invoked before each cell.
+// Progress (if non-nil) is invoked before each cell's first trial; it must
+// be safe for concurrent use. Trials run in parallel up to
+// runtime.GOMAXPROCS(0); use RunSweepWith to pick the parallelism
+// explicitly. Parallelism never changes the numbers — results are
+// assembled by trial index, bit-identical to a sequential sweep.
 func RunSweep(base Config, sw Sweep, seeds []uint64, progress func(x string, s Scheme)) (SweepResult, error) {
+	return RunSweepWith(base, sw, seeds, progress, RunOptions{})
+}
+
+// RunSweepWith is RunSweep with explicit execution options. Every
+// (point, scheme, seed) triple is one independent trial fanned across the
+// worker pool. On failure it cancels the outstanding trials and returns
+// the error together with the partial SweepResult holding every cell whose
+// trials all completed — a long sweep is not a total loss on one bad cell.
+func RunSweepWith(base Config, sw Sweep, seeds []uint64, progress func(x string, s Scheme), opts RunOptions) (SweepResult, error) {
 	schemes := sw.Schemes
 	if len(schemes) == 0 {
 		schemes = Schemes()
 	}
 	out := SweepResult{Sweep: sw}
+	if len(seeds) == 0 {
+		return out, fmt.Errorf("netrs: no seeds given")
+	}
+	type cellDef struct {
+		pt     SweepPoint
+		scheme Scheme
+	}
+	cells := make([]cellDef, 0, len(sw.Points)*len(schemes))
 	for _, pt := range sw.Points {
 		for _, scheme := range schemes {
-			if progress != nil {
-				progress(pt.X, scheme)
-			}
-			cfg := base
-			pt.Mutate(&cfg)
-			cfg.Scheme = scheme
-			runs, merged, err := RunRepeated(cfg, seeds)
-			if err != nil {
-				return SweepResult{}, fmt.Errorf("%s x=%s %s: %w", sw.ID, pt.X, scheme, err)
-			}
-			out.Cells = append(out.Cells, Cell{X: pt.X, Scheme: scheme, Merged: merged, Runs: runs})
+			cells = append(cells, cellDef{pt, scheme})
 		}
 	}
-	return out, nil
+
+	// Trial t runs cell t/len(seeds) with seed t%len(seeds), so the
+	// sequential trial order matches the old nested loops exactly.
+	nSeeds := len(seeds)
+	done := make([]bool, len(cells)*nSeeds)
+	pool := exec.Pool{Workers: opts.Parallelism}
+	if progress != nil {
+		pool.Progress = func(t int) {
+			if t%nSeeds == 0 {
+				c := cells[t/nSeeds]
+				progress(c.pt.X, c.scheme)
+			}
+		}
+	}
+	results, runErr := exec.Run(opts.Context, pool, len(done), func(_ context.Context, t int) (Result, error) {
+		c := cells[t/nSeeds]
+		cfg := base
+		c.pt.Mutate(&cfg)
+		cfg.Scheme = c.scheme
+		cfg.Seed = seeds[t%nSeeds]
+		res, err := Run(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s x=%s %s: seed %d: %w", sw.ID, c.pt.X, c.scheme, cfg.Seed, err)
+		}
+		// Completion flags are published by the executor's final wait.
+		done[t] = true
+		return res, nil
+	})
+	if runErr != nil {
+		runErr = unwrapTrial(runErr)
+	}
+
+	// Assemble, in definition order, every cell whose trials all finished.
+	for ci, c := range cells {
+		complete := true
+		for s := 0; s < nSeeds; s++ {
+			if !done[ci*nSeeds+s] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		runs := append([]Result(nil), results[ci*nSeeds:(ci+1)*nSeeds]...)
+		summaries := make([]Summary, nSeeds)
+		for i, res := range runs {
+			summaries[i] = res.Summary
+		}
+		merged, err := stats.MergeSummaries(summaries)
+		if err != nil {
+			if runErr == nil {
+				runErr = fmt.Errorf("%s x=%s %s: %w", sw.ID, c.pt.X, c.scheme, err)
+			}
+			continue
+		}
+		out.Cells = append(out.Cells, Cell{X: c.pt.X, Scheme: c.scheme, Merged: merged, Runs: runs})
+	}
+	return out, runErr
 }
 
 // Lookup returns the merged summary of one (x, scheme) cell.

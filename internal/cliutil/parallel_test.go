@@ -1,0 +1,61 @@
+package cliutil
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func TestApplyEnvParallel(t *testing.T) {
+	newFS := func(args ...string) (*flag.FlagSet, *int) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		p := fs.Int("parallel", 0, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return fs, p
+	}
+
+	t.Run("unset env is a no-op", func(t *testing.T) {
+		t.Setenv("NETRS_PARALLEL", "")
+		fs, p := newFS()
+		if err := ApplyEnvParallel(fs, "parallel", p); err != nil || *p != 0 {
+			t.Fatalf("p=%d err=%v", *p, err)
+		}
+	})
+	t.Run("env supplies the default", func(t *testing.T) {
+		t.Setenv("NETRS_PARALLEL", "6")
+		fs, p := newFS()
+		if err := ApplyEnvParallel(fs, "parallel", p); err != nil || *p != 6 {
+			t.Fatalf("p=%d err=%v", *p, err)
+		}
+	})
+	t.Run("explicit flag wins", func(t *testing.T) {
+		t.Setenv("NETRS_PARALLEL", "6")
+		fs, p := newFS("-parallel", "2")
+		if err := ApplyEnvParallel(fs, "parallel", p); err != nil || *p != 2 {
+			t.Fatalf("p=%d err=%v", *p, err)
+		}
+	})
+	t.Run("garbage rejected", func(t *testing.T) {
+		for _, bad := range []string{"x", "-1", "1.5"} {
+			t.Setenv("NETRS_PARALLEL", bad)
+			fs, p := newFS()
+			if err := ApplyEnvParallel(fs, "parallel", p); err == nil {
+				t.Fatalf("NETRS_PARALLEL=%q accepted", bad)
+			}
+		}
+	})
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := ParseSeeds(" 1, 2,3 ")
+	if err != nil || !reflect.DeepEqual(got, []uint64{1, 2, 3}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1,,2", "a", "1,-2"} {
+		if _, err := ParseSeeds(bad); err == nil {
+			t.Fatalf("ParseSeeds(%q) accepted", bad)
+		}
+	}
+}

@@ -159,6 +159,14 @@ type Config struct {
 	// Result.TraceMs (emission order), for external analysis.
 	KeepLatencyTrace bool
 
+	// StatsSampleCap bounds the latency recorder's memory: the run keeps
+	// at most this many exact samples and spills into a log-bucketed
+	// histogram (relative quantile error < 0.2%) past it. Zero keeps the
+	// exact-sample recorder. Useful when many trials run concurrently —
+	// a parallel sweep otherwise holds every cell's full sample slice
+	// alive at once.
+	StatsSampleCap int
+
 	// ReplayTracePath replays a recorded workload (workload.WriteTrace
 	// CSV) instead of the synthetic Poisson source. Requests, Generators,
 	// DemandSkew, Keys, and ZipfTheta are ignored; the request count is
@@ -239,6 +247,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("fail-rsnode fraction %v: %w", c.FailRSNodeAt, ErrInvalidParam)
 	case c.GroupMaxHosts < 0:
 		return fmt.Errorf("group max hosts %d: %w", c.GroupMaxHosts, ErrInvalidParam)
+	case c.StatsSampleCap < 0:
+		return fmt.Errorf("stats sample cap %d: %w", c.StatsSampleCap, ErrInvalidParam)
 	}
 	return nil
 }

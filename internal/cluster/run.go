@@ -140,6 +140,13 @@ type runner struct {
 }
 
 // Run executes one experiment and returns its results.
+//
+// Run is safe for concurrent use: every call builds its own engine, RNG
+// streams (all derived from cfg.Seed), topology, servers, selectors, and
+// recorder, and the packages it draws on keep no package-level mutable
+// state (their only globals are immutable sentinel errors). Concurrent
+// runs therefore produce exactly the results sequential runs would —
+// the property the parallel sweep executor depends on.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -282,7 +289,11 @@ func (r *runner) setup() error {
 			return err
 		}
 	}
-	r.rec = stats.NewRecorder(r.total - r.warmup)
+	if cfg.StatsSampleCap > 0 {
+		r.rec = stats.NewBoundedRecorder(r.total-r.warmup, cfg.StatsSampleCap)
+	} else {
+		r.rec = stats.NewRecorder(r.total - r.warmup)
+	}
 	if cfg.FailRSNodeAt > 0 {
 		r.failAt = int(cfg.FailRSNodeAt * float64(r.total))
 		if r.failAt < 1 {

@@ -236,10 +236,13 @@ func (s *Server) handle(in inbound) {
 	if err != nil {
 		return
 	}
-	if _, err := s.conn.WriteToUDP(buf, in.from); err != nil {
-		return
-	}
+	// Count before sending: once the datagram is out, the client may act
+	// on the response — and read this counter — before this goroutine is
+	// scheduled again.
 	s.served.Add(1)
+	if _, err := s.conn.WriteToUDP(buf, in.from); err != nil {
+		s.served.Add(^uint64(0)) // the send failed; undo
+	}
 }
 
 // observeService folds a service time (µs) into the piggybacked EWMA with

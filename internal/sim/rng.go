@@ -34,6 +34,20 @@ func (r *RNG) Stream(id uint64) *RNG {
 	return NewRNG(a ^ rotl(b, 17))
 }
 
+// DeriveSeed deterministically derives an independent per-trial seed from
+// a base seed and a trial index. It is the one place the repository turns
+// (base, trial) pairs into seeds — the facade's repeated runs, the sweep
+// executor, and the benches all derive trial streams through it, so a
+// trial's randomness never depends on which harness launched it or on how
+// many trials run concurrently. Two SplitMix64 rounds decorrelate adjacent
+// indices and bases.
+func DeriveSeed(base, trial uint64) uint64 {
+	state := base ^ rotl(trial+0x9e3779b97f4a7c15, 23)
+	state, a := splitMix64(state)
+	_, b := splitMix64(state ^ trial)
+	return a ^ rotl(b, 29)
+}
+
 // splitMix64 advances a SplitMix64 state and returns (nextState, output).
 func splitMix64(state uint64) (uint64, uint64) {
 	state += 0x9e3779b97f4a7c15

@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"netrs/internal/sim"
 )
@@ -17,17 +17,42 @@ import (
 // ErrNoSamples reports a query against an empty recorder.
 var ErrNoSamples = errors.New("stats: no samples")
 
-// Recorder accumulates latency samples and answers exact percentile
-// queries. It stores every sample; for the experiment sizes in this
-// repository (millions of requests) that is tens of megabytes, which buys
-// exact tail percentiles — the quantity the paper is about.
+// boundedSigBits is the histogram precision of the recorder's
+// memory-bounded mode: 9 significant bits keep the relative quantile
+// error under 0.2% at 256 KiB per spilled recorder.
+const boundedSigBits = 9
+
+// summaryQuantiles are the tail quantiles Summarize reports; the bounded
+// mode tracks them with P² estimators as a streaming fallback.
+var summaryQuantiles = [3]float64{0.95, 0.99, 0.999}
+
+// Recorder accumulates latency samples and answers percentile queries.
+//
+// In its default (exact) mode it stores every sample; for the experiment
+// sizes in this repository (millions of requests) that is tens of
+// megabytes, which buys exact tail percentiles — the quantity the paper is
+// about. With a sample cap (NewBoundedRecorder) the recorder stays exact
+// up to the cap and then spills into a log-bucketed histogram plus P²
+// estimators of the summary quantiles, bounding memory per trial so many
+// sweep cells can run concurrently without holding every cell's full
+// sample slice alive at once.
 type Recorder struct {
 	samples []sim.Time
 	sum     sim.Time
+	count   int
 	sorted  bool
+
+	// limit is the sample cap; 0 keeps the recorder exact forever.
+	limit int
+	// hist is non-nil once the recorder has spilled past its cap.
+	hist *Histogram
+	// p2s track the summary quantiles in bounded mode — the streaming
+	// fallback for percentile queries when no histogram is available.
+	p2s [3]*P2Quantile
 }
 
-// NewRecorder returns an empty recorder with capacity for hint samples.
+// NewRecorder returns an empty exact recorder with capacity for hint
+// samples.
 func NewRecorder(hint int) *Recorder {
 	if hint < 0 {
 		hint = 0
@@ -35,35 +60,114 @@ func NewRecorder(hint int) *Recorder {
 	return &Recorder{samples: make([]sim.Time, 0, hint)}
 }
 
+// NewBoundedRecorder returns a recorder that keeps at most sampleCap exact
+// samples: up to the cap it behaves exactly like NewRecorder (bit-identical
+// percentiles), past it the samples spill into a log-bucketed histogram
+// (relative quantile error < 2^-9) and memory stays constant. A
+// non-positive cap means unbounded.
+func NewBoundedRecorder(hint, sampleCap int) *Recorder {
+	if sampleCap < 0 {
+		sampleCap = 0
+	}
+	if hint > sampleCap && sampleCap > 0 {
+		hint = sampleCap
+	}
+	r := NewRecorder(hint)
+	r.limit = sampleCap
+	return r
+}
+
 // Record adds one latency sample.
 func (r *Recorder) Record(v sim.Time) {
-	r.samples = append(r.samples, v)
+	r.count++
 	r.sum += v
+	if r.hist != nil {
+		r.hist.Record(int64(v))
+		r.observeP2(v)
+		return
+	}
+	r.samples = append(r.samples, v)
+	r.sorted = false
+	if r.limit > 0 && len(r.samples) > r.limit {
+		r.spill()
+	}
+}
+
+// observeP2 folds a sample into the bounded-mode quantile estimators.
+func (r *Recorder) observeP2(v sim.Time) {
+	for _, p2 := range r.p2s {
+		if p2 != nil {
+			p2.Observe(float64(v))
+		}
+	}
+}
+
+// spill converts the recorder to histogram mode, folding the retained
+// samples into the histogram and the P² estimators, then releasing the
+// sample slice.
+func (r *Recorder) spill() {
+	hist, err := NewHistogram(boundedSigBits)
+	if err != nil {
+		// Unreachable: boundedSigBits is a valid constant precision.
+		panic(fmt.Sprintf("stats: bounded histogram: %v", err))
+	}
+	r.hist = hist
+	for i, q := range summaryQuantiles {
+		p2, err := NewP2Quantile(q)
+		if err != nil {
+			panic(fmt.Sprintf("stats: bounded p2 estimator: %v", err))
+		}
+		r.p2s[i] = p2
+	}
+	for _, v := range r.samples {
+		r.hist.Record(int64(v))
+		r.observeP2(v)
+	}
+	r.samples = nil
 	r.sorted = false
 }
 
-// Count returns the number of samples recorded.
-func (r *Recorder) Count() int { return len(r.samples) }
+// Bounded reports whether the recorder has a sample cap.
+func (r *Recorder) Bounded() bool { return r.limit > 0 }
 
-// Mean returns the average sample, or an error if empty.
+// Exact reports whether percentile queries are still answered from the
+// full sample set (always true for unbounded recorders).
+func (r *Recorder) Exact() bool { return r.hist == nil }
+
+// Count returns the number of samples recorded.
+func (r *Recorder) Count() int { return r.count }
+
+// Mean returns the average sample, or an error if empty. The mean is exact
+// in every mode: the running sum never spills.
 func (r *Recorder) Mean() (sim.Time, error) {
-	if len(r.samples) == 0 {
+	if r.count == 0 {
 		return 0, ErrNoSamples
 	}
-	return r.sum / sim.Time(len(r.samples)), nil
+	return r.sum / sim.Time(r.count), nil
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using the
-// nearest-rank method on the sorted samples.
+// Percentile returns the p-th percentile (0 < p <= 100). Exact recorders
+// use the nearest-rank method on the sorted samples, sorting once and
+// caching the sorted state until the next Record or Merge invalidates it.
+// Spilled recorders answer from the log-bucketed histogram; if the
+// histogram is unavailable (a merge dropped it), the P² estimators answer
+// for the summary quantiles as a last resort.
 func (r *Recorder) Percentile(p float64) (sim.Time, error) {
-	if len(r.samples) == 0 {
+	if r.count == 0 {
 		return 0, ErrNoSamples
 	}
 	if p <= 0 || p > 100 || math.IsNaN(p) {
 		return 0, fmt.Errorf("stats: percentile %v out of (0, 100]", p)
 	}
+	if r.hist != nil {
+		v, err := r.hist.Quantile(p / 100)
+		return sim.Time(v), err
+	}
+	if len(r.samples) == 0 {
+		return r.p2Percentile(p)
+	}
 	if !r.sorted {
-		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		slices.Sort(r.samples)
 		r.sorted = true
 	}
 	// The epsilon guards against float artifacts such as
@@ -75,9 +179,62 @@ func (r *Recorder) Percentile(p float64) (sim.Time, error) {
 	return r.samples[rank-1], nil
 }
 
-// Max returns the largest sample.
+// p2Percentile answers from the streaming estimators when neither samples
+// nor a histogram exist (possible only after a precision-mismatched merge
+// dropped the histogram).
+func (r *Recorder) p2Percentile(p float64) (sim.Time, error) {
+	for i, q := range summaryQuantiles {
+		if r.p2s[i] != nil && math.Abs(q*100-p) < 1e-9 {
+			return sim.Time(r.p2s[i].Value()), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: percentile %v unavailable in streaming fallback mode", p)
+}
+
+// Max returns the largest sample (exact in every mode: the histogram
+// tracks its true maximum).
 func (r *Recorder) Max() (sim.Time, error) {
+	if r.hist != nil {
+		v, err := r.hist.Max()
+		return sim.Time(v), err
+	}
 	return r.Percentile(100)
+}
+
+// Merge folds every sample of other into r. Two exact recorders stay
+// exact; if either side has spilled, both spill and the histograms merge
+// (the P² estimators cannot be merged across streams and are dropped —
+// the histogram keeps answering percentile queries). other is left in an
+// unspecified state and must not be used afterwards.
+func (r *Recorder) Merge(other *Recorder) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if r.hist == nil && other.hist == nil {
+		r.samples = append(r.samples, other.samples...)
+		r.sum += other.sum
+		r.count += other.count
+		r.sorted = false
+		if r.limit > 0 && len(r.samples) > r.limit {
+			r.spill()
+		}
+		return nil
+	}
+	if r.hist == nil {
+		r.spill()
+	}
+	if other.hist == nil {
+		other.spill()
+	}
+	if err := r.hist.Merge(other.hist); err != nil {
+		return err
+	}
+	r.sum += other.sum
+	r.count += other.count
+	// Streaming estimators describe a single stream; after a merge the
+	// histogram is the sole percentile source.
+	r.p2s = [3]*P2Quantile{}
+	return nil
 }
 
 // Summary condenses a recorder into the four statistics the paper's figures
@@ -122,6 +279,30 @@ func (r *Recorder) Summarize() (Summary, error) {
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%-8d mean=%8.3fms p95=%8.3fms p99=%8.3fms p99.9=%8.3fms",
 		s.Count, s.MeanMs, s.P95Ms, s.P99Ms, s.P999Ms)
+}
+
+// Merge combines two summaries with count-weighted averaging — an
+// associative fold suited to hierarchical aggregation of partial results.
+// The merged mean is the exact mean of the union; the merged percentiles
+// are weighted averages (an approximation, since percentiles do not
+// compose). MergeSummaries keeps the paper's equal-weight-per-repetition
+// convention for figure cells.
+func (s Summary) Merge(o Summary) Summary {
+	if o.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return o
+	}
+	n, m := float64(s.Count), float64(o.Count)
+	w := n + m
+	return Summary{
+		Count:  s.Count + o.Count,
+		MeanMs: (s.MeanMs*n + o.MeanMs*m) / w,
+		P95Ms:  (s.P95Ms*n + o.P95Ms*m) / w,
+		P99Ms:  (s.P99Ms*n + o.P99Ms*m) / w,
+		P999Ms: (s.P999Ms*n + o.P999Ms*m) / w,
+	}
 }
 
 // MergeSummaries averages a set of summaries point-wise; the paper repeats

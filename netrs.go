@@ -29,9 +29,12 @@
 package netrs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"netrs/internal/cluster"
+	"netrs/internal/exec"
 	"netrs/internal/sim"
 	"netrs/internal/stats"
 )
@@ -82,24 +85,51 @@ func ParseScheme(name string) (Scheme, error) { return cluster.ParseScheme(name)
 // Run executes one experiment.
 func Run(cfg Config) (Result, error) { return cluster.Run(cfg) }
 
+// RunOptions controls how repeated runs and sweeps execute.
+type RunOptions struct {
+	// Parallelism bounds the number of concurrently running trials. Zero
+	// selects runtime.GOMAXPROCS(0); 1 runs strictly sequentially on the
+	// calling goroutine. Parallelism never changes results: trials are
+	// independent seeded simulations and their outputs are assembled by
+	// trial index, so any setting produces bit-identical numbers.
+	Parallelism int
+
+	// Context, if non-nil, cancels in-flight trials when it is done.
+	Context context.Context
+}
+
 // RunRepeated executes the experiment once per seed — the paper repeats
 // every experiment three times with different random deployments — and
-// returns the per-run results plus the merged summary.
+// returns the per-run results plus the merged summary. Seeds run in
+// parallel up to runtime.GOMAXPROCS(0); use RunRepeatedWith to pick the
+// parallelism explicitly.
 func RunRepeated(cfg Config, seeds []uint64) ([]Result, Summary, error) {
+	return RunRepeatedWith(cfg, seeds, RunOptions{})
+}
+
+// RunRepeatedWith is RunRepeated with explicit execution options. Results
+// are ordered by seed regardless of completion order, so every
+// parallelism level returns bit-identical output.
+func RunRepeatedWith(cfg Config, seeds []uint64, opts RunOptions) ([]Result, Summary, error) {
 	if len(seeds) == 0 {
 		return nil, Summary{}, fmt.Errorf("netrs: no seeds given")
 	}
-	results := make([]Result, 0, len(seeds))
-	summaries := make([]Summary, 0, len(seeds))
-	for _, seed := range seeds {
+	pool := exec.Pool{Workers: opts.Parallelism}
+	results, err := exec.Run(opts.Context, pool, len(seeds), func(_ context.Context, i int) (Result, error) {
 		c := cfg
-		c.Seed = seed
+		c.Seed = seeds[i]
 		res, err := Run(c)
 		if err != nil {
-			return nil, Summary{}, fmt.Errorf("seed %d: %w", seed, err)
+			return Result{}, fmt.Errorf("seed %d: %w", seeds[i], err)
 		}
-		results = append(results, res)
-		summaries = append(summaries, res.Summary)
+		return res, nil
+	})
+	if err != nil {
+		return nil, Summary{}, unwrapTrial(err)
+	}
+	summaries := make([]Summary, len(results))
+	for i, res := range results {
+		summaries[i] = res.Summary
 	}
 	merged, err := stats.MergeSummaries(summaries)
 	if err != nil {
@@ -108,6 +138,28 @@ func RunRepeated(cfg Config, seeds []uint64) ([]Result, Summary, error) {
 	return results, merged, nil
 }
 
+// unwrapTrial strips the executor's trial-index wrapper so facade errors
+// read as before ("seed 2: ..."), keeping the underlying chain intact.
+func unwrapTrial(err error) error {
+	var te *exec.TrialError
+	if errors.As(err, &te) {
+		return te.Err
+	}
+	return err
+}
+
 // DefaultSeeds returns the three deployment seeds used throughout the
 // reproduction, mirroring the paper's three repetitions.
 func DefaultSeeds() []uint64 { return []uint64{1, 2, 3} }
+
+// DeriveSeeds expands a base seed into n decorrelated trial seeds through
+// the centralized SplitMix64 derivation (sim.DeriveSeed) — the supported
+// way to grow a repetition count past DefaultSeeds without hand-picking
+// values.
+func DeriveSeeds(base uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = sim.DeriveSeed(base, uint64(i))
+	}
+	return seeds
+}

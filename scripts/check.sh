@@ -1,0 +1,34 @@
+#!/bin/sh
+# Tier-2 checks: everything tier-1 runs (build + tests) plus static
+# analysis and the race detector over the parallel executor paths.
+#
+#   ./scripts/check.sh          # tier-1: go build + go test
+#   ./scripts/check.sh tier2    # tier-1 + go vet + go test -race
+#
+# The race pass is the gate for internal/exec and the RunRepeated/RunSweep
+# facade: any unsynchronized shared state a parallel sweep touches shows
+# up here, not in production.
+set -eu
+cd "$(dirname "$0")/.."
+
+tier="${1:-tier1}"
+
+echo "== go build ./..."
+go build ./...
+echo "== go test ./..."
+go test ./...
+
+case "$tier" in
+tier1) ;;
+tier2)
+	echo "== go vet ./..."
+	go vet ./...
+	echo "== go test -race ./..."
+	go test -race ./...
+	;;
+*)
+	echo "usage: $0 [tier1|tier2]" >&2
+	exit 2
+	;;
+esac
+echo "== OK ($tier)"
