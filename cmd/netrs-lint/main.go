@@ -1,0 +1,118 @@
+// Command netrs-lint runs the repository's determinism and
+// simulation-hygiene analyzer suite (internal/lint, DESIGN.md §7) over
+// every package of the module.
+//
+// Usage:
+//
+//	netrs-lint [-json] [-rules] [-typecheck] [pattern]
+//
+// The pattern is a directory or a ./...-style pattern; the whole module
+// containing it is always loaded (default: the current directory). The
+// exit status is 0 when the tree is clean, 1 when diagnostics were
+// reported, and 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"netrs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netrs-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic instead of text")
+	listRules := fs.Bool("rules", false, "list the registered rules and exit")
+	typecheck := fs.Bool("typecheck", false, "also print type-check problems the loader tolerated (debugging aid)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: netrs-lint [-json] [-rules] [-typecheck] [pattern]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+	dir := "."
+	if fs.NArg() == 1 {
+		dir = patternDir(fs.Arg(0))
+	}
+	mod, err := lint.Load(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "netrs-lint: %v\n", err)
+		return 2
+	}
+	if *typecheck {
+		for _, p := range mod.Packages {
+			for _, e := range p.TypeErrs {
+				fmt.Fprintf(stderr, "netrs-lint: typecheck %s: %v\n", p.Path, e)
+			}
+		}
+	}
+	diags := lint.Run(mod.Packages)
+	for _, d := range diags {
+		if *jsonOut {
+			writeJSON(stdout, d)
+		} else {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "netrs-lint: %d issue(s) in %s (module %s)\n", len(diags), mod.Root, mod.Path)
+		return 1
+	}
+	return 0
+}
+
+// patternDir maps a package pattern to the directory the module search
+// starts from: "./..." → ".", "internal/lint/..." → "internal/lint".
+func patternDir(pattern string) string {
+	dir := strings.TrimSuffix(pattern, "...")
+	dir = strings.TrimSuffix(dir, "/")
+	if dir == "" {
+		return "."
+	}
+	return dir
+}
+
+// jsonDiag is the -json wire form: one object per line, stable field
+// names for CI annotators.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, d lint.Diagnostic) {
+	out, err := json.Marshal(jsonDiag{
+		File:    d.Pos.Filename,
+		Line:    d.Pos.Line,
+		Col:     d.Pos.Column,
+		Rule:    d.Rule,
+		Message: d.Message,
+	})
+	if err != nil {
+		fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
+		return
+	}
+	fmt.Fprintf(w, "%s\n", out)
+}

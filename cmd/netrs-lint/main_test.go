@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "../../internal/lint/testdata/src/fixture"
+
+func TestRunFixtureText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{fixtureDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d on dirty fixture, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, rule := range []string{"[wallclock]", "[globalrand]", "[maporder]", "[floateq]", "[waiver]"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("text output missing a %s diagnostic:\n%s", rule, out)
+		}
+	}
+	for _, line := range nonEmptyLines(out) {
+		// file:line:col: [rule] message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 || !strings.Contains(parts[3], "[") {
+			t.Errorf("malformed diagnostic line %q", line)
+		}
+	}
+	if !strings.Contains(stderr.String(), "issue(s)") {
+		t.Errorf("stderr summary missing: %q", stderr.String())
+	}
+}
+
+func TestRunFixtureJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", fixtureDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d on dirty fixture, want 1 (stderr: %s)", code, stderr.String())
+	}
+	lines := nonEmptyLines(stdout.String())
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics emitted")
+	}
+	for _, line := range lines {
+		var d struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Rule == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic %q", line)
+		}
+	}
+}
+
+func TestRunTextAndJSONAgree(t *testing.T) {
+	var text, js, stderr bytes.Buffer
+	run([]string{fixtureDir}, &text, &stderr)
+	run([]string{"-json", fixtureDir}, &js, &stderr)
+	if got, want := len(nonEmptyLines(js.String())), len(nonEmptyLines(text.String())); got != want {
+		t.Errorf("JSON mode emitted %d diagnostics, text mode %d", got, want)
+	}
+}
+
+func TestRunRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-rules exited %d, want 0", code)
+	}
+	for _, rule := range []string{"wallclock", "globalrand", "maporder", "floateq", "waiver"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-rules output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"/nonexistent/path/with/no/gomod"},
+		{"-unknown-flag"},
+		{"a", "b"}, // at most one pattern
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestPatternDir(t *testing.T) {
+	cases := map[string]string{
+		"./...":             ".",
+		"...":               ".",
+		"internal/lint":     "internal/lint",
+		"internal/lint/...": "internal/lint",
+		".":                 ".",
+	}
+	for in, want := range cases {
+		if got := patternDir(in); got != want {
+			t.Errorf("patternDir(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

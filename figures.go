@@ -333,7 +333,7 @@ func (r SweepResult) Reductions() map[string][]float64 {
 		for _, pt := range r.Sweep.Points {
 			cli, ok1 := r.Lookup(pt.X, SchemeCliRS)
 			ilp, ok2 := r.Lookup(pt.X, SchemeNetRSILP)
-			if !ok1 || !ok2 || m.get(cli) == 0 {
+			if !ok1 || !ok2 || stats.IsZero(m.get(cli)) {
 				continue
 			}
 			vals = append(vals, 100*(m.get(cli)-m.get(ilp))/m.get(cli))

@@ -201,9 +201,15 @@ func (s *Selector) Rank(candidates []int) []int {
 		scores[c] = s.Score(c)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
+		// Ordered comparisons only: ==/!= on scores is banned in the core,
+		// and this way NaN scores fall through to the ID tie-break instead
+		// of making the ordering intransitive.
 		si, sj := scores[out[i]], scores[out[j]]
-		if si != sj {
-			return si < sj
+		switch {
+		case si < sj:
+			return true
+		case sj < si:
+			return false
 		}
 		return out[i] < out[j]
 	})

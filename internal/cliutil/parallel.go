@@ -14,8 +14,10 @@ import (
 // trial parallelism when the named flag was not given explicitly on the
 // command line (an explicit flag always wins). The convention matches
 // NETRS_REQUESTS: the environment adjusts defaults, flags decide.
+// Surrounding whitespace is ignored, so an empty or whitespace-only value
+// behaves like an unset variable.
 func ApplyEnvParallel(fs *flag.FlagSet, name string, parallel *int) error {
-	env := os.Getenv("NETRS_PARALLEL")
+	env := strings.TrimSpace(os.Getenv("NETRS_PARALLEL"))
 	if env == "" {
 		return nil
 	}

@@ -37,13 +37,34 @@ func TestApplyEnvParallel(t *testing.T) {
 			t.Fatalf("p=%d err=%v", *p, err)
 		}
 	})
+	t.Run("whitespace-only env is a no-op", func(t *testing.T) {
+		t.Setenv("NETRS_PARALLEL", "   \t ")
+		fs, p := newFS()
+		if err := ApplyEnvParallel(fs, "parallel", p); err != nil || *p != 0 {
+			t.Fatalf("p=%d err=%v", *p, err)
+		}
+	})
+	t.Run("surrounding whitespace is trimmed", func(t *testing.T) {
+		t.Setenv("NETRS_PARALLEL", " 4 ")
+		fs, p := newFS()
+		if err := ApplyEnvParallel(fs, "parallel", p); err != nil || *p != 4 {
+			t.Fatalf("p=%d err=%v", *p, err)
+		}
+	})
 	t.Run("garbage rejected", func(t *testing.T) {
-		for _, bad := range []string{"x", "-1", "1.5"} {
+		for _, bad := range []string{"x", "-1", "1.5", "1 2"} {
 			t.Setenv("NETRS_PARALLEL", bad)
 			fs, p := newFS()
 			if err := ApplyEnvParallel(fs, "parallel", p); err == nil {
 				t.Fatalf("NETRS_PARALLEL=%q accepted", bad)
 			}
+		}
+	})
+	t.Run("overflow rejected", func(t *testing.T) {
+		t.Setenv("NETRS_PARALLEL", "99999999999999999999")
+		fs, p := newFS()
+		if err := ApplyEnvParallel(fs, "parallel", p); err == nil || *p != 0 {
+			t.Fatalf("overflowing value accepted (p=%d)", *p)
 		}
 	})
 }

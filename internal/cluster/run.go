@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"maps"
 	"os"
+	"slices"
 
 	"netrs/internal/c3"
 	"netrs/internal/fabric"
@@ -438,7 +440,7 @@ func (r *runner) setOperatorWeights(rsnodes int) {
 	if rsnodes < 1 {
 		rsnodes = 1
 	}
-	for _, op := range r.net.Operators() {
+	for _, op := range r.net.OperatorsSorted() {
 		if ad, ok := op.Accelerator().Selector().(*selection.Adapter); ok {
 			// The weight is nonnegative by construction.
 			_ = ad.Inner().SetConcurrencyWeight(float64(rsnodes))
@@ -505,7 +507,7 @@ func (r *runner) execute() (Result, error) {
 	}
 	res.ServerLoadCV = loads.CV()
 	res.QueueCVMean = r.queueCV.Mean()
-	for _, op := range r.net.Operators() {
+	for _, op := range r.net.OperatorsSorted() {
 		if u := op.Accelerator().Utilization(); u > res.MaxAccelUtilization {
 			res.MaxAccelUtilization = u
 		}
@@ -751,10 +753,13 @@ func (r *runner) injectFailure() {
 	if !r.netrs || !r.hasPlan || r.ctl == nil {
 		return
 	}
+	// Sorted iteration makes the victim deterministic: with map order,
+	// ties in the selection counters would fail a different operator on
+	// different runs of the same seed.
 	var busiest *fabric.Operator
 	var most uint64
-	for _, op := range r.net.Operators() {
-		if s := op.Stats().Selections; s >= most && s > 0 {
+	for _, op := range r.net.OperatorsSorted() {
+		if s := op.Stats().Selections; s > most {
 			busiest, most = op, s
 		}
 	}
@@ -777,16 +782,21 @@ func (r *runner) injectFailure() {
 // pipeline-fill time, which biases raw monitor rates low; the paper's
 // administrators know A anyway (they derive the hop budget E from it).
 func (r *runner) deployILPPlan() {
+	// Group order is sorted throughout: measured is a float sum (addition
+	// order changes the low bits, and the derived scale feeds the solver).
 	rates := r.ctl.CollectTraffic()
+	groups := slices.Sorted(maps.Keys(rates))
 	measured := 0.0
-	for _, tiers := range rates {
+	for _, g := range groups {
+		tiers := rates[g]
 		measured += tiers[0] + tiers[1] + tiers[2]
 	}
 	if measured > 0 {
 		target, err := workload.UtilizationRate(r.cfg.Utilization, r.cfg.Servers, r.cfg.Parallelism, r.cfg.MeanServiceTime)
 		if err == nil && target > measured {
 			scale := target / measured
-			for g, tiers := range rates {
+			for _, g := range groups {
+				tiers := rates[g]
 				for k := range tiers {
 					tiers[k] *= scale
 				}

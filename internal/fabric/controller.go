@@ -3,6 +3,8 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"netrs/internal/placement"
@@ -135,11 +137,15 @@ func (c *Controller) UpdateRSPWithTraffic(rates map[int][3]float64) (placement.P
 // statistics before solving.
 func (c *Controller) CollectTraffic() map[int][3]float64 { return c.collect() }
 
-// collect drains every ToR monitor into per-group tier rates.
+// collect drains every ToR monitor into per-group tier rates. Operators
+// and snapshot groups are visited in sorted order: the per-group rates are
+// float sums, and float addition is not associative, so map-order
+// iteration would make the collected statistics — and every plan solved
+// from them — vary bit-for-bit between runs.
 func (c *Controller) collect() map[int][3]float64 {
 	now := c.net.eng.Now()
 	rates := make(map[int][3]float64, len(c.groups))
-	for _, op := range c.net.operators {
+	for _, op := range c.net.OperatorsSorted() {
 		if op.monitor == nil {
 			continue
 		}
@@ -147,7 +153,8 @@ func (c *Controller) collect() map[int][3]float64 {
 		if !ok {
 			continue
 		}
-		for g, r := range snap {
+		for _, g := range slices.Sorted(maps.Keys(snap)) {
+			r := snap[g]
 			cur := rates[g]
 			for k := 0; k < 3; k++ {
 				cur[k] += r[k]
@@ -259,8 +266,12 @@ func (c *Controller) HandleOverload(op *Operator, utilizationCap float64) ([]int
 // total number of degraded groups — a periodic health pass the controller
 // can run alongside RSP updates.
 func (c *Controller) SweepOverloaded(utilizationCap float64) (int, error) {
+	// Sorted order keeps the sweep deterministic: each flip appends to
+	// plan.Degraded and rewrites ToR rules, so map order would otherwise
+	// decide both the Degraded sequence and which operator degrades first
+	// when flips change later utilization checks.
 	total := 0
-	for _, op := range c.net.operators {
+	for _, op := range c.net.OperatorsSorted() {
 		flipped, err := c.HandleOverload(op, utilizationCap)
 		if err != nil {
 			return total, err
@@ -314,7 +325,7 @@ func (c *Controller) HandleOperatorFailure(failed *Operator) error {
 // InstallGroupDBs pushes the replica-group database and server locator to
 // every operator's selector (the consistent-hashing view of §IV-A).
 func (c *Controller) InstallGroupDBs(db GroupDB, loc ServerLocator) {
-	for _, op := range c.net.operators {
+	for _, op := range c.net.OperatorsSorted() {
 		op.SetDatabases(db, loc)
 	}
 }

@@ -1,6 +1,9 @@
 package fabric
 
 import (
+	"maps"
+	"slices"
+
 	"netrs/internal/sim"
 	"netrs/internal/topo"
 )
@@ -64,7 +67,8 @@ func (m *Monitor) Snapshot(now sim.Time) (map[int][3]float64, bool) {
 	}
 	secs := float64(span) / float64(sim.Second)
 	out := make(map[int][3]float64, len(m.counts))
-	for g, c := range m.counts {
+	for _, g := range slices.Sorted(maps.Keys(m.counts)) {
+		c := m.counts[g]
 		out[g] = [3]float64{
 			float64(c[0]) / secs,
 			float64(c[1]) / secs,

@@ -117,6 +117,7 @@ type Network struct {
 	cfg  Config
 
 	operators map[topo.NodeID]*Operator
+	opsSorted []*Operator // topology switch order; the deterministic view
 	opByID    map[uint16]*Operator
 	hosts     map[topo.NodeID]HostHandler
 
@@ -155,6 +156,7 @@ func NewNetwork(eng *sim.Engine, t *topo.Topology, cfg Config, selectorFactory f
 			return nil, err
 		}
 		n.operators[sw] = op
+		n.opsSorted = append(n.opsSorted, op)
 		n.opByID[id] = op
 	}
 	return n, nil
@@ -184,8 +186,14 @@ func (n *Network) OperatorByID(id uint16) (*Operator, error) {
 	return op, nil
 }
 
-// Operators returns all operators keyed by switch.
+// Operators returns all operators keyed by switch. Iterating the map
+// leaks Go's randomized order; deterministic code (anything feeding the
+// sim core or a reported number) must use OperatorsSorted instead.
 func (n *Network) Operators() map[topo.NodeID]*Operator { return n.operators }
+
+// OperatorsSorted returns the operators in topology switch order — the
+// stable iteration view for controllers, sweeps, and statistics.
+func (n *Network) OperatorsSorted() []*Operator { return n.opsSorted }
 
 // AttachHost registers the packet handler of an end-host.
 func (n *Network) AttachHost(host topo.NodeID, h HostHandler) error {

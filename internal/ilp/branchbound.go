@@ -21,7 +21,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 100000
 	}
-	if o.IntegralityTol == 0 {
+	if o.IntegralityTol <= 0 {
 		o.IntegralityTol = 1e-6
 	}
 	return o
@@ -49,10 +49,10 @@ func (m *Model) Solve(opts Options) (Solution, error) {
 	// on covering/facility structures like the RSNode placement.
 	objIntegral := true
 	for j, c := range m.obj {
-		if c == 0 {
+		if exactlyZero(c) {
 			continue
 		}
-		if !m.integer[j] || c != math.Trunc(c) {
+		if !m.integer[j] || !integral(c) {
 			objIntegral = false
 			break
 		}
@@ -114,7 +114,7 @@ func (m *Model) Solve(opts Options) (Solution, error) {
 			if frac <= opts.IntegralityTol {
 				continue
 			}
-			bearing := m.obj[j] != 0
+			bearing := !exactlyZero(m.obj[j])
 			switch {
 			case bearing && !objBearing:
 				branchVar, worst, objBearing = j, frac, true

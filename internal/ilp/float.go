@@ -1,0 +1,23 @@
+package ilp
+
+import "math"
+
+// The solver's only exact float comparisons live in the two helpers
+// below, each carrying an audited floateq waiver (DESIGN.md §7). Keeping
+// them out of line makes every remaining ==/!= on floats a lint error, so
+// a tolerance bug cannot hide behind an intentional-looking sentinel.
+
+// exactlyZero reports whether x is exactly ±0. Sparse rows, objective
+// scans, and pivot updates skip work only when a coefficient is a true
+// zero — a sentinel test, not a tolerance comparison (values within eps of
+// zero must still participate in elimination).
+func exactlyZero(x float64) bool {
+	return x == 0 //lint:floateq exact-zero sparsity sentinel
+}
+
+// integral reports whether c is exactly an integer. The branch-and-bound
+// bound-tightening proof requires exact integrality of the objective
+// coefficients; a nearly-integral coefficient must not round LP bounds.
+func integral(c float64) bool {
+	return c == math.Trunc(c) //lint:floateq exactness is the proof obligation
+}

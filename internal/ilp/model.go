@@ -10,7 +10,9 @@ package ilp
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 )
 
 // Errors returned by the modeling layer.
@@ -116,9 +118,11 @@ func (m *Model) AddConstraint(terms []Term, rel Relation, rhs float64) error {
 		}
 		merged[t.Var] += t.Coef
 	}
+	// Emit terms in ascending variable order: the row's term order feeds
+	// straight into simplex pivoting, so map order must not reach it.
 	row := constraint{rel: rel, rhs: rhs, terms: make([]Term, 0, len(merged))}
-	for v, c := range merged {
-		if c != 0 {
+	for _, v := range slices.Sorted(maps.Keys(merged)) {
+		if c := merged[v]; !exactlyZero(c) {
 			row.terms = append(row.terms, Term{Var: v, Coef: c})
 		}
 	}

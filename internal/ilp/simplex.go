@@ -177,7 +177,7 @@ func runSimplex(tab [][]float64, basis []int, cost []float64, total int) (float6
 	copy(z, cost)
 	for i := 0; i < mRows; i++ {
 		cb := cost[basis[i]]
-		if cb == 0 {
+		if exactlyZero(cb) {
 			continue
 		}
 		for j := 0; j <= total; j++ {
@@ -229,7 +229,7 @@ func runSimplex(tab [][]float64, basis []int, cost []float64, total int) (float6
 		pivot(tab, basis, leave, enter, total)
 		// Update the reduced-cost row.
 		factor := z[enter]
-		if factor != 0 {
+		if !exactlyZero(factor) {
 			for j := 0; j <= total; j++ {
 				z[j] -= factor * tab[leave][j]
 			}
@@ -250,7 +250,7 @@ func pivot(tab [][]float64, basis []int, row, col, total int) {
 			continue
 		}
 		f := tab[i][col]
-		if f == 0 {
+		if exactlyZero(f) {
 			continue
 		}
 		for j := 0; j <= total; j++ {

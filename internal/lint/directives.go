@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// waiverAliasSorted is the documented alias for waiving maporder: it
+// asserts the loop consumes keys in a sorted (or otherwise
+// order-independent) fashion the analyzer cannot prove.
+const waiverAliasSorted = "sorted"
+
+// directivePrefix introduces a waiver comment: //lint:rule[,rule...] reason.
+const directivePrefix = "lint:"
+
+// directive is one parsed "lint:" waiver comment. A directive suppresses
+// diagnostics of the named rules on its own line and on the line directly
+// below it (so it can trail the offending code or sit on its own line
+// above it).
+type directive struct {
+	pos   token.Pos
+	line  int
+	text  string   // raw directive text after "//", for messages
+	names []string // rule names (possibly empty or unknown; waiver audits)
+	used  bool     // did it suppress at least one diagnostic?
+}
+
+// valid reports whether every named rule exists (invalid directives are
+// reported by the waiver rule, not the stale check).
+func (d *directive) valid() bool {
+	if len(d.names) == 0 {
+		return false
+	}
+	for _, n := range d.names {
+		if !KnownRule(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// covers reports whether the directive waives the named rule.
+func (d *directive) covers(rule string) bool {
+	for _, n := range d.names {
+		if n == rule || (n == waiverAliasSorted && rule == ruleNameMapOrder) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts every "lint:" directive from a parsed file.
+// Only comments that start with the prefix count, so prose that merely
+// mentions the syntax is ignored.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var out []*directive
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := directiveText(c.Text)
+			if !ok {
+				continue
+			}
+			names, _, _ := strings.Cut(strings.TrimPrefix(text, directivePrefix), " ")
+			d := &directive{
+				pos:  c.Slash,
+				line: fset.Position(c.Slash).Line,
+				text: strings.TrimSpace(text),
+			}
+			for _, n := range strings.Split(names, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					d.names = append(d.names, n)
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// directiveText returns the comment body if the comment is a lint
+// directive ("//lint:..." or "/*lint:...*/", no space before "lint:").
+func directiveText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = comment[2:]
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(comment[2:], "*/")
+	default:
+		return "", false
+	}
+	if !strings.HasPrefix(body, directivePrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		text    string
+		ok      bool
+	}{
+		{"//lint:sorted reason here", "lint:sorted reason here", true},
+		{"/*lint:floateq why*/", "lint:floateq why", true},
+		{"// lint:sorted spaced prefix is prose, not a directive", "", false},
+		{"// mentions the //lint: syntax in passing", "", false},
+		{"//nolint:everything other linters' syntax", "", false},
+		{"//lint:", "lint:", true},
+	}
+	for _, c := range cases {
+		text, ok := directiveText(c.comment)
+		if text != c.text || ok != c.ok {
+			t.Errorf("directiveText(%q) = (%q, %v), want (%q, %v)", c.comment, text, ok, c.text, c.ok)
+		}
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+func f() int {
+	x := 1 //lint:floateq trailing waiver
+	//lint:maporder,sorted own-line waiver
+	y := 2
+	//lint: empty
+	return x + y
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := parseDirectives(fset, f)
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3", len(dirs))
+	}
+	if got := strings.Join(dirs[0].names, ","); got != "floateq" || dirs[0].line != 4 {
+		t.Errorf("dirs[0] = names %q line %d, want floateq line 4", got, dirs[0].line)
+	}
+	if got := strings.Join(dirs[1].names, ","); got != "maporder,sorted" || dirs[1].line != 5 {
+		t.Errorf("dirs[1] = names %q line %d, want maporder,sorted line 5", got, dirs[1].line)
+	}
+	if len(dirs[2].names) != 0 || dirs[2].valid() {
+		t.Errorf("dirs[2] = names %v valid %v, want empty and invalid", dirs[2].names, dirs[2].valid())
+	}
+	if !dirs[0].valid() || !dirs[1].valid() {
+		t.Error("directives naming known rules must be valid")
+	}
+}
+
+func TestDirectiveCovers(t *testing.T) {
+	d := &directive{names: []string{"sorted", "floateq"}}
+	if !d.covers("maporder") {
+		t.Error(`"sorted" alias must cover maporder`)
+	}
+	if !d.covers("floateq") {
+		t.Error("directive must cover its named rule")
+	}
+	if d.covers("wallclock") {
+		t.Error("directive must not cover unnamed rules")
+	}
+}

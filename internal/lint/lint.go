@@ -1,0 +1,208 @@
+// Package lint implements netrs-lint, a zero-dependency static analyzer
+// suite that enforces the repository's determinism and simulation-hygiene
+// contract (DESIGN.md §7). Every figure the repo reports depends on the
+// discrete-event core being bit-deterministic, so the invariants are
+// enforced by a compiler-grade pass instead of code review:
+//
+//   - wallclock:   no wall-clock reads (time.Now & friends) in the sim core
+//   - globalrand:  no math/rand or crypto/rand imports in the sim core
+//   - maporder:    no map-iteration order leaking into events, returned
+//     slices, or shared accumulators
+//   - floateq:     no ==/!= on floating-point operands outside tests
+//   - waiver:      every "lint:" waiver directive names a real rule and
+//     still suppresses something
+//
+// The suite is built on go/parser + go/ast + go/types only (no
+// golang.org/x/tools), keeping go.mod free of external dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical text form: file:line:col: [rule] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// ReportFunc is how rules emit findings; pos must belong to the package's
+// file set.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Rule is one self-registered analyzer pass. Check is invoked once per
+// loaded package and reports findings through report; it must not retain
+// state across packages.
+type Rule interface {
+	Name() string
+	Doc() string
+	Check(pkg *Package, report ReportFunc)
+}
+
+var registry = map[string]Rule{}
+
+// register adds a rule to the suite; each rule file calls it from init().
+func register(r Rule) {
+	if _, dup := registry[r.Name()]; dup {
+		panic("lint: duplicate rule " + r.Name())
+	}
+	registry[r.Name()] = r
+}
+
+// Rules returns every registered rule sorted by name (the linter holds
+// itself to the ordering discipline it enforces).
+func Rules() []Rule {
+	names := make([]string, 0, len(registry))
+	for name := range registry { // order restored by the sort below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rules := make([]Rule, len(names))
+	for i, name := range names {
+		rules[i] = registry[name]
+	}
+	return rules
+}
+
+// KnownRule reports whether name is a registered rule or a recognized
+// waiver alias ("sorted" waives maporder, asserting sorted-key iteration).
+func KnownRule(name string) bool {
+	if name == waiverAliasSorted {
+		return true
+	}
+	_, ok := registry[name]
+	return ok
+}
+
+// coreSuffixes lists the import-path suffixes of the deterministic sim
+// core. Wall-clock reads, ambient randomness, map-order leaks, and float
+// equality are forbidden in these packages; kvnet (real UDP networking),
+// cmd/*, examples, and the remaining utility packages live outside the
+// contract. The module root is core too (figures.go drives the sweeps).
+var coreSuffixes = []string{
+	"internal/sim",
+	"internal/fabric",
+	"internal/selection",
+	"internal/c3",
+	"internal/cluster",
+	"internal/placement",
+	"internal/ilp",
+	"internal/stats",
+	"internal/dist",
+	"internal/topo",
+	"internal/workload",
+}
+
+// Core reports whether the package is part of the deterministic sim core.
+func (p *Package) Core() bool {
+	if p.Path == p.Module {
+		return true
+	}
+	for _, suffix := range coreSuffixes {
+		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every registered rule to the packages and returns the
+// surviving diagnostics sorted by position. Waiver directives
+// ("//lint:rule[,rule...] reason") suppress same-named diagnostics on the
+// directive's own line and the line below it; afterwards any directive in
+// a non-test file that suppressed nothing is reported as stale so waivers
+// cannot rot.
+func Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		p := pkg
+		for _, r := range Rules() {
+			rule := r
+			r.Check(p, func(pos token.Pos, format string, args ...any) {
+				diags = append(diags, Diagnostic{
+					Pos:     p.Fset.Position(pos),
+					Rule:    rule.Name(),
+					Message: fmt.Sprintf(format, args...),
+				})
+			})
+		}
+	}
+	diags = applyWaivers(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// applyWaivers filters waived diagnostics and appends stale-waiver
+// findings. Waiver-audit diagnostics themselves cannot be waived.
+func applyWaivers(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[string][]*directive)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Directives {
+				byFile[f.Name] = append(byFile[f.Name], d)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Rule != ruleNameWaiver && waived(byFile[d.Pos.Filename], d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue // test files host no core rules; nothing to suppress
+			}
+			for _, dir := range f.Directives {
+				if dir.used || !dir.valid() {
+					continue
+				}
+				kept = append(kept, Diagnostic{
+					Pos:     pkg.Fset.Position(dir.pos),
+					Rule:    ruleNameWaiver,
+					Message: fmt.Sprintf("stale waiver %q: it suppresses no diagnostic; remove it", dir.text),
+				})
+			}
+		}
+	}
+	return kept
+}
+
+// waived reports whether a directive in the diagnostic's file covers it,
+// marking matching directives as used.
+func waived(dirs []*directive, d Diagnostic) bool {
+	hit := false
+	for _, dir := range dirs {
+		if dir.line != d.Pos.Line && dir.line != d.Pos.Line-1 {
+			continue
+		}
+		if dir.covers(d.Rule) {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}

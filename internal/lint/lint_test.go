@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "testdata/src/fixture"
+
+// TestFixtureDiagnostics lints the fixture module and compares every
+// diagnostic against the `want:rule[,rule]` markers embedded in the
+// fixture sources: each marked line must produce exactly the named
+// diagnostics, and no unmarked line may produce any.
+func TestFixtureDiagnostics(t *testing.T) {
+	mod, err := Load(fixtureRoot)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", fixtureRoot, err)
+	}
+	if mod.Path != "fixture" {
+		t.Fatalf("module path = %q, want fixture", mod.Path)
+	}
+	got := make(map[string][]string)
+	for _, d := range Run(mod.Packages) {
+		if d.Pos.Line <= 0 || d.Pos.Column <= 0 {
+			t.Errorf("diagnostic lacks a position: %s", d)
+		}
+		if d.Message == "" {
+			t.Errorf("diagnostic lacks a message: %s", d)
+		}
+		got[fixtureKey(t, d.Pos.Filename, d.Pos.Line)] = append(got[fixtureKey(t, d.Pos.Filename, d.Pos.Line)], d.Rule)
+	}
+	want := scanWantMarkers(t)
+	keys := make(map[string]bool)
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range keys {
+		g, w := append([]string(nil), got[k]...), append([]string(nil), want[k]...)
+		sort.Strings(g)
+		sort.Strings(w)
+		if strings.Join(g, ",") != strings.Join(w, ",") {
+			t.Errorf("%s: got diagnostics [%s], want [%s]", k, strings.Join(g, ","), strings.Join(w, ","))
+		}
+	}
+}
+
+// TestSelfLint holds the repository to its own contract: linting the
+// real module must produce zero diagnostics.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	mod, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Load(../..): %v", err)
+	}
+	if mod.Path != "netrs" {
+		t.Fatalf("module path = %q, want netrs", mod.Path)
+	}
+	for _, d := range Run(mod.Packages) {
+		t.Errorf("repository violates its own lint contract: %s", d)
+	}
+}
+
+func TestRulesRegistered(t *testing.T) {
+	var names []string
+	for _, r := range Rules() {
+		names = append(names, r.Name())
+		if r.Doc() == "" {
+			t.Errorf("rule %s has no doc", r.Name())
+		}
+	}
+	want := []string{"floateq", "globalrand", "maporder", "waiver", "wallclock"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Errorf("Rules() = %v, want %v (sorted)", names, want)
+	}
+	for _, n := range append(want, "sorted") {
+		if !KnownRule(n) {
+			t.Errorf("KnownRule(%q) = false, want true", n)
+		}
+	}
+	if KnownRule("bogusrule") {
+		t.Error(`KnownRule("bogusrule") = true, want false`)
+	}
+}
+
+func TestCore(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"netrs", true}, // module root hosts figures.go
+		{"netrs/internal/sim", true},
+		{"netrs/internal/fabric", true},
+		{"netrs/internal/ilp", true},
+		{"netrs/internal/kvnet", false}, // real UDP networking may use the wall clock
+		{"netrs/internal/cliutil", false},
+		{"netrs/cmd/netrs-sim", false},
+		{"netrs/examples/quickstart", false},
+		{"fixture/internal/stats", true},
+		{"fixture/util", false},
+	}
+	for _, c := range cases {
+		mod := "netrs"
+		if strings.HasPrefix(c.path, "fixture") {
+			mod = "fixture"
+		}
+		p := &Package{Path: c.path, Module: mod}
+		if got := p.Core(); got != c.want {
+			t.Errorf("Core(%s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// fixtureKey renders a diagnostic location as a fixture-relative
+// "path:line" string (the loader reports absolute paths; the marker
+// scanner walks relative ones, so both are normalized first).
+func fixtureKey(t *testing.T, filename string, line int) string {
+	t.Helper()
+	abs, err := filepath.Abs(filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := filepath.Abs(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(base, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		t.Fatalf("diagnostic outside fixture tree: %s", filename)
+	}
+	return filepath.ToSlash(rel) + ":" + strconv.Itoa(line)
+}
+
+var wantMarker = regexp.MustCompile(`want:([a-z,]+)`)
+
+// scanWantMarkers collects the expected diagnostics from `want:` markers
+// in the fixture sources, keyed by fixture-relative "path:line".
+func scanWantMarkers(t *testing.T) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fixtureKey(t, path, i+1)
+			for _, rule := range strings.Split(m[1], ",") {
+				want[key] = append(want[key], rule)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan fixtures: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no want: markers found in fixtures")
+	}
+	return want
+}

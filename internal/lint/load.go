@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file of a loaded package.
+type File struct {
+	Name       string // path as given to the parser
+	Ast        *ast.File
+	Test       bool // *_test.go
+	Directives []*directive
+}
+
+// Package is one parsed and (for non-test files) type-checked package.
+type Package struct {
+	Path   string // import path within the module
+	Module string // module path (shared by all packages of a load)
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*File // all files, including tests
+
+	// Types/Info cover the non-test files. Info may be sparse when the
+	// environment cannot type-check a dependency (rules degrade to their
+	// syntactic fallbacks rather than failing the run); TypeErrs records
+	// what went wrong.
+	Types    *types.Package
+	Info     *types.Info
+	TypeErrs []error
+}
+
+// Module is the result of loading every package under one module root.
+type Module struct {
+	Path     string // module path from go.mod
+	Root     string // directory holding go.mod
+	Fset     *token.FileSet
+	Packages []*Package // sorted by import path
+}
+
+// Load parses and type-checks every package of the module containing dir
+// (the nearest ancestor with a go.mod). Directories named testdata or
+// vendor, and hidden or underscore-prefixed directories, are skipped,
+// matching the go tool. Load fails only on unreadable trees or syntax
+// errors; type-check problems are recorded per package and tolerated so
+// the linter still runs in degraded environments.
+func Load(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Root: root, Fset: token.NewFileSet()}
+	for _, d := range dirs {
+		pkg, err := m.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			m.Packages = append(m.Packages, pkg)
+		}
+	}
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
+	m.typeCheck()
+	return m, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path, perr := parseModulePath(data)
+			if perr != nil {
+				return "", "", fmt.Errorf("%s: %w", filepath.Join(d, "go.mod"), perr)
+			}
+			return d, path, nil
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(data []byte) (string, error) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("no module directive")
+}
+
+// packageDirs returns every directory under root holding .go files,
+// skipping testdata, vendor, hidden, and underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasPrefix(d.Name(), ".") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses every .go file in dir into one Package (nil when the
+// directory holds no buildable files).
+func (m *Module) parseDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := m.Path
+	if rel != "." {
+		importPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: importPath, Module: m.Path, Dir: dir, Fset: m.Fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(m.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, &File{
+			Name:       name,
+			Ast:        f,
+			Test:       strings.HasSuffix(e.Name(), "_test.go"),
+			Directives: parseDirectives(m.Fset, f),
+		})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// typeCheck type-checks the non-test files of every package in dependency
+// order. Standard-library imports are checked from GOROOT source via the
+// stdlib "source" importer; anything that cannot be resolved becomes an
+// empty stub package and the resulting type errors are recorded but do
+// not stop the run.
+func (m *Module) typeCheck() {
+	byPath := make(map[string]*Package, len(m.Packages))
+	for _, p := range m.Packages {
+		byPath[p.Path] = p
+	}
+	imp := &moduleImporter{module: m, checked: make(map[string]*types.Package)}
+	var visit func(p *Package)
+	seen := make(map[string]bool)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, dep := range p.moduleImports() {
+			if d, ok := byPath[dep]; ok {
+				visit(d)
+			}
+		}
+		m.checkPackage(p, imp)
+		if p.Types != nil {
+			imp.checked[p.Path] = p.Types
+		}
+	}
+	for _, p := range m.Packages {
+		visit(p)
+	}
+}
+
+// moduleImports lists the package's imports that live inside the module.
+func (p *Package) moduleImports() []string {
+	var out []string
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, spec := range f.Ast.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path == p.Module || strings.HasPrefix(path, p.Module+"/") {
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkPackage runs go/types over the package's non-test files.
+func (m *Module) checkPackage(p *Package, imp types.Importer) {
+	var files []*ast.File
+	for _, f := range p.Files {
+		if !f.Test {
+			files = append(files, f.Ast)
+		}
+	}
+	if len(files) == 0 {
+		return
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	tpkg, err := conf.Check(p.Path, m.Fset, files, info)
+	if err != nil && len(p.TypeErrs) == 0 {
+		p.TypeErrs = append(p.TypeErrs, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+}
+
+// moduleImporter resolves module-internal imports to already-checked
+// packages and everything else through the GOROOT source importer, falling
+// back to empty stubs so a missing toolchain never aborts a lint run.
+type moduleImporter struct {
+	module  *Module
+	checked map[string]*types.Package
+	std     types.ImporterFrom
+	stdErr  error
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := i.checked[path]; ok {
+		return pkg, nil
+	}
+	if pkg, err := i.importStd(path); err == nil {
+		i.checked[path] = pkg
+		return pkg, nil
+	}
+	stub := types.NewPackage(path, pathBase(path))
+	stub.MarkComplete()
+	i.checked[path] = stub
+	return stub, nil
+}
+
+// importStd lazily builds the GOROOT source importer. Cgo is disabled so
+// packages like net type-check from pure-Go sources.
+func (i *moduleImporter) importStd(path string) (*types.Package, error) {
+	if i.std == nil && i.stdErr == nil {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					i.stdErr = fmt.Errorf("source importer unavailable: %v", r)
+				}
+			}()
+			build.Default.CgoEnabled = false
+			src, ok := importer.ForCompiler(i.module.Fset, "source", nil).(types.ImporterFrom)
+			if !ok {
+				i.stdErr = fmt.Errorf("source importer unavailable")
+				return
+			}
+			i.std = src
+		}()
+	}
+	if i.stdErr != nil {
+		return nil, i.stdErr
+	}
+	var pkg *types.Package
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("import %q: %v", path, r)
+			}
+		}()
+		pkg, err = i.std.ImportFrom(path, i.module.Root, 0)
+	}()
+	if err == nil && pkg == nil {
+		err = fmt.Errorf("import %q: no package", path)
+	}
+	return pkg, err
+}
+
+// pathBase guesses a package name from its import path, skipping
+// major-version suffixes (math/rand/v2 → rand).
+func pathBase(path string) string {
+	parts := strings.Split(path, "/")
+	for len(parts) > 1 {
+		last := parts[len(parts)-1]
+		if len(last) >= 2 && last[0] == 'v' && last[1] >= '0' && last[1] <= '9' {
+			parts = parts[:len(parts)-1]
+			continue
+		}
+		break
+	}
+	return parts[len(parts)-1]
+}

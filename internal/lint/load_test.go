@@ -1,0 +1,63 @@
+package lint
+
+import "testing"
+
+func TestParseModulePath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"module netrs\n\ngo 1.23\n", "netrs", true},
+		{"// comment\nmodule   \"quoted/path\"\n", "quoted/path", true},
+		{"go 1.23\n", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, err := parseModulePath([]byte(c.in))
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("parseModulePath(%q) = (%q, %v), want (%q, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestPathBase(t *testing.T) {
+	cases := map[string]string{
+		"time":           "time",
+		"math/rand":      "rand",
+		"math/rand/v2":   "rand",
+		"net/http":       "http",
+		"example.com/v3": "example.com",
+		"v2":             "v2", // a bare v2 has nothing to fall back to
+	}
+	for in, want := range cases {
+		if got := pathBase(in); got != want {
+			t.Errorf("pathBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadFixtureShape(t *testing.T) {
+	mod, err := Load(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range mod.Packages {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"fixture/internal/fabric", "fixture/internal/sim", "fixture/internal/stats", "fixture/util"}
+	if len(paths) != len(want) {
+		t.Fatalf("loaded packages %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("loaded packages %v, want %v (sorted)", paths, want)
+		}
+	}
+	for _, p := range mod.Packages {
+		if p.Info == nil || p.Types == nil {
+			t.Errorf("package %s was not type-checked", p.Path)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const ruleNameFloatEq = "floateq"
+
+// floatEqRule flags == and != between floating-point (or complex)
+// operands in non-test files of the sim core. Exact float equality is
+// almost always a latent tolerance bug, and where it is intentional —
+// exact-zero sparsity checks, "unchanged since initialization" sentinels —
+// the comparison belongs in a small named helper carrying a
+// `//lint:floateq` waiver so the intent is audited. Two comparisons stay
+// legal without a waiver: constant-foldable ones and the `x != x` NaN
+// idiom.
+type floatEqRule struct{}
+
+func (floatEqRule) Name() string { return ruleNameFloatEq }
+
+func (floatEqRule) Doc() string {
+	return "no ==/!= on floating-point operands in the sim core outside tests; compare with explicit tolerance or waive a named helper"
+}
+
+func (floatEqRule) Check(pkg *Package, report ReportFunc) {
+	if !pkg.Core() || pkg.Info == nil {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			x, okx := pkg.Info.Types[b.X]
+			y, oky := pkg.Info.Types[b.Y]
+			if !okx || !oky || (!isFloat(x.Type) && !isFloat(y.Type)) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // compile-time constant comparison
+			}
+			if types.ExprString(b.X) == types.ExprString(b.Y) {
+				return true // x != x: the NaN check idiom
+			}
+			report(b.OpPos, "floating-point %s comparison (%s %s %s); use an explicit tolerance or a //lint:floateq-waived helper",
+				b.Op, types.ExprString(b.X), b.Op, types.ExprString(b.Y))
+			return true
+		})
+	}
+}
+
+func init() { register(floatEqRule{}) }
+
+// isFloat reports whether the type is floating-point or complex (after
+// unwrapping named types).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,39 @@
+package lint
+
+const ruleNameGlobalRand = "globalrand"
+
+// bannedRandImports maps forbidden import paths to remediation hints.
+var bannedRandImports = map[string]string{
+	"math/rand":    "derive a stream from sim.RNG / sim.DeriveSeed instead",
+	"math/rand/v2": "derive a stream from sim.RNG / sim.DeriveSeed instead",
+	"crypto/rand":  "the core must be replayable from a seed; use sim.RNG streams",
+}
+
+// globalRandRule bans ambient randomness in the sim core, test files
+// included: every stochastic component must own a sim.RNG stream derived
+// from the experiment seed (sim.DeriveSeed), so adding or removing one
+// component never perturbs the draws seen by another and every figure is
+// replayable bit-for-bit.
+type globalRandRule struct{}
+
+func (globalRandRule) Name() string { return ruleNameGlobalRand }
+
+func (globalRandRule) Doc() string {
+	return "no math/rand, math/rand/v2, or crypto/rand in the sim core; randomness flows from sim.RNG"
+}
+
+func (globalRandRule) Check(pkg *Package, report ReportFunc) {
+	if !pkg.Core() {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, spec := range f.Ast.Imports {
+			path := importPathOf(spec)
+			if hint, banned := bannedRandImports[path]; banned {
+				report(spec.Pos(), "ambient randomness: import of %s is forbidden in the sim core; %s", path, hint)
+			}
+		}
+	}
+}
+
+func init() { register(globalRandRule{}) }

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const ruleNameMapOrder = "maporder"
+
+// schedulingNames are method names that push work into the discrete-event
+// core; calling one from inside a map iteration stamps Go's randomized map
+// order onto the event sequence.
+var schedulingNames = map[string]bool{
+	"Schedule":     true,
+	"ScheduleAt":   true,
+	"MustSchedule": true,
+}
+
+// mapOrderRule flags `for range` over a map in the sim core when the loop
+// body leaks the (randomized) iteration order into observable state:
+// scheduling events, appending to a slice declared outside the loop,
+// accumulating into an outer variable (+=, ++, ...; float accumulation is
+// not even associative), or plain writes through an outer variable
+// (last-writer-wins and argmax-over-map are both order-dependent on ties).
+// Iterating sorted keys is the fix; a `//lint:sorted` waiver on the range
+// line asserts order-independence the analyzer cannot prove.
+type mapOrderRule struct{}
+
+func (mapOrderRule) Name() string { return ruleNameMapOrder }
+
+func (mapOrderRule) Doc() string {
+	return "map iteration in the sim core must not schedule events, build slices, or accumulate into shared state; sort the keys first (waiver alias: sorted)"
+}
+
+func (mapOrderRule) Check(pkg *Package, report ReportFunc) {
+	if !pkg.Core() || pkg.Info == nil {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !pkg.isMapType(rs.X) {
+				return true
+			}
+			if leak, pos := pkg.findOrderLeak(rs); leak != "" {
+				report(rs.Pos(), "map-order leak: range over map %s %s (line %d); iterate sorted keys or waive with //lint:sorted",
+					types.ExprString(rs.X), leak, pkg.Fset.Position(pos).Line)
+			}
+			return true
+		})
+	}
+}
+
+func init() { register(mapOrderRule{}) }
+
+// isMapType reports whether the expression's type is (or underlies) a map.
+func (p *Package) isMapType(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// findOrderLeak scans a map-range body for the first statement that leaks
+// iteration order; it returns a description and the offending position, or
+// "" when the body is order-clean.
+func (p *Package) findOrderLeak(rs *ast.RangeStmt) (string, token.Pos) {
+	var leak string
+	var leakPos token.Pos
+	found := func(desc string, pos token.Pos) {
+		if leak == "" {
+			leak, leakPos = desc, pos
+		}
+	}
+	outer := func(e ast.Expr) (string, bool) {
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return "", false
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil || !obj.Pos().IsValid() {
+			return "", false // unresolved: stay quiet rather than guess
+		}
+		inside := obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+		return id.Name, !inside
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if leak != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && schedulingNames[sel.Sel.Name] {
+				found("schedules events via "+sel.Sel.Name, s.Pos())
+			}
+		case *ast.IncDecStmt:
+			if name, out := outer(s.X); out {
+				found("accumulates into "+name+" declared outside the loop", s.Pos())
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				name, out := outer(lhs)
+				if !out {
+					continue
+				}
+				switch {
+				case s.Tok != token.ASSIGN:
+					found("accumulates into "+name+" declared outside the loop", s.Pos())
+				case i < len(s.Rhs) && isAppendCall(s.Rhs[i]):
+					found("appends to "+name+" declared outside the loop", s.Pos())
+				default:
+					found("writes to "+name+" declared outside the loop", s.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return leak, leakPos
+}
+
+// rootIdent peels indexing, selectors, derefs, and parens down to the base
+// identifier of an lvalue (nil when the base is not a plain identifier).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isAppendCall reports whether the expression is a call to builtin append.
+func isAppendCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}

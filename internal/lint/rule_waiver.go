@@ -1,0 +1,43 @@
+package lint
+
+import "strings"
+
+const ruleNameWaiver = "waiver"
+
+// waiverRule audits the suppression directives themselves: every
+// `//lint:` comment must name registered rules (or the documented
+// "sorted" alias for maporder), so a typo'd or obsolete waiver is an
+// error, not a silent no-op. The runner separately reports valid waivers
+// that no longer suppress anything as stale under this rule's name, which
+// is why suppressions cannot rot. Waiver diagnostics cannot themselves be
+// waived.
+type waiverRule struct{}
+
+func (waiverRule) Name() string { return ruleNameWaiver }
+
+func (waiverRule) Doc() string {
+	return "every //lint: directive must name existing rules and keep suppressing something"
+}
+
+func (waiverRule) Check(pkg *Package, report ReportFunc) {
+	known := make([]string, 0, len(registry)+1)
+	for _, r := range Rules() {
+		known = append(known, r.Name())
+	}
+	known = append(known, waiverAliasSorted)
+	for _, f := range pkg.Files {
+		for _, d := range f.Directives {
+			if len(d.names) == 0 {
+				report(d.pos, "empty //lint: directive; name the rule(s) to waive (known: %s)", strings.Join(known, ", "))
+				continue
+			}
+			for _, n := range d.names {
+				if !KnownRule(n) {
+					report(d.pos, "unknown rule %q in //lint: directive (known: %s)", n, strings.Join(known, ", "))
+				}
+			}
+		}
+	}
+}
+
+func init() { register(waiverRule{}) }

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const ruleNameWallClock = "wallclock"
+
+// wallClockBanned are the package-time functions that read or wait on the
+// wall clock. Types and constants (time.Duration, time.Millisecond) stay
+// legal: only ambient real time is banned from the simulation core, where
+// all time must come from the sim.Engine's virtual clock.
+var wallClockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// wallClockRule forbids wall-clock reads in the sim core. The core must be
+// bit-deterministic: the same seed has to produce the same event sequence
+// on every run, which a single time.Now can silently break (C3-style
+// selectors are feedback loops; wall-clock jitter feeds straight into
+// replica choice). kvnet, cmd/*, examples, and *_test.go timing are
+// allowed to touch real time.
+type wallClockRule struct{}
+
+func (wallClockRule) Name() string { return ruleNameWallClock }
+
+func (wallClockRule) Doc() string {
+	return "no time.Now/Since/Until/Sleep/After/Tick/Timer in the sim core; use the sim.Engine clock"
+}
+
+func (wallClockRule) Check(pkg *Package, report ReportFunc) {
+	if !pkg.Core() {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, spec := range f.Ast.Imports {
+			if spec.Name != nil && spec.Name.Name == "." && importPathOf(spec) == "time" {
+				report(spec.Pos(), "dot-import of time hides wall-clock calls; import it by name (or not at all in the sim core)")
+			}
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockBanned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkg.isPackageRef(f, id, "time") {
+				report(sel.Pos(), "wall clock: time.%s is forbidden in the sim core; derive time from the sim.Engine clock", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+func init() { register(wallClockRule{}) }
+
+// importPathOf unquotes an import spec's path.
+func importPathOf(spec *ast.ImportSpec) string {
+	return strings.Trim(spec.Path.Value, `"`)
+}
+
+// isPackageRef reports whether ident refers to the package imported as
+// path. Type information decides when available (handles aliases and
+// shadowing); otherwise the file's import table is the fallback.
+func (p *Package) isPackageRef(f *File, id *ast.Ident, path string) bool {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == path
+		}
+	}
+	for _, spec := range f.Ast.Imports {
+		if importPathOf(spec) != path {
+			continue
+		}
+		name := pathBase(path)
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		return name == id.Name
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+// Package fabric is a fixture core package for the maporder rule.
+package fabric
+
+// Engine mimics the sim core's scheduler surface.
+type Engine struct{ events int }
+
+// Schedule registers an event after a delay.
+func (e *Engine) Schedule(delay int, fn func()) { e.events++ }
+
+// FanOut schedules one event per group: the event sequence inherits
+// Go's randomized map order.
+func FanOut(eng *Engine, groups map[int]float64) {
+	for g := range groups { // want:maporder
+		_ = g
+		eng.Schedule(1, func() {})
+	}
+}
+
+// Collect builds a returned slice in map order.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want:maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum accumulates floats in map order (float addition is not
+// associative, so the total varies bit-for-bit between runs).
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want:maporder
+		total += v
+	}
+	return total
+}
+
+// Max is an argmax over map order: ties break nondeterministically.
+func Max(m map[string]float64) string {
+	best := ""
+	bestV := -1.0
+	for k, v := range m { // want:maporder
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// Double iterates a slice, which is always ordered.
+func Double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// HasNegative keeps all state local to one iteration: clean.
+func HasNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountAll carries a waiver: an integer count is order-independent, but
+// the analyzer cannot prove that.
+func CountAll(m map[string]int) int {
+	n := 0
+	for range m { //lint:sorted iteration count is order-independent
+		n++
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+// Package sim is a fixture core package: the wallclock and globalrand
+// rules both apply here.
+package sim
+
+import (
+	"math/rand" // want:globalrand
+	"time"
+)
+
+// Elapsed reads and waits on the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want:wallclock
+	return time.Since(start)     // want:wallclock
+}
+
+// Jitter draws from the ambient generator (the import is the finding;
+// the call site is not reported again).
+func Jitter() float64 { return rand.Float64() }
+
+// Window is legal: time types and constants are not wall-clock reads.
+const Window = 5 * time.Millisecond

@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"math/rand" // want:globalrand
+	"testing"
+	"time"
+)
+
+// Wall-clock timing is allowed in tests; ambient randomness is not
+// (a stochastic test is unreproducible either way).
+func TestElapsed(t *testing.T) {
+	start := time.Now()
+	if Elapsed(start) < 0 {
+		t.Fatal("negative elapsed time")
+	}
+	_ = rand.Int()
+}

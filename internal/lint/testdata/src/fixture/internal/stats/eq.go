@@ -1,0 +1,32 @@
+// Package stats is a fixture core package for the floateq and waiver
+// rules.
+package stats
+
+import "math"
+
+// Converged compares floats exactly: the classic tolerance bug.
+func Converged(a, b float64) bool {
+	return a == b // want:floateq
+}
+
+// Changed is the != spelling of the same bug.
+func Changed(prev, cur float64) bool {
+	return prev != cur // want:floateq
+}
+
+// IsNaN uses the x != x idiom, which stays legal without a waiver.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// folded compares compile-time constants, which stays legal.
+const folded = math.Pi == 3.14159
+
+// SameInt compares integers; the rule only cares about floats.
+func SameInt(a, b int) bool { return a == b }
+
+// IsZero is the audited escape hatch: an exact comparison concentrated
+// in a named helper carrying a waiver.
+func IsZero(x float64) bool {
+	return x == 0 //lint:floateq exact-zero sentinel, not a tolerance
+}

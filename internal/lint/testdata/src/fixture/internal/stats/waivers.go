@@ -1,0 +1,27 @@
+package stats
+
+// Tol compares with a tolerance, so the directive below suppresses
+// nothing and must be reported stale.
+func Tol(a, b float64) bool {
+	//lint:floateq suppresses nothing, reported stale; want:waiver
+	return diff(a, b) < 1e-9
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Bogus waives a rule that does not exist; the floateq half of the
+// directive still suppresses the comparison on its line.
+func Bogus(a, b float64) bool {
+	return a == b //lint:floateq,bogusrule typo'd name; want:waiver
+}
+
+// Empty directives are errors too.
+func Empty() int {
+	//lint: no rule named; want:waiver
+	return 0
+}

@@ -1,0 +1,18 @@
+// Package util sits outside the sim core: wall clock, ambient
+// randomness, map iteration, and float equality are all allowed here.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Uptime mixes everything the core bans; none of it is reported.
+func Uptime(start time.Time, weights map[string]float64) (time.Duration, bool) {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	jitter := rand.Float64()
+	return time.Since(start), total == jitter
+}

@@ -1,6 +1,9 @@
 package placement
 
-import "sort"
+import (
+	"maps"
+	"slices"
+)
 
 // PlanDiff describes the deployment delta between two Replica Selection
 // Plans over the same problem. The paper notes that deploying a new RSP
@@ -46,18 +49,17 @@ func (p *Problem) DiffPlans(old, new Plan) PlanDiff {
 			d.MovedTraffic += p.Groups[gi].Total()
 		}
 	}
-	for oi := range newUsed {
+	// MovedGroups is already ascending (appended in gi order); iterate the
+	// used-sets by sorted key so the RSNode lists come out ordered too.
+	for _, oi := range slices.Sorted(maps.Keys(newUsed)) {
 		if !oldUsed[oi] {
 			d.NewRSNodes = append(d.NewRSNodes, oi)
 		}
 	}
-	for oi := range oldUsed {
+	for _, oi := range slices.Sorted(maps.Keys(oldUsed)) {
 		if !newUsed[oi] {
 			d.RetiredRSNodes = append(d.RetiredRSNodes, oi)
 		}
 	}
-	sort.Ints(d.MovedGroups)
-	sort.Ints(d.NewRSNodes)
-	sort.Ints(d.RetiredRSNodes)
 	return d
 }

@@ -2,7 +2,8 @@ package placement
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 
 	"netrs/internal/ilp"
 )
@@ -42,14 +43,13 @@ func (s SharedAccelerators) Validate(p *Problem) error {
 	return nil
 }
 
-// members returns operator indices per accelerator, sorted.
+// members returns operator indices per accelerator, sorted (built from
+// sorted operator keys, so the member lists come out ordered).
 func (s SharedAccelerators) members() map[int][]int {
 	out := make(map[int][]int)
-	for oi, a := range s.GroupOf {
+	for _, oi := range slices.Sorted(maps.Keys(s.GroupOf)) {
+		a := s.GroupOf[oi]
 		out[a] = append(out[a], oi)
-	}
-	for a := range out {
-		sort.Ints(out[a])
 	}
 	return out
 }
@@ -113,12 +113,13 @@ func SolveShared(p Problem, shared SharedAccelerators, opts Options) (Plan, erro
 	// Capacity: dedicated operators use their own Tmax; shared ones use
 	// the joint accelerator constraint.
 	sharedMembers := shared.members()
+	accels := slices.Sorted(maps.Keys(sharedMembers))
 	dedicated := make([]bool, len(p.Operators))
 	for oi := range p.Operators {
 		dedicated[oi] = true
 	}
-	for _, ois := range sharedMembers {
-		for _, oi := range ois {
+	for _, a := range accels {
+		for _, oi := range sharedMembers[a] {
 			dedicated[oi] = false
 		}
 	}
@@ -143,17 +144,26 @@ func SolveShared(p Problem, shared SharedAccelerators, opts Options) (Plan, erro
 			}
 		}
 	}
-	for a, ois := range sharedMembers {
-		if err := addCapacity(ois, shared.MaxTraffic[a]); err != nil {
+	// Accelerators in sorted order: constraint ordering reaches the
+	// simplex tableau, so map order must not decide it.
+	for _, a := range accels {
+		if err := addCapacity(sharedMembers[a], shared.MaxTraffic[a]); err != nil {
 			return Plan{}, err
 		}
 	}
 
-	// Extra-hop budget (Eq. 7) as in the dedicated case.
+	// Extra-hop budget (Eq. 7) as in the dedicated case, with terms in
+	// construction order rather than map order.
 	var hopTerms []ilp.Term
-	for key, v := range pVar {
-		if cost := p.ExtraHopCost(p.Groups[key[0]], p.Operators[key[1]]); cost > 0 {
-			hopTerms = append(hopTerms, ilp.Term{Var: v, Coef: cost})
+	for gi := range p.Groups {
+		for _, oi := range candidates[gi] {
+			v, ok := pVar[[2]int{gi, oi}]
+			if !ok {
+				continue
+			}
+			if cost := p.ExtraHopCost(p.Groups[gi], p.Operators[oi]); cost > 0 {
+				hopTerms = append(hopTerms, ilp.Term{Var: v, Coef: cost})
+			}
 		}
 	}
 	if len(hopTerms) > 0 {
@@ -177,9 +187,11 @@ func SolveShared(p Problem, shared SharedAccelerators, opts Options) (Plan, erro
 	for gi := range plan.Assignment {
 		plan.Assignment[gi] = -1
 	}
-	for key, v := range pVar {
-		if sol.X[v] > 0.5 {
-			plan.Assignment[key[0]] = key[1]
+	for gi := range p.Groups {
+		for _, oi := range candidates[gi] {
+			if v, ok := pVar[[2]int{gi, oi}]; ok && sol.X[v] > 0.5 {
+				plan.Assignment[gi] = oi
+			}
 		}
 	}
 	p.finishPlan(&plan)

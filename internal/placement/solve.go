@@ -248,12 +248,20 @@ func solveExact(p Problem, active []bool, candidates [][]int, opts Options) (Pla
 			return Plan{}, err
 		}
 	}
-	// Eq. (7): global extra-hop budget.
+	// Eq. (7): global extra-hop budget. Terms are emitted in the pVar
+	// construction order (group, then candidate), never map order: the
+	// row's term sequence feeds simplex arithmetic.
 	var hopTerms []ilp.Term
-	for key, v := range pVar {
-		cost := p.ExtraHopCost(p.Groups[key[0]], p.Operators[key[1]])
-		if cost > 0 {
-			hopTerms = append(hopTerms, ilp.Term{Var: v, Coef: cost})
+	for gi := range p.Groups {
+		for _, oi := range candidates[gi] {
+			v, ok := pVar[[2]int{gi, oi}]
+			if !ok {
+				continue
+			}
+			cost := p.ExtraHopCost(p.Groups[gi], p.Operators[oi])
+			if cost > 0 {
+				hopTerms = append(hopTerms, ilp.Term{Var: v, Coef: cost})
+			}
 		}
 	}
 	if len(hopTerms) > 0 {
@@ -306,9 +314,11 @@ func solveExact(p Problem, active []bool, candidates [][]int, opts Options) (Pla
 	for gi := range plan.Assignment {
 		plan.Assignment[gi] = -1
 	}
-	for key, v := range pVar {
-		if sol.X[v] > 0.5 {
-			plan.Assignment[key[0]] = key[1]
+	for gi := range p.Groups {
+		for _, oi := range candidates[gi] {
+			if v, ok := pVar[[2]int{gi, oi}]; ok && sol.X[v] > 0.5 {
+				plan.Assignment[gi] = oi
+			}
 		}
 	}
 	return plan, nil
@@ -368,12 +378,18 @@ func solveHeuristic(p Problem, active []bool, candidates [][]int) (Plan, error) 
 			sort.Slice(cands, func(a, b int) bool {
 				ca := p.ExtraHopCost(p.Groups[cands[a]], p.Operators[oi])
 				cb := p.ExtraHopCost(p.Groups[cands[b]], p.Operators[oi])
-				if ca != cb {
-					return ca < cb
+				switch {
+				case ca < cb:
+					return true
+				case cb < ca:
+					return false
 				}
 				ta, tb := p.Groups[cands[a]].Total(), p.Groups[cands[b]].Total()
-				if ta != tb {
-					return ta > tb
+				switch {
+				case ta > tb:
+					return true
+				case tb > ta:
+					return false
 				}
 				return cands[a] < cands[b]
 			})
@@ -457,7 +473,13 @@ func solveHeuristic(p Problem, active []bool, candidates [][]int) (Plan, error) 
 		if !feasible {
 			continue
 		}
-		for gi, target := range moves {
+		// Apply in member order (moves is keyed by group): the load updates
+		// are float sums, so iteration order must be deterministic.
+		for _, gi := range members {
+			target, ok := moves[gi]
+			if !ok {
+				continue
+			}
 			assignment[gi] = target
 			load[target] += p.Groups[gi].Total()
 			load[oi] -= p.Groups[gi].Total()

@@ -176,8 +176,11 @@ func (t *TwoChoices) Rank(candidates []int) []int {
 	copy(out, candidates)
 	sort.SliceStable(out, func(i, j int) bool {
 		li, lj := t.load(out[i]), t.load(out[j])
-		if li != lj {
-			return li < lj
+		switch {
+		case li < lj:
+			return true
+		case lj < li:
+			return false
 		}
 		return out[i] < out[j]
 	})
@@ -248,8 +251,11 @@ func (d *DynamicSnitch) Rank(candidates []int) []int {
 	copy(out, candidates)
 	sort.SliceStable(out, func(i, j int) bool {
 		si, sj := d.score(out[i]), d.score(out[j])
-		if si != sj {
-			return si < sj
+		switch {
+		case si < sj:
+			return true
+		case sj < si:
+			return false
 		}
 		return out[i] < out[j]
 	})

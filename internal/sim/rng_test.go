@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // TestDeriveSeedDeterministic checks the same (base, trial) pair always
 // yields the same seed — the property the parallel executor's determinism
@@ -47,5 +50,72 @@ func TestDeriveSeedStreamsDiffer(t *testing.T) {
 	}
 	if same == 16 {
 		t.Fatal("adjacent trial streams identical")
+	}
+}
+
+// pearson computes the sample correlation coefficient of two equal-length
+// series.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// TestDeriveSeedAdjacentTrialsUncorrelated checks stream independence the
+// way the executor relies on it: the first draw of trial t must not
+// predict the first draw of trial t+1. A linear dependence here would
+// correlate "independent" repetitions of the same experiment.
+func TestDeriveSeedAdjacentTrialsUncorrelated(t *testing.T) {
+	const n = 1000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = NewRNG(DeriveSeed(42, uint64(i))).Float64()
+		ys[i] = NewRNG(DeriveSeed(42, uint64(i+1))).Float64()
+	}
+	if r := pearson(xs, ys); math.Abs(r) > 0.1 {
+		t.Fatalf("first draws of adjacent trials correlate: r = %.4f", r)
+	}
+}
+
+// TestDeriveSeedAdjacentBasesUncorrelated is the same property across
+// base seeds: sweeping seed, seed+1, ... must yield unrelated streams.
+func TestDeriveSeedAdjacentBasesUncorrelated(t *testing.T) {
+	const n = 1000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = NewRNG(DeriveSeed(uint64(i), 0)).Float64()
+		ys[i] = NewRNG(DeriveSeed(uint64(i+1), 0)).Float64()
+	}
+	if r := pearson(xs, ys); math.Abs(r) > 0.1 {
+		t.Fatalf("first draws of adjacent bases correlate: r = %.4f", r)
+	}
+}
+
+// TestDeriveSeedNoCollisionsAtScale widens the collision check to the
+// 10k seeds a large sweep actually derives.
+func TestDeriveSeedNoCollisionsAtScale(t *testing.T) {
+	seen := make(map[uint64]bool, 100*100)
+	for base := uint64(0); base < 100; base++ {
+		for trial := uint64(0); trial < 100; trial++ {
+			s := DeriveSeed(base, trial)
+			if seen[s] {
+				t.Fatalf("DeriveSeed collision at (%d,%d) → %d", base, trial, s)
+			}
+			seen[s] = true
+		}
 	}
 }

@@ -1,0 +1,10 @@
+package stats
+
+// IsZero reports whether x is exactly ±0 — the deliberate sentinel
+// comparison for "nothing observed yet" fields and division guards. Use
+// it instead of an inline == 0 so the sim core's exact float comparisons
+// stay concentrated in one audited place (DESIGN.md §7); anything that
+// means "approximately zero" wants a tolerance, not this.
+func IsZero(x float64) bool {
+	return x == 0 //lint:floateq exact-zero sentinel, not a tolerance check
+}

@@ -39,7 +39,7 @@ func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 // is zero. The experiments use it to quantify load imbalance across
 // servers: "herd behavior" concentrates load, raising the CV.
 func (w *Welford) CV() float64 {
-	if w.mean == 0 {
+	if IsZero(w.mean) {
 		return 0
 	}
 	return w.StdDev() / w.mean

@@ -2,8 +2,11 @@ package topo
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
+	"maps"
+	"slices"
 )
 
 // WriteDOT emits the topology as a Graphviz digraph for visualization:
@@ -59,8 +62,15 @@ func (t *Topology) WriteDOT(w io.Writer) error {
 		write("  }\n")
 	}
 
-	// Links, deduplicated (a < b).
-	for key := range t.links {
+	// Links, deduplicated (a < b), in sorted order so the DOT output is
+	// byte-identical across runs.
+	keys := slices.SortedFunc(maps.Keys(t.links), func(x, y linkKey) int {
+		if c := cmp.Compare(x.a, y.a); c != 0 {
+			return c
+		}
+		return cmp.Compare(x.b, y.b)
+	})
+	for _, key := range keys {
 		write("  n%d -- n%d;\n", key.a, key.b)
 	}
 	write("}\n")

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -492,5 +493,43 @@ func TestWriteDOT(t *testing.T) {
 	wantEdges := 16 + 16 + 16 // host-tor + tor-agg + agg-core for k=4
 	if edges != wantEdges {
 		t.Fatalf("dot has %d edges, want %d", edges, wantEdges)
+	}
+}
+
+// TestWriteDOTDeterministic pins the link section to sorted order: the
+// links live in a map, and before the edges were sorted the DOT bytes
+// differed between runs of the same binary.
+func TestWriteDOTDeterministic(t *testing.T) {
+	ft := mustFatTree(t, 4)
+	render := func() string {
+		var buf strings.Builder
+		if err := ft.WriteDOT(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("WriteDOT output unstable on repeat %d", i)
+		}
+	}
+	// The edge lines themselves must be in (a, b) sorted order, not just
+	// stable within this process.
+	var prev [2]int
+	for _, line := range strings.Split(first, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.Contains(line, " -- ") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "n%d -- n%d;", &a, &b); err != nil {
+			t.Fatalf("unparsable edge line %q: %v", line, err)
+		}
+		if cur := [2]int{a, b}; !(prev[0] < cur[0] || (prev[0] == cur[0] && prev[1] < cur[1])) {
+			t.Fatalf("edges out of order: %v then %v", prev, cur)
+		} else {
+			prev = cur
+		}
 	}
 }

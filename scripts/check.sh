@@ -1,34 +1,48 @@
 #!/bin/sh
-# Tier-2 checks: everything tier-1 runs (build + tests) plus static
-# analysis and the race detector over the parallel executor paths.
+# Tiered checks, each a superset of the one below it:
 #
 #   ./scripts/check.sh          # tier-1: go build + go test
-#   ./scripts/check.sh tier2    # tier-1 + go vet + go test -race
+#   ./scripts/check.sh tier2    # tier-1 + gofmt + go vet + go test -race
+#   ./scripts/check.sh tier3    # tier-2 + netrs-lint (determinism contract)
 #
 # The race pass is the gate for internal/exec and the RunRepeated/RunSweep
 # facade: any unsynchronized shared state a parallel sweep touches shows
-# up here, not in production.
+# up here, not in production. Tier-3 adds the static determinism and
+# simulation-hygiene analyzers of internal/lint (DESIGN.md §7).
 set -eu
 cd "$(dirname "$0")/.."
 
 tier="${1:-tier1}"
+case "$tier" in
+tier1 | tier2 | tier3) ;;
+*)
+	echo "usage: $0 [tier1|tier2|tier3]" >&2
+	exit 2
+	;;
+esac
 
 echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
 go test ./...
 
-case "$tier" in
-tier1) ;;
-tier2)
+if [ "$tier" = "tier2" ] || [ "$tier" = "tier3" ]; then
+	echo "== gofmt -l"
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt: these files need reformatting:" >&2
+		echo "$unformatted" >&2
+		exit 1
+	fi
 	echo "== go vet ./..."
 	go vet ./...
 	echo "== go test -race ./..."
 	go test -race ./...
-	;;
-*)
-	echo "usage: $0 [tier1|tier2]" >&2
-	exit 2
-	;;
-esac
+fi
+
+if [ "$tier" = "tier3" ]; then
+	echo "== netrs-lint ./..."
+	go run ./cmd/netrs-lint ./...
+fi
+
 echo "== OK ($tier)"
