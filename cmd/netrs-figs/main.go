@@ -61,7 +61,7 @@ func scaledConfig(scale string) (netrs.Config, error) {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-figs", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7")
 	requests := fs.Int("requests", 50000, "measured requests per point (paper: 6000000; env NETRS_REQUESTS overrides)")
@@ -70,9 +70,20 @@ func run(args []string) error {
 	chart := fs.Bool("chart", false, "also draw bar charts for the Avg and 99th panels")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	parallel := fs.Int("parallel", 0, "concurrent trials: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if env := os.Getenv("NETRS_REQUESTS"); env != "" {
 		n, err := strconv.Atoi(env)

@@ -30,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-sim", flag.ContinueOnError)
 	def := netrs.DefaultConfig()
 
@@ -55,10 +55,21 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "load the experiment from a JSON config file (flags are ignored)")
 	saveConfig := fs.String("save-config", "", "write the effective config to a JSON file and exit")
 	tracePath := fs.String("trace", "", "write per-request latencies (ms, one per line) to this CSV file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); retErr == nil {
+			retErr = perr
+		}
+	}()
 	if err := cliutil.ApplyEnvParallel(fs, "parallel", trialPar); err != nil {
 		return err
 	}

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling to cpuPath and arranges a heap
+// snapshot at memPath; either path may be empty to skip that profile. The
+// returned stop function flushes and closes the profiles and must be
+// called exactly once (typically deferred) — CPU samples are lost and the
+// heap snapshot is never written otherwise. With both paths empty, stop is
+// a cheap no-op, so callers can wire the flags unconditionally.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			// Collect garbage first so the snapshot shows live objects, not
+			// whatever the last GC cycle left behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -95,6 +95,7 @@ type pending struct {
 // request.
 type packetCtx struct {
 	p      *pending
+	pid    uint64
 	server int
 	sentAt sim.Time
 }
@@ -138,6 +139,10 @@ type runner struct {
 	queueCV    stats.Welford // samples of cross-server queue-length CV
 	samplerRef sim.EventRef
 
+	// launchPickFn is the shared handler for rate-control-delayed CliRS
+	// sends (closure-free scheduling; the packetCtx is the argument).
+	launchPickFn sim.ArgHandler
+
 	netrs bool
 }
 
@@ -160,6 +165,7 @@ func Run(cfg Config) (Result, error) {
 		tickets:  make(map[uint64]kv.Ticket),
 		netrs:    cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP,
 	}
+	r.launchPickFn = func(arg any) { r.launchPick(arg.(*packetCtx)) }
 	if err := r.setup(); err != nil {
 		return Result{}, err
 	}
@@ -554,36 +560,39 @@ func (r *runner) sendClientPick(p *pending, candidates []int, primary bool) {
 		return
 	}
 	pid := r.newPID()
-	ctx := &packetCtx{p: p, server: server}
+	ctx := &packetCtx{p: p, pid: pid, server: server}
 	r.pendings[pid] = ctx
 	p.packetIDs = append(p.packetIDs, pid)
-	send := func() {
-		if p.done {
-			delete(r.pendings, pid)
-			return
-		}
-		ctx.sentAt = r.eng.Now()
-		pkt := &fabric.Packet{
-			ReqID:     pid,
-			Dst:       r.serverHostOf[server],
-			Server:    server,
-			RGID:      uint32(p.rgid),
-			CreatedAt: p.created,
-		}
-		if err := r.net.SendDirect(pkt, c.host); err != nil {
-			delete(r.pendings, pid)
-		}
-	}
 	if delay > 0 {
-		r.eng.MustSchedule(delay, send)
+		r.eng.MustScheduleArg(delay, r.launchPickFn, ctx)
 	} else {
-		send()
+		r.launchPick(ctx)
 	}
 	if primary {
 		p.primary = server
 		if r.cfg.Scheme == SchemeCliRSR95 {
 			r.armRedundantTimer(p)
 		}
+	}
+}
+
+// launchPick puts a CliRS request on the wire once any rate-control delay
+// has elapsed.
+func (r *runner) launchPick(ctx *packetCtx) {
+	p := ctx.p
+	if p.done {
+		delete(r.pendings, ctx.pid)
+		return
+	}
+	ctx.sentAt = r.eng.Now()
+	pkt := r.net.NewPacket()
+	pkt.ReqID = ctx.pid
+	pkt.Dst = r.serverHostOf[ctx.server]
+	pkt.Server = ctx.server
+	pkt.RGID = uint32(p.rgid)
+	pkt.CreatedAt = p.created
+	if err := r.net.SendDirect(pkt, p.client.host); err != nil {
+		delete(r.pendings, ctx.pid)
 	}
 }
 
@@ -624,16 +633,15 @@ func (r *runner) sendNetRS(p *pending) {
 	ranked := c.sel.Rank(p.replicas)
 	backup := ranked[0]
 	pid := r.newPID()
-	r.pendings[pid] = &packetCtx{p: p, server: -1, sentAt: r.eng.Now()}
+	r.pendings[pid] = &packetCtx{p: p, pid: pid, server: -1, sentAt: r.eng.Now()}
 	p.packetIDs = append(p.packetIDs, pid)
-	pkt := &fabric.Packet{
-		ReqID:        pid,
-		RGID:         uint32(p.rgid),
-		Dst:          topo.InvalidNode,
-		Backup:       r.serverHostOf[backup],
-		BackupServer: backup,
-		CreatedAt:    p.created,
-	}
+	pkt := r.net.NewPacket()
+	pkt.ReqID = pid
+	pkt.RGID = uint32(p.rgid)
+	pkt.Dst = topo.InvalidNode
+	pkt.Backup = r.serverHostOf[backup]
+	pkt.BackupServer = backup
+	pkt.CreatedAt = p.created
 	if err := r.net.SendNetRSRequest(pkt, c.host); err != nil {
 		delete(r.pendings, pid)
 	}
@@ -658,16 +666,15 @@ func (r *runner) serverHandler(sid int) fabric.HostHandler {
 			if reqMagic != 0 {
 				respMagic = wire.InverseTransform(reqMagic)
 			}
-			resp := &fabric.Packet{
-				ReqID:     reqID,
-				Magic:     respMagic,
-				RID:       rid,
-				RGID:      rgid,
-				Dst:       clientHost,
-				Server:    sid,
-				Status:    srv.Status(),
-				CreatedAt: created,
-			}
+			resp := r.net.NewPacket()
+			resp.ReqID = reqID
+			resp.Magic = respMagic
+			resp.RID = rid
+			resp.RGID = rgid
+			resp.Dst = clientHost
+			resp.Server = sid
+			resp.Status = srv.Status()
+			resp.CreatedAt = created
 			if err := r.net.SendResponse(resp, host); err != nil {
 				return
 			}

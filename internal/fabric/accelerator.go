@@ -24,6 +24,14 @@ type Accelerator struct {
 	busy  int
 	queue []*Packet
 
+	// Stored hot-path handlers: every request traverses switch→accelerator
+	// (enterFn), service completion (finishFn), and accelerator→switch
+	// (selectedFn); sharing one func value per stage keeps the per-request
+	// schedule calls allocation-free.
+	enterFn    sim.ArgHandler
+	finishFn   sim.ArgHandler
+	selectedFn sim.ArgHandler
+
 	selections uint64
 	clones     uint64
 	busyNs     sim.Time
@@ -36,7 +44,7 @@ type Accelerator struct {
 }
 
 func newAccelerator(eng *sim.Engine, cfg Config, sel Selector, op *Operator) *Accelerator {
-	return &Accelerator{
+	a := &Accelerator{
 		eng:      eng,
 		op:       op,
 		selector: sel,
@@ -45,6 +53,13 @@ func newAccelerator(eng *sim.Engine, cfg Config, sel Selector, op *Operator) *Ac
 		rtt:      cfg.AccelRTT,
 		sentAt:   make(map[uint64]sim.Time),
 	}
+	a.enterFn = func(arg any) { a.enter(arg.(*Packet)) }
+	a.finishFn = func(arg any) { a.finishService(arg.(*Packet)) }
+	a.selectedFn = func(arg any) {
+		p := arg.(*Packet)
+		a.op.onSelected(p, p.Server, p.hold)
+	}
+	return a
 }
 
 // Selector exposes the replica-selection state (for instrumentation).
@@ -75,21 +90,25 @@ func (a *Accelerator) Utilization() float64 {
 // it for a core, runs the selection, and hands the packet back to the
 // operator.
 func (a *Accelerator) submitRequest(p *Packet) {
-	a.eng.MustSchedule(a.rtt/2, func() {
-		if a.busy < a.cores {
-			a.startService(p)
-			return
-		}
-		a.queue = append(a.queue, p)
-		if q := len(a.queue) + a.busy; q > a.maxQueue {
-			a.maxQueue = q
-		}
-	})
+	a.eng.MustScheduleArg(a.rtt/2, a.enterFn, p)
+}
+
+// enter is the request's arrival at the accelerator after crossing the
+// switch–accelerator link.
+func (a *Accelerator) enter(p *Packet) {
+	if a.busy < a.cores {
+		a.startService(p)
+		return
+	}
+	a.queue = append(a.queue, p)
+	if q := len(a.queue) + a.busy; q > a.maxQueue {
+		a.maxQueue = q
+	}
 }
 
 func (a *Accelerator) startService(p *Packet) {
 	a.busy++
-	a.eng.MustSchedule(a.svc, func() { a.finishService(p) })
+	a.eng.MustScheduleArg(a.svc, a.finishFn, p)
 }
 
 func (a *Accelerator) finishService(p *Packet) {
@@ -112,8 +131,11 @@ func (a *Accelerator) finishService(p *Packet) {
 		a.op.degrade(p)
 		return
 	}
-	// Return trip to the switch, plus any rate-control hold.
-	a.eng.MustSchedule(a.rtt/2, func() { a.op.onSelected(p, server, delay) })
+	// Return trip to the switch; the rate-control hold rides in the packet
+	// until the operator applies it.
+	p.Server = server
+	p.hold = delay
+	a.eng.MustScheduleArg(a.rtt/2, a.selectedFn, p)
 }
 
 // markSent stamps the moment a selected request leaves the switch, so the

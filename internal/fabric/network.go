@@ -64,14 +64,24 @@ type Packet struct {
 
 	path []topo.NodeID
 	idx  int
+
+	// hold stashes a selector's rate-control delay between the
+	// accelerator's return trip and the operator's send, so the hot path
+	// needs no capturing closure.
+	hold sim.Time
+	// pooled marks packets owned by the Network's free list: once
+	// injected (Launch/Send*), the fabric recycles them after delivery or
+	// drop, so host handlers must not retain them past the callback.
+	pooled bool
 }
 
 // Clone returns a copy of the packet with an empty path, as a switch's
-// clone-to-accelerator action produces.
+// clone-to-accelerator action produces. Clones are never pool-owned.
 func (p *Packet) Clone() *Packet {
 	c := *p
 	c.path = nil
 	c.idx = 0
+	c.pooled = false
 	return &c
 }
 
@@ -121,6 +131,12 @@ type Network struct {
 	opByID    map[uint16]*Operator
 	hosts     map[topo.NodeID]HostHandler
 
+	// arriveFn is the one hop-completion handler shared by every in-flight
+	// packet (closure-free per-hop scheduling).
+	arriveFn sim.ArgHandler
+	// pktFree recycles pooled packets (NewPacket) after delivery or drop.
+	pktFree []*Packet
+
 	forwardsTotal uint64
 	delivered     uint64
 	dropped       uint64
@@ -144,6 +160,11 @@ func NewNetwork(eng *sim.Engine, t *topo.Topology, cfg Config, selectorFactory f
 		operators: make(map[topo.NodeID]*Operator),
 		opByID:    make(map[uint16]*Operator),
 		hosts:     make(map[topo.NodeID]HostHandler),
+	}
+	n.arriveFn = func(arg any) {
+		p := arg.(*Packet)
+		p.idx++
+		n.arrive(p)
 	}
 	for i, sw := range t.Switches() {
 		id := uint16(i + 1)
@@ -244,10 +265,7 @@ func (n *Network) hop(p *Packet) {
 		return
 	}
 	n.forwardsTotal++
-	n.eng.MustSchedule(n.cfg.LinkLatency, func() {
-		p.idx++
-		n.arrive(p)
-	})
+	n.eng.MustScheduleArg(n.cfg.LinkLatency, n.arriveFn, p)
 }
 
 // arrive processes the packet at its current node.
@@ -255,13 +273,13 @@ func (n *Network) arrive(p *Packet) {
 	node := p.path[p.idx]
 	meta, err := n.topo.Node(node)
 	if err != nil {
-		n.dropped++
+		n.drop(p)
 		return
 	}
 	if meta.Kind == topo.KindHost {
 		h, ok := n.hosts[node]
 		if !ok {
-			n.dropped++
+			n.drop(p)
 			return
 		}
 		// Responses leaving the network pass the ToR's egress pipeline,
@@ -275,14 +293,45 @@ func (n *Network) arrive(p *Packet) {
 		}
 		n.delivered++
 		h(p)
+		n.release(p)
 		return
 	}
 	op, ok := n.operators[node]
 	if !ok {
-		n.dropped++
+		n.drop(p)
 		return
 	}
 	op.ingress(p)
+}
+
+// NewPacket returns a zeroed packet, recycled from the network's free list
+// when one is available. Pool-owned packets are reclaimed by the fabric
+// after the destination handler returns (or on a drop), so handlers must
+// copy any fields they need and never re-inject or retain the packet.
+// Packets built with a plain &Packet{} literal are never recycled.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		*p = Packet{pooled: true}
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// release returns a pool-owned packet to the free list; a no-op for
+// literal-built packets.
+func (n *Network) release(p *Packet) {
+	if p.pooled {
+		p.pooled = false
+		n.pktFree = append(n.pktFree, p)
+	}
+}
+
+// drop counts a packet as dropped and recycles it.
+func (n *Network) drop(p *Packet) {
+	n.dropped++
+	n.release(p)
 }
 
 // forwardFrom continues a packet along its (possibly new) path from the

@@ -107,6 +107,10 @@ type Operator struct {
 
 	failed bool
 	stats  OperatorStats
+
+	// sendSelectedFn is the stored handler for rate-control-delayed sends,
+	// so a held request schedules without allocating a closure.
+	sendSelectedFn sim.ArgHandler
 }
 
 func newOperator(id uint16, sw topo.NodeID, net *Network, sel Selector) (*Operator, error) {
@@ -127,6 +131,7 @@ func newOperator(id uint16, sw topo.NodeID, net *Network, sel Selector) (*Operat
 		net:   net,
 		rules: NewRules(),
 	}
+	o.sendSelectedFn = func(arg any) { o.sendSelected(arg.(*Packet)) }
 	o.accel = newAccelerator(net.eng, net.cfg, sel, o)
 	if node.Tier == topo.TierToR {
 		o.monitor = newMonitor(node.Pod, node.Rack, o)
@@ -214,7 +219,7 @@ func (o *Operator) ingressRequest(p *Packet) {
 			return
 		}
 		if err := o.net.relaunch(p, o.sw, target.sw); err != nil {
-			o.net.dropped++
+			o.net.drop(p)
 		}
 		return
 	}
@@ -246,7 +251,7 @@ func (o *Operator) degrade(p *Packet) {
 	p.Dst = p.Backup
 	p.Server = p.BackupServer
 	if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
-		o.net.dropped++
+		o.net.drop(p)
 	}
 }
 
@@ -254,16 +259,19 @@ func (o *Operator) degrade(p *Packet) {
 func (o *Operator) ingressResponse(p *Packet) {
 	o.stampSourceMarker(p)
 	if p.RID == o.id {
-		// Clone to the accelerator for state maintenance; the original
-		// continues with the Mmon magic so monitors recognize it and no
-		// further RSNode processes it (§IV-B).
+		// The switch's clone-to-accelerator action folds the response into
+		// selector state; the accelerator consumes it synchronously and
+		// read-only, so the simulation passes the original instead of
+		// materializing a copy. The original then continues with the Mmon
+		// magic so monitors recognize it and no further RSNode processes
+		// it (§IV-B).
 		if !o.failed {
-			o.accel.submitResponseClone(p.Clone())
+			o.accel.submitResponseClone(p)
 		}
 		p.Magic = wire.MagicMonitor
 		if p.idx >= len(p.path)-1 {
 			if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
-				o.net.dropped++
+				o.net.drop(p)
 			}
 			return
 		}
@@ -274,11 +282,11 @@ func (o *Operator) ingressResponse(p *Packet) {
 		// The response must reach its RSNode before the client.
 		target, err := o.net.OperatorByID(p.RID)
 		if err != nil {
-			o.net.dropped++
+			o.net.drop(p)
 			return
 		}
 		if err := o.net.relaunch(p, o.sw, target.sw); err != nil {
-			o.net.dropped++
+			o.net.drop(p)
 		}
 		return
 	}
@@ -304,7 +312,7 @@ func (o *Operator) forwardOrDeliver(p *Packet) {
 	if p.idx >= len(p.path)-1 {
 		// A non-request packet whose path ends at a switch has nowhere to
 		// go; this indicates a routing bug upstream.
-		o.net.dropped++
+		o.net.drop(p)
 		return
 	}
 	o.net.hop(p)
@@ -329,24 +337,27 @@ func (o *Operator) inMyRack(host topo.NodeID) bool {
 func (o *Operator) onSelected(p *Packet, server int, delay sim.Time) {
 	host, err := o.serverHost(server)
 	if err != nil {
-		o.net.dropped++
+		o.net.drop(p)
 		return
 	}
 	o.stats.Selections++
 	p.Server = server
 	p.Dst = host
 	p.Magic = wire.Transform(wire.MagicResponse)
-	send := func() {
-		o.accel.markSent(p.ReqID)
-		if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
-			o.net.dropped++
-		}
-	}
 	if delay > 0 {
-		o.net.eng.MustSchedule(delay, send)
+		o.net.eng.MustScheduleArg(delay, o.sendSelectedFn, p)
 		return
 	}
-	send()
+	o.sendSelected(p)
+}
+
+// sendSelected releases a selected request onto the fabric once any
+// rate-control hold has elapsed.
+func (o *Operator) sendSelected(p *Packet) {
+	o.accel.markSent(p.ReqID)
+	if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
+		o.net.drop(p)
+	}
 }
 
 // onCloneProcessed is the accelerator's callback for response clones.

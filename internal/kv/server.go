@@ -58,6 +58,22 @@ type Server struct {
 	cancelled uint64
 	maxQueue  int
 	busyNs    sim.Time
+
+	// finishFn is the shared service-completion handler; jobFree recycles
+	// the svcJob carriers it consumes, so per-request scheduling performs
+	// no heap allocation in steady state.
+	finishFn sim.ArgHandler
+	jobFree  []*svcJob
+	redrawFn sim.Handler
+}
+
+// svcJob carries one in-service request and its drawn service time between
+// startService and the completion event. Jobs are pool-recycled; queued
+// entries are not (Tickets hold bare *queued pointers and have no
+// generation check to detect reuse).
+type svcJob struct {
+	req Request
+	st  sim.Time
 }
 
 // queued is one waiting request, cancelable until service starts.
@@ -117,6 +133,8 @@ func NewServer(id int, eng *sim.Engine, cfg ServerConfig, rng *sim.RNG) (*Server
 		rng:         rng,
 		currentMean: float64(cfg.MeanServiceTime),
 	}
+	s.finishFn = func(arg any) { s.finishJob(arg.(*svcJob)) }
+	s.redrawFn = s.redrawMode
 	var err error
 	if s.expDrw, err = dist.NewExponential(1, rng.Stream(1)); err != nil {
 		return nil, err
@@ -153,7 +171,7 @@ func (s *Server) Stop() { s.fluctRef.Cancel() }
 
 func (s *Server) redrawMode() {
 	s.currentMean = s.fluct.Draw()
-	s.fluctRef = s.eng.MustSchedule(s.cfg.FluctuationInterval, s.redrawMode)
+	s.fluctRef = s.eng.MustSchedule(s.cfg.FluctuationInterval, s.redrawFn)
 }
 
 // CurrentMeanServiceTime exposes the active performance mode, mainly for
@@ -182,7 +200,25 @@ func (s *Server) startService(req Request) {
 	if st < 1 {
 		st = 1
 	}
-	s.eng.MustSchedule(st, func() { s.finishService(req, st) })
+	var j *svcJob
+	if k := len(s.jobFree); k > 0 {
+		j = s.jobFree[k-1]
+		s.jobFree = s.jobFree[:k-1]
+	} else {
+		j = &svcJob{}
+	}
+	j.req = req
+	j.st = st
+	s.eng.MustScheduleArg(st, s.finishFn, j)
+}
+
+// finishJob unpacks and recycles the job carrier before running the
+// completion logic (the Done callback may re-enter Submit/startService).
+func (s *Server) finishJob(j *svcJob) {
+	req, st := j.req, j.st
+	j.req = Request{} // drop the Done reference while pooled
+	s.jobFree = append(s.jobFree, j)
+	s.finishService(req, st)
 }
 
 func (s *Server) finishService(req Request, st sim.Time) {

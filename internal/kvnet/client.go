@@ -17,11 +17,17 @@ func simTime(d time.Duration) sim.Time { return sim.Time(d) }
 // packet toward the NetRS operator and waits for the response. The client
 // never names a server — it only carries the key's replica group ID, the
 // in-network selector does the rest (§I's "keep things in network").
+//
+// A Client reuses its marshal and receive buffers across Gets and is
+// therefore not safe for concurrent use; open one Client per goroutine.
 type Client struct {
 	conn     *net.UDPConn
 	operator *net.UDPAddr
 	timeout  time.Duration
 	groupOf  func(key string) uint32
+
+	out []byte // reusable request marshal buffer
+	in  []byte // reusable receive buffer
 }
 
 // NewClient opens a client socket. groupOf maps keys to replica group IDs
@@ -38,7 +44,13 @@ func NewClient(operator *net.UDPAddr, groupOf func(key string) uint32, timeout t
 	if err != nil {
 		return nil, fmt.Errorf("client socket: %w", err)
 	}
-	return &Client{conn: conn, operator: operator, timeout: timeout, groupOf: groupOf}, nil
+	return &Client{
+		conn:     conn,
+		operator: operator,
+		timeout:  timeout,
+		groupOf:  groupOf,
+		in:       make([]byte, maxPacket),
+	}, nil
 }
 
 // Close releases the client socket.
@@ -65,10 +77,11 @@ func (c *Client) Get(key string) (GetResult, error) {
 		RGID:    c.groupOf(key) & 0xffffff,
 		Payload: []byte(key),
 	}
-	buf, err := wire.MarshalRequest(req)
+	buf, err := wire.AppendRequest(c.out[:0], req)
 	if err != nil {
 		return GetResult{}, err
 	}
+	c.out = buf
 	start := time.Now()
 	if _, err := c.conn.WriteToUDP(buf, c.operator); err != nil {
 		return GetResult{}, fmt.Errorf("send: %w", err)
@@ -76,7 +89,7 @@ func (c *Client) Get(key string) (GetResult, error) {
 	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
 		return GetResult{}, err
 	}
-	in := make([]byte, maxPacket)
+	in := c.in
 	n, _, err := c.conn.ReadFromUDP(in)
 	if err != nil {
 		if ne, ok := err.(net.Error); ok && ne.Timeout() {

@@ -134,58 +134,63 @@ func (o *Operator) Close() error {
 func (o *Operator) loop() {
 	defer o.wg.Done()
 	buf := make([]byte, maxPacket)
+	var out []byte // loop-owned forward marshal buffer
 	for {
 		n, from, err := o.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		o.handle(pkt, from)
+		// handle processes the datagram synchronously on this goroutine, so
+		// it can borrow the receive buffer directly — no per-packet copy.
+		out = o.handle(buf[:n], from, out)
 	}
 }
 
-func (o *Operator) handle(pkt []byte, from *net.UDPAddr) {
+// handle dispatches one datagram. pkt aliases the loop's receive buffer and
+// must not be retained; out is the loop's reusable marshal buffer, returned
+// (possibly grown) for the next datagram.
+func (o *Operator) handle(pkt []byte, from *net.UDPAddr, out []byte) []byte {
 	magic, err := wire.PeekMagic(pkt)
 	if err != nil {
 		o.drop()
-		return
+		return out
 	}
 	switch wire.Classify(magic) {
 	case wire.KindRequest:
-		o.handleRequest(pkt, from)
+		return o.handleRequest(pkt, from, out)
 	case wire.KindResponse:
 		o.handleResponse(pkt)
 	default:
 		o.drop()
 	}
+	return out
 }
 
 // handleRequest runs the NetRS selector on an incoming request (§IV-C).
-func (o *Operator) handleRequest(pkt []byte, from *net.UDPAddr) {
+func (o *Operator) handleRequest(pkt []byte, from *net.UDPAddr, out []byte) []byte {
 	req, err := wire.UnmarshalRequest(pkt)
 	if err != nil {
 		o.drop()
-		return
+		return out
 	}
 	o.mu.Lock()
 	candidates, ok := o.replicas[req.RGID]
 	if !ok || len(candidates) == 0 {
 		o.mu.Unlock()
 		o.drop()
-		return
+		return out
 	}
 	server, _, err := o.sel.Pick(candidates)
 	if err != nil {
 		o.mu.Unlock()
 		o.drop()
-		return
+		return out
 	}
 	target, ok := o.servers[server]
 	if !ok {
 		o.mu.Unlock()
 		o.drop()
-		return
+		return out
 	}
 	rv := o.allocSlot(from, server)
 	o.selections++
@@ -193,7 +198,7 @@ func (o *Operator) handleRequest(pkt []byte, from *net.UDPAddr) {
 
 	// Rebuild the packet: our RID, the RV slot, the selected-request
 	// magic f(Mresp).
-	out, err := wire.MarshalRequest(wire.Request{
+	fwd, err := wire.AppendRequest(out[:0], wire.Request{
 		RID:     o.cfg.ID,
 		Magic:   wire.Transform(wire.MagicResponse),
 		RV:      rv,
@@ -202,11 +207,12 @@ func (o *Operator) handleRequest(pkt []byte, from *net.UDPAddr) {
 	})
 	if err != nil {
 		o.drop()
-		return
+		return out
 	}
-	if _, err := o.conn.WriteToUDP(out, target); err != nil {
+	if _, err := o.conn.WriteToUDP(fwd, target); err != nil {
 		o.drop()
 	}
+	return fwd
 }
 
 // allocSlot reserves an RV slot for an in-flight request. Callers hold

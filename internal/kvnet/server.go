@@ -96,12 +96,17 @@ type Server struct {
 
 	served atomic.Uint64
 
+	// bufPool recycles inbound datagram buffers between the read loop and
+	// the workers, so steady-state receive performs no per-packet
+	// allocation.
+	bufPool sync.Pool
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
 type inbound struct {
-	buf  []byte
+	buf  *[]byte
 	from *net.UDPAddr
 }
 
@@ -127,6 +132,10 @@ func NewServer(addr string, cfg ServerConfig, store *Store) (*Server, error) {
 		store: store,
 		queue: make(chan inbound, 1024),
 		stop:  make(chan struct{}),
+	}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 2048)
+		return &b
 	}
 	s.svcEWMA.Store(floatBits(float64(cfg.ProcessingDelay) / float64(time.Microsecond)))
 	s.wg.Add(1)
@@ -171,11 +180,11 @@ func (s *Server) readLoop() {
 		if err != nil {
 			return // closed
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
+		bp := s.bufPool.Get().(*[]byte)
+		*bp = append((*bp)[:0], buf[:n]...)
 		s.inQueue.Add(1)
 		select {
-		case s.queue <- inbound{buf: pkt, from: from}:
+		case s.queue <- inbound{buf: bp, from: from}:
 		case <-s.stop:
 			return
 		}
@@ -184,12 +193,14 @@ func (s *Server) readLoop() {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	var out []byte // worker-owned response marshal buffer
 	for {
 		select {
 		case in := <-s.queue:
 			s.inQueue.Add(-1)
 			s.busy.Add(1)
-			s.handle(in)
+			out = s.handle(in, out)
+			s.bufPool.Put(in.buf)
 			s.busy.Add(-1)
 		case <-s.stop:
 			return
@@ -203,11 +214,13 @@ func (s *Server) QueueSize() int {
 	return int(s.inQueue.Load() + s.busy.Load())
 }
 
-func (s *Server) handle(in inbound) {
+// handle services one request, reusing out as the response marshal buffer;
+// it returns the (possibly grown) buffer for the next request.
+func (s *Server) handle(in inbound, out []byte) []byte {
 	start := time.Now()
-	req, err := wire.UnmarshalRequest(in.buf)
+	req, err := wire.UnmarshalRequest(*in.buf)
 	if err != nil {
-		return // not a NetRS request; drop
+		return out // not a NetRS request; drop
 	}
 	if s.cfg.ProcessingDelay > 0 {
 		time.Sleep(s.cfg.ProcessingDelay)
@@ -232,9 +245,9 @@ func (s *Server) handle(in inbound) {
 		},
 		Payload: payload,
 	}
-	buf, err := wire.MarshalResponse(resp)
+	buf, err := wire.AppendResponse(out[:0], resp)
 	if err != nil {
-		return
+		return out
 	}
 	// Count before sending: once the datagram is out, the client may act
 	// on the response — and read this counter — before this goroutine is
@@ -243,6 +256,7 @@ func (s *Server) handle(in inbound) {
 	if _, err := s.conn.WriteToUDP(buf, in.from); err != nil {
 		s.served.Add(^uint64(0)) // the send failed; undo
 	}
+	return buf
 }
 
 // observeService folds a service time (µs) into the piggybacked EWMA with

@@ -4,6 +4,35 @@
 // in nondecreasing time order. Events scheduled for the same instant run in
 // the order they were scheduled (FIFO), which makes runs fully deterministic
 // for a fixed seed and schedule order.
+//
+// # Engine internals
+//
+// The scheduler is built for a zero-allocation steady state: events live in
+// a per-engine arena (a slab of event slots recycled through a free list),
+// the priority queue is a 4-ary min-heap of int32 indices into that arena,
+// and EventRef handles carry an {index, generation} pair instead of a
+// pointer — each slot's generation counter is bumped when the slot is
+// recycled, so a stale handle to an executed or canceled event can neither
+// cancel nor observe its slot's next occupant. Once the arena and heap have
+// grown to the simulation's high-water mark, scheduling and executing
+// events performs no heap allocations at all; the closure-free ScheduleArg
+// variant extends that to call sites that would otherwise allocate a
+// capturing closure per event.
+//
+// # Compaction policy
+//
+// Cancel marks an event dead in place; dead events are normally discarded
+// lazily when they reach the top of the heap. To keep a cancel-heavy
+// workload (for example C3 timeout timers that almost always cancel) from
+// bloating the agenda, the engine compacts eagerly as well: whenever the
+// number of dead events on the agenda exceeds half its length (and the
+// agenda is at least compactMinAgenda long, to avoid thrashing tiny
+// agendas), every dead event is dropped and the heap is rebuilt in place in
+// O(n). Compaction never changes execution order — order is fully
+// determined by the (time, sequence) key, which is unique per event — so
+// lazy and eager discarding produce bit-identical runs. Pending reports the
+// raw agenda length including not-yet-discarded dead events; Live reports
+// only the events that will actually execute.
 package sim
 
 import (
@@ -47,44 +76,90 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // with the engine's clock already advanced to that instant.
 type Handler func()
 
-// ErrNegativeDelay reports an attempt to schedule an event in the past.
-var ErrNegativeDelay = errors.New("sim: negative delay")
+// ArgHandler is the closure-free unit of simulated work: a plain function
+// (or a func value created once and reused) invoked with the argument given
+// at scheduling time. Hot paths use it with a pooled or long-lived pointer
+// argument so that scheduling an event allocates nothing.
+type ArgHandler func(arg any)
 
-// event is a scheduled handler. seq breaks ties between events that share a
-// timestamp so execution order is the scheduling order.
+// Errors returned by the scheduler.
+var (
+	// ErrNegativeDelay reports an attempt to schedule an event in the past.
+	ErrNegativeDelay = errors.New("sim: negative delay")
+	// ErrNilHandler reports a schedule call without a handler.
+	ErrNilHandler = errors.New("sim: nil handler")
+)
+
+// event is one arena slot: a scheduled handler plus the slot's generation.
+// seq breaks ties between events that share a timestamp so execution order
+// is the scheduling order.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   Handler
-	dead bool
+	at    Time
+	seq   uint64
+	fn    Handler
+	argFn ArgHandler
+	arg   any
+	gen   uint32
+	dead  bool
 }
 
 // EventRef identifies a scheduled event so it can be canceled. The zero
-// value refers to no event.
+// value refers to no event. A ref is a generation-checked handle: once its
+// event has executed (or its canceled slot has been recycled), the ref goes
+// permanently dead even if the arena slot is reused for a later event.
 type EventRef struct {
-	ev *event
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
 // Cancel marks the referenced event as dead; a dead event is skipped when
-// its time comes. Canceling an already-executed or zero ref is a no-op.
-// It reports whether the event was live before the call.
+// its time comes (or dropped earlier by compaction). Canceling an
+// already-executed, already-canceled, or zero ref is a no-op. It reports
+// whether the event was live before the call.
 func (r EventRef) Cancel() bool {
-	if r.ev == nil || r.ev.dead {
+	if r.eng == nil {
 		return false
 	}
-	r.ev.dead = true
+	ev := &r.eng.arena[r.idx]
+	if ev.gen != r.gen || ev.dead {
+		return false
+	}
+	ev.dead = true
+	// Dead events keep no work alive.
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	r.eng.deadInHeap++
+	r.eng.maybeCompact()
 	return true
 }
 
 // Live reports whether the referenced event is still pending.
-func (r EventRef) Live() bool { return r.ev != nil && !r.ev.dead }
+func (r EventRef) Live() bool {
+	if r.eng == nil {
+		return false
+	}
+	ev := &r.eng.arena[r.idx]
+	return ev.gen == r.gen && !ev.dead
+}
+
+// compactMinAgenda is the agenda length below which eager compaction is
+// skipped: lazy top-of-heap discarding handles small agendas at no cost.
+const compactMinAgenda = 64
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; simulations are deterministic single-goroutine programs.
 type Engine struct {
-	now       Time
-	seq       uint64
-	heap      eventHeap
+	now Time
+	seq uint64
+
+	arena []event // slab of event slots
+	free  []int32 // recycled slot indices (LIFO)
+	heap  []int32 // 4-ary min-heap of arena indices, keyed by (at, seq)
+
+	deadInHeap int // canceled events not yet discarded from the heap
+
 	executed  uint64
 	scheduled uint64
 	stopped   bool
@@ -92,15 +167,23 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero and an empty agenda.
 func NewEngine() *Engine {
-	return &Engine{heap: make(eventHeap, 0, 1024)}
+	return &Engine{
+		arena: make([]event, 0, 1024),
+		heap:  make([]int32, 0, 1024),
+	}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events on the agenda, including canceled
-// events that have not yet been discarded.
+// Pending returns the raw agenda length: live events plus canceled events
+// that have not yet been discarded (lazily at the heap top, or eagerly by
+// compaction). Use Live for the number of events that will actually run.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Live returns the number of pending events that will actually execute,
+// excluding canceled events awaiting discard.
+func (e *Engine) Live() int { return len(e.heap) - e.deadInHeap }
 
 // Executed returns how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -121,14 +204,73 @@ func (e *Engine) Schedule(delay Time, fn Handler) (EventRef, error) {
 // ScheduleAt runs fn at the absolute instant at. Scheduling in the past is
 // an error.
 func (e *Engine) ScheduleAt(at Time, fn Handler) (EventRef, error) {
+	if fn == nil {
+		return EventRef{}, ErrNilHandler
+	}
+	return e.scheduleAt(at, fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) after delay ticks of simulated time. It is the
+// closure-free variant of Schedule: with a long-lived fn value and a
+// pointer-typed arg, scheduling allocates nothing, where an equivalent
+// capturing closure would allocate on every call.
+func (e *Engine) ScheduleArg(delay Time, fn ArgHandler, arg any) (EventRef, error) {
+	if delay < 0 {
+		return EventRef{}, ErrNegativeDelay
+	}
+	return e.ScheduleArgAt(e.now+delay, fn, arg)
+}
+
+// ScheduleArgAt runs fn(arg) at the absolute instant at.
+func (e *Engine) ScheduleArgAt(at Time, fn ArgHandler, arg any) (EventRef, error) {
+	if fn == nil {
+		return EventRef{}, ErrNilHandler
+	}
+	return e.scheduleAt(at, nil, fn, arg)
+}
+
+// scheduleAt allocates an arena slot for the event and pushes it on the
+// agenda. Exactly one of fn and argFn is non-nil.
+func (e *Engine) scheduleAt(at Time, fn Handler, argFn ArgHandler, arg any) (EventRef, error) {
 	if at < e.now {
 		return EventRef{}, fmt.Errorf("sim: schedule at %v before now %v: %w", at, e.now, ErrNegativeDelay)
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	ev := &e.arena[idx]
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
 	e.seq++
 	e.scheduled++
-	e.heap.push(ev)
-	return EventRef{ev: ev}, nil
+	e.heapPush(idx)
+	return EventRef{eng: e, idx: idx, gen: ev.gen}, nil
+}
+
+// alloc returns a free arena slot, growing the slab when the free list is
+// empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.arena = append(e.arena, event{})
+	return int32(len(e.arena) - 1)
+}
+
+// release recycles an arena slot: the generation bump invalidates every
+// outstanding EventRef to the slot's previous occupant, and the handler
+// fields are cleared so the garbage collector can reclaim captured state.
+func (e *Engine) release(idx int32) {
+	ev := &e.arena[idx]
+	ev.gen++
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.dead = false
+	e.free = append(e.free, idx)
 }
 
 // MustSchedule is Schedule for callers that guarantee a nonnegative delay,
@@ -143,21 +285,42 @@ func (e *Engine) MustSchedule(delay Time, fn Handler) EventRef {
 	return ref
 }
 
+// MustScheduleArg is ScheduleArg with the MustSchedule error contract.
+func (e *Engine) MustScheduleArg(delay Time, fn ArgHandler, arg any) EventRef {
+	ref, err := e.ScheduleArg(delay, fn, arg)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
 // Stop makes the current Run call return after the in-flight handler
 // completes. The agenda is preserved, so Run may be called again.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the earliest pending live event. It reports whether an event
-// was executed (false means the agenda held no live events).
+// was executed (false means the agenda held no live events). The event's
+// arena slot is recycled before its handler runs, so a handler observing its
+// own ref sees Live() == false.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		ev := e.heap.pop()
+		idx := e.heapPop()
+		ev := &e.arena[idx]
 		if ev.dead {
+			e.deadInHeap--
+			e.release(idx)
 			continue
 		}
-		e.now = ev.at
+		at := ev.at
+		fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+		e.release(idx)
+		e.now = at
 		e.executed++
-		ev.fn()
+		if fn != nil {
+			fn()
+		} else {
+			argFn(arg)
+		}
 		return true
 	}
 	return false
@@ -181,8 +344,8 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	start := e.executed
 	for !e.stopped {
-		ev := e.peekLive()
-		if ev == nil || ev.at > deadline {
+		at, ok := e.peekLive()
+		if !ok || at > deadline {
 			break
 		}
 		e.Step()
@@ -194,14 +357,47 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 }
 
 // peekLive discards dead events from the top of the heap and returns the
-// earliest live event without executing it, or nil.
-func (e *Engine) peekLive() *event {
+// earliest live event's timestamp, if any.
+func (e *Engine) peekLive() (Time, bool) {
 	for len(e.heap) > 0 {
-		ev := e.heap[0]
+		idx := e.heap[0]
+		ev := &e.arena[idx]
 		if !ev.dead {
-			return ev
+			return ev.at, true
 		}
-		e.heap.pop()
+		e.heapPop()
+		e.deadInHeap--
+		e.release(idx)
 	}
-	return nil
+	return 0, false
+}
+
+// maybeCompact applies the compaction policy documented in the package
+// comment: drop every dead event and rebuild the heap once dead events
+// outnumber live ones on a non-trivial agenda.
+func (e *Engine) maybeCompact() {
+	if len(e.heap) < compactMinAgenda || 2*e.deadInHeap <= len(e.heap) {
+		return
+	}
+	e.compact()
+}
+
+// compact removes all dead events from the agenda and re-establishes the
+// heap invariant in place, in O(n). The (time, seq) key is unique per
+// event, so the rebuilt heap pops in exactly the order the lazy path would
+// have produced.
+func (e *Engine) compact() {
+	kept := e.heap[:0]
+	for _, idx := range e.heap {
+		if e.arena[idx].dead {
+			e.release(idx)
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	e.heap = kept
+	e.deadInHeap = 0
+	for i := (len(kept) - 2) / heapArity; i >= 0; i-- {
+		e.heapDown(i)
+	}
 }

@@ -217,21 +217,39 @@ type Request struct {
 // requestFixedLen is the request layout length before the payload.
 const requestFixedLen = headerLen + 3
 
-// MarshalRequest encodes a request packet.
+// MarshalRequest encodes a request packet into a fresh buffer.
 func MarshalRequest(r Request) ([]byte, error) {
+	return AppendRequest(nil, r)
+}
+
+// AppendRequest encodes a request packet, appending to dst (which may be
+// nil, or a recycled buffer resliced to zero length) and returning the
+// extended slice. Hot senders keep one buffer per connection and avoid a
+// per-packet allocation.
+func AppendRequest(dst []byte, r Request) ([]byte, error) {
 	if r.Magic > MaxMagic {
 		return nil, fmt.Errorf("request magic %x: %w", uint64(r.Magic), ErrFieldRange)
 	}
 	if r.RGID >= 1<<24 {
 		return nil, fmt.Errorf("RGID %d exceeds 24 bits: %w", r.RGID, ErrFieldRange)
 	}
-	buf := make([]byte, requestFixedLen+len(r.Payload))
+	off := len(dst)
+	dst = grow(dst, requestFixedLen+len(r.Payload))
+	buf := dst[off:]
 	putHeader(buf, header{RID: r.RID, Magic: r.Magic, RV: r.RV})
 	buf[headerLen] = byte(r.RGID >> 16)
 	buf[headerLen+1] = byte(r.RGID >> 8)
 	buf[headerLen+2] = byte(r.RGID)
 	copy(buf[requestFixedLen:], r.Payload)
-	return buf, nil
+	return dst, nil
+}
+
+// grow extends b by n bytes, reallocating only when capacity runs out.
+func grow(b []byte, n int) []byte {
+	if len(b)+n <= cap(b) {
+		return b[:len(b)+n]
+	}
+	return append(b, make([]byte, n)...)
 }
 
 // UnmarshalRequest decodes a request packet.
@@ -281,15 +299,24 @@ type Response struct {
 // responseFixedLen is the response layout length before SS and payload.
 const responseFixedLen = headerLen + 4 + 2
 
-// MarshalResponse encodes a response packet.
+// MarshalResponse encodes a response packet into a fresh buffer.
 func MarshalResponse(r Response) ([]byte, error) {
+	return AppendResponse(nil, r)
+}
+
+// AppendResponse encodes a response packet, appending to dst (which may be
+// nil, or a recycled buffer resliced to zero length) and returning the
+// extended slice.
+func AppendResponse(dst []byte, r Response) ([]byte, error) {
 	if r.Magic > MaxMagic {
 		return nil, fmt.Errorf("response magic %x: %w", uint64(r.Magic), ErrFieldRange)
 	}
 	if math.IsNaN(float64(r.Status.ServiceTimeUs)) || r.Status.ServiceTimeUs < 0 {
 		return nil, fmt.Errorf("status service time %v: %w", r.Status.ServiceTimeUs, ErrFieldRange)
 	}
-	buf := make([]byte, responseFixedLen+statusLen+len(r.Payload))
+	off := len(dst)
+	dst = grow(dst, responseFixedLen+statusLen+len(r.Payload))
+	buf := dst[off:]
 	putHeader(buf, header{RID: r.RID, Magic: r.Magic, RV: r.RV})
 	binary.BigEndian.PutUint16(buf[headerLen:], r.Source.Pod)
 	binary.BigEndian.PutUint16(buf[headerLen+2:], r.Source.Rack)
@@ -297,7 +324,7 @@ func MarshalResponse(r Response) ([]byte, error) {
 	binary.BigEndian.PutUint16(buf[responseFixedLen:], r.Status.QueueSize)
 	binary.BigEndian.PutUint32(buf[responseFixedLen+2:], math.Float32bits(r.Status.ServiceTimeUs))
 	copy(buf[responseFixedLen+statusLen:], r.Payload)
-	return buf, nil
+	return dst, nil
 }
 
 // UnmarshalResponse decodes a response packet.

@@ -115,6 +115,9 @@ type Source struct {
 	clients *dist.Alias
 	procs   []*dist.Poisson
 	emitted int
+	// tickFn is the shared arrival handler: one func value for every
+	// generator tick, so per-arrival scheduling stays allocation-free.
+	tickFn sim.ArgHandler
 }
 
 // NewSource builds a request source. emit is invoked at each arrival
@@ -127,6 +130,7 @@ func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Reques
 		return nil, fmt.Errorf("nil engine or emit: %w", ErrInvalidParam)
 	}
 	s := &Source{cfg: cfg, eng: eng, emit: emit}
+	s.tickFn = func(arg any) { s.tick(arg.(*dist.Poisson)) }
 
 	z, err := dist.NewZipf(cfg.Keys, cfg.ZipfTheta, rng.Stream(1))
 	if err != nil {
@@ -164,8 +168,7 @@ func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Reques
 // Start schedules every generator's first arrival.
 func (s *Source) Start() {
 	for _, proc := range s.procs {
-		proc := proc
-		s.eng.MustSchedule(proc.NextInterarrival(), func() { s.tick(proc) })
+		s.eng.MustScheduleArg(proc.NextInterarrival(), s.tickFn, proc)
 	}
 }
 
@@ -181,7 +184,7 @@ func (s *Source) tick(proc *dist.Poisson) {
 	s.emitted++
 	s.emit(req)
 	if s.emitted < s.cfg.Total {
-		s.eng.MustSchedule(proc.NextInterarrival(), func() { s.tick(proc) })
+		s.eng.MustScheduleArg(proc.NextInterarrival(), s.tickFn, proc)
 	}
 }
 

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Benchmark runner with a tracked JSON baseline.
+#
+#   ./scripts/bench.sh                 # run + distill into BENCH_PR3.json
+#   BENCH_COUNT=10 ./scripts/bench.sh  # more samples
+#   BENCH_OUT=/tmp/b.json ./scripts/bench.sh
+#
+# Two benchmark families are measured:
+#
+#   1. the engine microbenchmarks (internal/sim, -bench Engine): the
+#      schedule→execute hot path, the closure-free ScheduleArg variant,
+#      and the cancel/compact path — all expected at 0 allocs/op;
+#   2. one end-to-end figure cell (-bench Fig4NumClients/x=300/NetRS-ILP):
+#      a full experiment run, whose ns/op and allocs/op track what the
+#      arena scheduler and pooled packets save per request.
+#
+# Each benchmark runs BENCH_COUNT (default 5) times; the distilled JSON
+# records per-benchmark mean and p99 for every metric go test reports
+# (ns/op, B/op, allocs/op, and the figure statistics mean_ms/p99_ms/…).
+# With count ≤ 100 samples, p99 is simply the maximum sample.
+#
+# The committed BENCH_PR3.json is the PR-3 baseline; regenerate and diff
+# it when touching the engine hot path.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_PR3.json}"
+count="${BENCH_COUNT:-5}"
+engine_pat="${BENCH_ENGINE_PATTERN:-Engine}"
+fig_pat="${BENCH_FIG_PATTERN:-Fig4NumClients/x=300/NetRS-ILP\$}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== engine microbenchmarks: go test -bench $engine_pat -benchmem -count $count ./internal/sim"
+go test -run '^$' -bench "$engine_pat" -benchmem -count "$count" ./internal/sim | tee -a "$raw"
+
+echo "== end-to-end figure cell: go test -bench $fig_pat -benchtime 1x -benchmem -count $count ."
+go test -run '^$' -bench "$fig_pat" -benchtime 1x -benchmem -count "$count" . | tee -a "$raw"
+
+awk -v go_version="$(go version | awk '{print $3}')" -v count="$count" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!(name in seen_name)) {
+		seen_name[name] = 1
+		order[++names] = name
+	}
+	samples[name]++
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		v = $i + 0
+		key = name SUBSEP unit
+		sum[key] += v
+		cnt[key]++
+		if (!(key in max) || v > max[key]) max[key] = v
+		if (!((name, unit) in seen_unit)) {
+			seen_unit[name, unit] = 1
+			units[name] = units[name] "\x1f" unit
+		}
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"tool\": \"scripts/bench.sh\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"count\": %d,\n", count
+	printf "  \"note\": \"p99 is the maximum of count samples\",\n"
+	printf "  \"benchmarks\": [\n"
+	for (n = 1; n <= names; n++) {
+		name = order[n]
+		printf "    {\n      \"name\": \"%s\",\n      \"samples\": %d,\n      \"metrics\": {", name, samples[name]
+		split(substr(units[name], 2), ul, "\x1f")
+		first = 1
+		for (u = 1; u in ul; u++) {
+			unit = ul[u]
+			key = name SUBSEP unit
+			if (!first) printf ","
+			first = 0
+			printf "\n        \"%s\": {\"mean\": %.6g, \"p99\": %.6g}", unit, sum[key] / cnt[key], max[key]
+		}
+		printf "\n      }\n    }%s\n", (n < names ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out"
