@@ -6,6 +6,13 @@
 //
 //	netrs-figs -fig all -requests 100000 -scale paper
 //	netrs-figs -fig 6 -requests 20000 -scale small -seeds 1
+//	netrs-figs -fig resilience -requests 40000
+//
+// -fig resilience runs the §III-C scenario-iii experiment time-resolved:
+// the busiest RSNode crashes at 35% completion and recovers at 65%, and
+// every scheme's run reports a 50 ms-bucketed latency/DRS-share timeline
+// (the CliRS schemes, having no control plane, are the unaffected control
+// curves). It uses the first seed of -seeds.
 //
 // The paper runs 6 M requests per point on a 1024-host fat-tree; that is
 // hours of simulation per figure. -requests and -scale trade statistical
@@ -63,7 +70,7 @@ func scaledConfig(scale string) (netrs.Config, error) {
 
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-figs", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience")
 	requests := fs.Int("requests", 50000, "measured requests per point (paper: 6000000; env NETRS_REQUESTS overrides)")
 	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated deployment seeds (paper repeats 3×)")
 	scale := fs.String("scale", "medium", "cluster scale: paper, medium, small")
@@ -108,6 +115,10 @@ func run(args []string) (retErr error) {
 	seeds, err := cliutil.ParseSeeds(*seedsFlag)
 	if err != nil {
 		return err
+	}
+
+	if *fig == "resilience" {
+		return runResilience(base, seeds, *parallel)
 	}
 
 	var sweeps []netrs.Sweep
@@ -156,6 +167,32 @@ func run(args []string) (retErr error) {
 		}
 		fmt.Printf("NetRS-ILP vs CliRS: max mean reduction %.1f%%, max p99 reduction %.1f%%\n\n",
 			res.MaxReduction("Avg."), res.MaxReduction("99th Percentile"))
+	}
+	return nil
+}
+
+// runResilience evaluates the crash/recovery resilience experiment on the
+// first seed and prints the per-scheme timelines plus a degradation-window
+// summary for the schemes that actually served degraded responses.
+func runResilience(base netrs.Config, seeds []uint64, parallel int) error {
+	base.Seed = seeds[0]
+	res, err := netrs.RunResilience(base, 0.35, 0.65, 50*netrs.Millisecond, netrs.RunOptions{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	for _, run := range res.Runs {
+		first, last, ok := res.DegradedWindow(run.Scheme)
+		if !ok {
+			continue
+		}
+		total := len(run.Result.Timeline)
+		status := "still degraded at run end"
+		if last < total-1 {
+			status = "reconverged before run end"
+		}
+		fmt.Printf("%s: degraded replica selection active in buckets %d-%d of %d (%s)\n",
+			run.Scheme, first, last, total, status)
 	}
 	return nil
 }

@@ -53,6 +53,7 @@ func run(args []string) (retErr error) {
 	rackGroups := fs.Bool("rack-groups", def.RackLevelGroups, "rack-level traffic groups (false = host-level)")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
 	configPath := fs.String("config", "", "load the experiment from a JSON config file (flags are ignored)")
+	faultsPath := fs.String("faults", "", "load a JSON fault schedule (typed crash/recovery/slowdown/link events executed on the sim timeline; enables the resilience timeline)")
 	saveConfig := fs.String("save-config", "", "write the effective config to a JSON file and exit")
 	tracePath := fs.String("trace", "", "write per-request latencies (ms, one per line) to this CSV file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,6 +90,9 @@ func run(args []string) (retErr error) {
 		if err != nil {
 			return err
 		}
+		if err := applyFaults(&cfg, *faultsPath); err != nil {
+			return err
+		}
 		return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
 	}
 
@@ -113,6 +117,9 @@ func run(args []string) (retErr error) {
 		return err
 	}
 	cfg.Scheme = s
+	if err := applyFaults(&cfg, *faultsPath); err != nil {
+		return err
+	}
 
 	if *saveConfig != "" {
 		if err := netrs.SaveConfig(*saveConfig, cfg); err != nil {
@@ -122,6 +129,22 @@ func run(args []string) (retErr error) {
 		return nil
 	}
 	return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
+}
+
+// applyFaults loads a -faults schedule file into the config: its events are
+// appended to any config-declared faults and the resilience timeline is
+// enabled at the schedule's bucket width (50 ms when the file omits it).
+func applyFaults(cfg *netrs.Config, path string) error {
+	if path == "" {
+		return nil
+	}
+	sched, err := netrs.LoadFaultSchedule(path)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = append(cfg.Faults, sched.Events...)
+	cfg.TimelineBucket = sched.BucketWidth(50 * sim.Millisecond)
+	return nil
 }
 
 // execute runs the experiment — once, or repeated over seeds — and prints
@@ -173,6 +196,12 @@ func execute(cfg netrs.Config, seeds []uint64, parallel int, jsonOut bool, trace
 	}
 	fmt.Printf("simulated   %v for %d requests\n", res.SimulatedSpan, res.Completed)
 	fmt.Printf("accel util  %.1f%% (busiest accelerator)\n", 100*res.MaxAccelUtilization)
+	if len(res.Timeline) > 0 {
+		fmt.Printf("\ntimeline\n%s", netrs.TimelineTable(res.Timeline))
+	}
+	for _, e := range res.Errors {
+		fmt.Printf("fault error %s\n", e)
+	}
 	return nil
 }
 

@@ -42,6 +42,12 @@ type configJSON struct {
 	RedundantPercentile    float64 `json:"redundantPercentile"`
 	FailRSNodeAt           float64 `json:"failRSNodeAt,omitempty"`
 	ReplayTracePath        string  `json:"replayTracePath,omitempty"`
+
+	// Faults and TimelineBucketMs carry the declared fault schedule and
+	// the resilience-timeline bucket width; fault event times already use
+	// unit-suffixed keys (atMs, extraMs, durationMs).
+	Faults           []FaultEvent `json:"faults,omitempty"`
+	TimelineBucketMs float64      `json:"timelineBucketMs,omitempty"`
 }
 
 // MarshalConfig serializes a Config to indented JSON.
@@ -78,6 +84,8 @@ func MarshalConfig(cfg Config) ([]byte, error) {
 		RedundantPercentile:    cfg.RedundantPercentile,
 		FailRSNodeAt:           cfg.FailRSNodeAt,
 		ReplayTracePath:        cfg.ReplayTracePath,
+		Faults:                 cfg.Faults,
+		TimelineBucketMs:       cfg.TimelineBucket.Float64Ms(),
 	}
 	return json.MarshalIndent(j, "", "  ")
 }
@@ -124,6 +132,8 @@ func UnmarshalConfig(data []byte) (Config, error) {
 	cfg.RedundantPercentile = j.RedundantPercentile
 	cfg.FailRSNodeAt = j.FailRSNodeAt
 	cfg.ReplayTracePath = j.ReplayTracePath
+	cfg.Faults = j.Faults
+	cfg.TimelineBucket = Time(j.TimelineBucketMs * float64(Millisecond))
 	return cfg, nil
 }
 

@@ -2,6 +2,7 @@ package netrs
 
 import (
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -14,6 +15,11 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	in.OperatorAlgorithm = "lor"
 	in.FailRSNodeAt = 0.5
 	in.MeanServiceTime = Time(2.5 * float64(Millisecond))
+	in.TimelineBucket = 50 * Millisecond
+	in.Faults = []FaultEvent{
+		{Kind: FaultRSNodeCrash, AtMs: 400, RSNode: FaultTargetBusiest, DurationMs: 300},
+		{Kind: FaultServerSlowdown, AtFraction: 0.25, Server: 3, Multiplier: 4},
+	}
 
 	data, err := MarshalConfig(in)
 	if err != nil {
@@ -23,7 +29,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("round trip differs:\n in %+v\nout %+v", in, out)
 	}
 	// The serialized form uses unit-suffixed keys.
@@ -46,7 +52,7 @@ func TestConfigFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatal("file round trip differs")
 	}
 }

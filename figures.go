@@ -354,3 +354,110 @@ func (r SweepResult) MaxReduction(metricName string) float64 {
 	sort.Float64s(sorted)
 	return sorted[len(sorted)-1]
 }
+
+// ResilienceRun is one scheme's time-resolved run of the resilience
+// experiment.
+type ResilienceRun struct {
+	Scheme Scheme
+	Result Result
+}
+
+// ResilienceResult is a fully evaluated resilience experiment: every scheme
+// run once through the same crash/recovery fault schedule with the timeline
+// recorder attached.
+type ResilienceResult struct {
+	// CrashAt and RecoverAt are the completion fractions at which the
+	// busiest RSNode fails and is re-admitted.
+	CrashAt   float64
+	RecoverAt float64
+	// Bucket is the timeline bucket width.
+	Bucket Time
+	// Runs holds one entry per scheme, in Schemes() order.
+	Runs []ResilienceRun
+}
+
+// RunResilience runs the §III-C scenario-iii experiment time-resolved: for
+// every scheme, the busiest RSNode crashes once crashAt of the measured
+// requests have completed (its traffic groups flip to Degraded Replica
+// Selection) and the controller re-admits it at recoverAt, while a timeline
+// recorder buckets latency and DRS share at the given width. The CliRS
+// schemes carry no NetRS control plane, so their RSNode events record
+// deterministic errors instead of applying — they are the experiment's
+// unaffected control curves. Fractions position the events identically
+// across schemes even though the schemes' simulated spans differ.
+func RunResilience(base Config, crashAt, recoverAt float64, bucket Time, opts RunOptions) (ResilienceResult, error) {
+	out := ResilienceResult{CrashAt: crashAt, RecoverAt: recoverAt, Bucket: bucket}
+	if !(crashAt > 0 && crashAt < recoverAt && recoverAt < 1) {
+		return out, fmt.Errorf("netrs: resilience fractions crash=%v recover=%v: want 0 < crash < recover < 1", crashAt, recoverAt)
+	}
+	if bucket <= 0 {
+		return out, fmt.Errorf("netrs: resilience bucket %v: want positive", bucket)
+	}
+	schemes := Schemes()
+	pool := exec.Pool{Workers: opts.Parallelism}
+	results, err := exec.Run(opts.Context, pool, len(schemes), func(_ context.Context, i int) (Result, error) {
+		cfg := base
+		cfg.Scheme = schemes[i]
+		cfg.TimelineBucket = bucket
+		cfg.Faults = append(append([]FaultEvent(nil), base.Faults...),
+			FaultEvent{Kind: FaultRSNodeCrash, AtFraction: crashAt, RSNode: FaultTargetBusiest},
+			FaultEvent{Kind: FaultRSNodeRecover, AtFraction: recoverAt, RSNode: FaultTargetFailed},
+		)
+		res, err := Run(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("resilience %s: %w", schemes[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return out, unwrapTrial(err)
+	}
+	for i, s := range schemes {
+		out.Runs = append(out.Runs, ResilienceRun{Scheme: s, Result: results[i]})
+	}
+	return out, nil
+}
+
+// DegradedWindow reports the first and last timeline bucket indices with a
+// nonzero DRS share in a scheme's run; ok is false when the run never served
+// a degraded response (the CliRS control curves, or an unresolved scheme).
+func (r ResilienceResult) DegradedWindow(s Scheme) (first, last int, ok bool) {
+	for _, run := range r.Runs {
+		if run.Scheme != s {
+			continue
+		}
+		first = -1
+		for i, b := range run.Result.Timeline {
+			if b.DRSShare > 0 {
+				if first < 0 {
+					first = i
+				}
+				last = i
+			}
+		}
+		return first, last, first >= 0
+	}
+	return 0, 0, false
+}
+
+// Table renders the experiment: one timeline panel per scheme — each row a
+// bucket's mean/p99 latency, DRS share, and timeout expiries — followed by
+// the run's recorded fault errors (the CliRS panels always carry two: the
+// crash and recovery events cannot apply without a control plane).
+func (r ResilienceResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RESILIENCE — busiest RSNode crashes at %.0f%% completion, recovers at %.0f%% (buckets of %v)\n",
+		100*r.CrashAt, 100*r.RecoverAt, r.Bucket)
+	for _, run := range r.Runs {
+		res := run.Result
+		fmt.Fprintf(&b, "\n[%s] %s\n", run.Scheme, res.Summary.String())
+		if res.DegradedResponses > 0 {
+			fmt.Fprintf(&b, "%d responses via degraded replica selection\n", res.DegradedResponses)
+		}
+		b.WriteString(stats.TimelineTable(res.Timeline))
+		for _, e := range res.Errors {
+			fmt.Fprintf(&b, "! %s\n", e)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package netrs
+
+// Golden digest for fault-schedule runs. Like TestGoldenSummaryDigest, this
+// pins the bit-exact output of a fully-featured fault experiment — timeline
+// buckets and recorded fault errors included — across parallelism levels, so
+// the injector, the controller recovery path, and the timeline recorder are
+// all locked against nondeterminism and silent semantic drift.
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// goldenFaultConfig exercises every fault kind in one run: an RSNode crash
+// and recovery positioned by completion fraction, plus duration-bounded
+// server slowdown, server crash, and link-delay events on the time axis,
+// with the 25 ms timeline recorder attached.
+func goldenFaultConfig(scheme Scheme) Config {
+	cfg := goldenConfig(scheme)
+	cfg.TimelineBucket = 25 * Millisecond
+	cfg.Faults = []FaultEvent{
+		{Kind: FaultRSNodeCrash, AtFraction: 0.3, RSNode: FaultTargetBusiest},
+		{Kind: FaultRSNodeRecover, AtFraction: 0.6, RSNode: FaultTargetFailed},
+		{Kind: FaultServerSlowdown, AtMs: 30, Server: 2, Multiplier: 5, DurationMs: 40},
+		{Kind: FaultServerCrash, AtMs: 50, Server: 5, DurationMs: 30},
+		{Kind: FaultLinkDelay, AtMs: 20, Rack: 1, ExtraMs: 0.3, DurationMs: 60},
+	}
+	return cfg
+}
+
+// faultDigest extends resultDigest with the timeline buckets and the
+// recorded fault errors, bit for bit.
+func faultDigest(results []Result, merged Summary) uint64 {
+	h := fnv.New64a()
+	mix64(h, resultDigest(results, merged))
+	f := func(v float64) { mix64(h, math.Float64bits(v)) }
+	for _, r := range results {
+		mix64(h, uint64(len(r.Timeline)))
+		for _, b := range r.Timeline {
+			f(b.StartMs)
+			f(b.EndMs)
+			mix64(h, uint64(b.Count))
+			f(b.MeanMs)
+			f(b.P99Ms)
+			f(b.DRSShare)
+			mix64(h, uint64(b.Timeouts))
+		}
+		mix64(h, uint64(len(r.Errors)))
+		for _, e := range r.Errors {
+			h.Write([]byte(e))
+		}
+	}
+	return h.Sum64()
+}
+
+// goldenFaultDigests pins the fault-schedule digests per scheme, captured
+// when the fault engine landed.
+var goldenFaultDigests = map[string]uint64{
+	"CliRS":     0x7aec0ec0a599741f,
+	"CliRS-R95": 0x1338fbfacaee6337,
+	"NetRS-ToR": 0xdd6d0e9e4bcd97bb,
+	"NetRS-ILP": 0x51e3f855fe2964ea,
+}
+
+// TestGoldenFaultScheduleDigest proves a faulted run — injector firings,
+// DRS windows, timeline buckets, error lines — is bit-identical at every
+// parallelism level and pinned against the captured digests.
+func TestGoldenFaultScheduleDigest(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := goldenFaultConfig(scheme)
+			want := goldenFaultDigests[scheme.String()]
+			for _, par := range []int{1, 2, 0} {
+				results, merged, err := RunRepeatedWith(cfg, seeds, RunOptions{Parallelism: par})
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				got := faultDigest(results, merged)
+				if got != want {
+					t.Errorf("parallelism %d: digest = %#016x, want %#016x", par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultRunDegradesAndReconverges asserts the resilience experiment's
+// qualitative shape on the NetRS schemes: the DRS share is zero before the
+// crash threshold, positive inside the crash window, and back to zero by the
+// run's final bucket — degradation followed by re-convergence. The CliRS
+// run records exactly the two cannot-apply errors and never degrades.
+func TestFaultRunDegradesAndReconverges(t *testing.T) {
+	res, err := RunResilience(goldenConfig(SchemeCliRS), 0.35, 0.65, 25*Millisecond, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SchemeNetRSToR, SchemeNetRSILP} {
+		first, last, ok := res.DegradedWindow(scheme)
+		if !ok {
+			t.Fatalf("%s: no degraded window — crash did not take effect", scheme)
+		}
+		var run ResilienceRun
+		for _, r := range res.Runs {
+			if r.Scheme == scheme {
+				run = r
+			}
+		}
+		if len(run.Result.Errors) != 0 {
+			t.Fatalf("%s: unexpected fault errors %v", scheme, run.Result.Errors)
+		}
+		if first == 0 {
+			t.Fatalf("%s: degraded from the first bucket; expected a clean pre-crash phase", scheme)
+		}
+		if last >= len(run.Result.Timeline)-1 {
+			t.Fatalf("%s: still degraded in the final bucket; expected re-convergence", scheme)
+		}
+		if run.Result.DegradedResponses == 0 {
+			t.Fatalf("%s: no degraded responses counted", scheme)
+		}
+	}
+	for _, scheme := range []Scheme{SchemeCliRS, SchemeCliRSR95} {
+		if _, _, ok := res.DegradedWindow(scheme); ok {
+			t.Fatalf("%s: control curve degraded", scheme)
+		}
+		for _, r := range res.Runs {
+			if r.Scheme == scheme && len(r.Result.Errors) != 2 {
+				t.Fatalf("%s: want 2 cannot-apply errors, got %v", scheme, r.Result.Errors)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"netrs/internal/fabric"
+	"netrs/internal/faults"
 	"netrs/internal/placement"
 	"netrs/internal/sim"
 )
@@ -153,7 +154,22 @@ type Config struct {
 	// this fraction of the requests has completed: the busiest RSNode
 	// fails and the controller flips its traffic groups to Degraded
 	// Replica Selection. Zero disables injection. NetRS schemes only.
+	// Internally this is synthesized as a one-event fault schedule
+	// prepended to Faults, so it keeps working alongside richer schedules.
 	FailRSNodeAt float64
+
+	// Faults is the run's declared fault schedule: typed events (RSNode
+	// crash/recovery, server slowdown/crash/restart, link-delay spikes)
+	// validated up front and executed on the simulation timeline. See
+	// internal/faults for event semantics and the JSON schedule format
+	// behind `netrs-sim -faults`.
+	Faults []faults.Event
+
+	// TimelineBucket, when positive, enables the time-bucketed resilience
+	// recorder: measured completions are folded into buckets of this width
+	// and reported in Result.Timeline (per-bucket mean/p99 latency, DRS
+	// share, timeout expiries). Zero disables the timeline.
+	TimelineBucket sim.Time
 
 	// KeepLatencyTrace records every measured request's latency in
 	// Result.TraceMs (emission order), for external analysis.
@@ -249,6 +265,11 @@ func (c Config) validate() error {
 		return fmt.Errorf("group max hosts %d: %w", c.GroupMaxHosts, ErrInvalidParam)
 	case c.StatsSampleCap < 0:
 		return fmt.Errorf("stats sample cap %d: %w", c.StatsSampleCap, ErrInvalidParam)
+	case c.TimelineBucket < 0:
+		return fmt.Errorf("timeline bucket %v: %w", c.TimelineBucket, ErrInvalidParam)
+	}
+	if err := faults.ValidateEvents(c.Faults); err != nil {
+		return fmt.Errorf("fault schedule: %w", err)
 	}
 	return nil
 }

@@ -5,9 +5,11 @@ import (
 	"maps"
 	"os"
 	"slices"
+	"strconv"
 
 	"netrs/internal/c3"
 	"netrs/internal/fabric"
+	"netrs/internal/faults"
 	"netrs/internal/kv"
 	"netrs/internal/placement"
 	"netrs/internal/selection"
@@ -65,6 +67,13 @@ type Result struct {
 	// TraceMs holds per-request latencies in completion order when
 	// Config.KeepLatencyTrace is set.
 	TraceMs []float64 `json:"traceMs,omitempty"`
+	// Timeline is the time-bucketed latency/DRS-share series of the
+	// measured requests, present when Config.TimelineBucket is positive.
+	Timeline []stats.TimelineBucket `json:"timeline,omitempty"`
+	// Errors records, in occurrence order, deterministic mid-run control
+	// errors the run survived: fault events that could not apply and RSP
+	// solves that fell back to the standing plan. Empty on a clean run.
+	Errors []string `json:"errors,omitempty"`
 }
 
 // client is one end-host issuing requests. Under CliRS it is a full
@@ -131,7 +140,9 @@ type runner struct {
 	plan    placement.Plan
 	hasPlan bool
 
-	failAt       int // completed-request threshold for failure injection
+	injector     *faults.Injector
+	timeline     *stats.Timeline
+	errs         []string
 	failedRSNode uint16
 	trace        []float64
 	rate         float64 // offered load (req/s), synthetic or trace-derived
@@ -302,10 +313,23 @@ func (r *runner) setup() error {
 	} else {
 		r.rec = stats.NewRecorder(r.total - r.warmup)
 	}
+	if cfg.TimelineBucket > 0 {
+		if r.timeline, err = stats.NewTimeline(cfg.TimelineBucket); err != nil {
+			return err
+		}
+	}
+	// The fault schedule: the legacy FailRSNodeAt fraction becomes a
+	// synthesized one-event schedule prepended to any declared events, so
+	// it fires at the identical completion count the bespoke injection
+	// path used.
+	events := cfg.Faults
 	if cfg.FailRSNodeAt > 0 {
-		r.failAt = int(cfg.FailRSNodeAt * float64(r.total))
-		if r.failAt < 1 {
-			r.failAt = 1
+		legacy := faults.Event{Kind: faults.KindRSNodeCrash, AtFraction: cfg.FailRSNodeAt, RSNode: faults.TargetBusiest}
+		events = append([]faults.Event{legacy}, events...)
+	}
+	if len(events) > 0 {
+		if r.injector, err = faults.NewInjector(r.eng, r, r.total, events, r.recordError); err != nil {
+			return err
 		}
 	}
 
@@ -460,6 +484,11 @@ func (r *runner) execute() (Result, error) {
 		srv.Start()
 	}
 	r.startQueueSampler()
+	if r.injector != nil {
+		if err := r.injector.Start(); err != nil {
+			return Result{}, err
+		}
+	}
 	if r.replay != nil {
 		if err := r.replay.Start(); err != nil {
 			return Result{}, err
@@ -507,6 +536,10 @@ func (r *runner) execute() (Result, error) {
 	}
 	res.FailedRSNode = r.failedRSNode
 	res.TraceMs = r.trace
+	if r.timeline != nil {
+		res.Timeline = r.timeline.Buckets()
+	}
+	res.Errors = r.errs
 	var loads stats.Welford
 	for _, srv := range r.servers {
 		loads.Observe(float64(srv.Served()))
@@ -621,6 +654,9 @@ func (r *runner) armRedundantTimer(p *pending) {
 			return
 		}
 		r.redundant++
+		if r.timeline != nil {
+			r.timeline.RecordTimeout(r.eng.Now())
+		}
 		r.sendClientPick(p, filtered, false)
 	})
 }
@@ -734,6 +770,9 @@ func (r *runner) clientHandler(c *client) fabric.HostHandler {
 			if r.cfg.KeepLatencyTrace {
 				r.trace = append(r.trace, latency.Float64Ms())
 			}
+			if r.timeline != nil {
+				r.timeline.Record(now, latency, pkt.RID == wire.DegradedRID)
+			}
 		}
 		r.completed++
 		// The ILP plan deploys halfway through warmup: the paper notes a
@@ -743,8 +782,8 @@ func (r *runner) clientHandler(c *client) fabric.HostHandler {
 		if r.cfg.Scheme == SchemeNetRSILP && r.completed == (r.warmup+1)/2 {
 			r.deployILPPlan()
 		}
-		if r.failAt > 0 && r.completed == r.failAt {
-			r.injectFailure()
+		if r.injector != nil {
+			r.injector.OnCompletion(r.completed)
 		}
 		if r.completed == r.total {
 			r.finish()
@@ -752,34 +791,144 @@ func (r *runner) clientHandler(c *client) fabric.HostHandler {
 	}
 }
 
-// injectFailure fails the busiest RSNode and routes the event through the
+// recordError is the run's deterministic error sink: fault events that
+// could not apply and solver fallbacks append here (occurrence order) and
+// surface in Result.Errors instead of vanishing.
+func (r *runner) recordError(msg string) {
+	r.errs = append(r.errs, msg)
+}
+
+// errorf formats into the error sink.
+func (r *runner) errorf(format string, args ...any) {
+	r.recordError(fmt.Sprintf(format, args...))
+}
+
+// The runner implements faults.Actions: each method applies one fault
+// effect against the live cluster, on the simulation timeline.
+
+// CrashRSNode fails the targeted operator and routes the event through the
 // controller's exception handling (§III-C scenario iii): the operator's
 // traffic groups flip to Degraded Replica Selection without touching
 // end-hosts.
-func (r *runner) injectFailure() {
-	if !r.netrs || !r.hasPlan || r.ctl == nil {
-		return
+func (r *runner) CrashRSNode(target string) (uint16, error) {
+	op, err := r.resolveRSNode(target)
+	if err != nil {
+		return 0, err
 	}
-	// Sorted iteration makes the victim deterministic: with map order,
-	// ties in the selection counters would fail a different operator on
-	// different runs of the same seed.
-	var busiest *fabric.Operator
-	var most uint64
-	for _, op := range r.net.OperatorsSorted() {
-		if s := op.Stats().Selections; s > most {
-			busiest, most = op, s
-		}
+	if err := r.ctl.HandleOperatorFailure(op); err != nil {
+		return 0, err
 	}
-	if busiest == nil {
-		return
-	}
-	if err := r.ctl.HandleOperatorFailure(busiest); err != nil {
-		return
-	}
-	r.failedRSNode = busiest.ID()
+	r.failedRSNode = op.ID()
 	if plan, ok := r.ctl.CurrentPlan(); ok {
 		r.plan = plan
 	}
+	return op.ID(), nil
+}
+
+// RecoverRSNode re-admits a crashed operator: the controller restores its
+// pre-failure group assignments and the ToRs steer traffic through it
+// again.
+func (r *runner) RecoverRSNode(target string) (uint16, error) {
+	op, err := r.resolveRSNode(target)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.ctl.HandleOperatorRecovery(op); err != nil {
+		return 0, err
+	}
+	if plan, ok := r.ctl.CurrentPlan(); ok {
+		r.plan = plan
+	}
+	return op.ID(), nil
+}
+
+// resolveRSNode maps a fault-event target to an operator (schedule
+// validation already guarantees sentinel/kind consistency). CliRS schemes
+// have no control plane, so RSNode faults report an error there — the
+// resilience experiment uses that as its unaffected control curve.
+func (r *runner) resolveRSNode(target string) (*fabric.Operator, error) {
+	if !r.netrs || r.ctl == nil || !r.hasPlan {
+		return nil, fmt.Errorf("scheme %s has no NetRS control plane: %w", r.cfg.Scheme, ErrInvalidParam)
+	}
+	switch target {
+	case faults.TargetBusiest:
+		// Sorted iteration makes the victim deterministic: with map order,
+		// ties in the selection counters would fail a different operator
+		// on different runs of the same seed. Already-failed operators are
+		// skipped so repeated crashes hit fresh victims.
+		var busiest *fabric.Operator
+		var most uint64
+		for _, op := range r.net.OperatorsSorted() {
+			if op.Failed() {
+				continue
+			}
+			if s := op.Stats().Selections; s > most {
+				busiest, most = op, s
+			}
+		}
+		if busiest == nil {
+			return nil, fmt.Errorf("no live operator with selections to crash: %w", ErrInvalidParam)
+		}
+		return busiest, nil
+	case faults.TargetFailed:
+		ids := r.ctl.FailedOperators()
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("no failed operator to recover: %w", ErrInvalidParam)
+		}
+		return r.net.OperatorByID(ids[len(ids)-1])
+	default:
+		id, err := strconv.ParseUint(target, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("rsnode target %q: %w", target, ErrInvalidParam)
+		}
+		return r.net.OperatorByID(uint16(id))
+	}
+}
+
+// SetServerSlowdown scales a replica server's mean service time — the
+// brownout fault.
+func (r *runner) SetServerSlowdown(server int, mult float64) error {
+	if server < 0 || server >= len(r.servers) {
+		return fmt.Errorf("server %d of %d: %w", server, len(r.servers), ErrInvalidParam)
+	}
+	return r.servers[server].SetSlowdown(mult)
+}
+
+// CrashServer halts a replica server: its queue grows (and times out
+// clients' patience) until RestartServer. In-flight service completes —
+// the simulation has no client-side retry machinery, so a crash models an
+// outage that stalls rather than drops requests.
+func (r *runner) CrashServer(server int) error {
+	if server < 0 || server >= len(r.servers) {
+		return fmt.Errorf("server %d of %d: %w", server, len(r.servers), ErrInvalidParam)
+	}
+	r.servers[server].Pause()
+	return nil
+}
+
+// RestartServer resumes a crashed server, draining its queue.
+func (r *runner) RestartServer(server int) error {
+	if server < 0 || server >= len(r.servers) {
+		return fmt.Errorf("server %d of %d: %w", server, len(r.servers), ErrInvalidParam)
+	}
+	r.servers[server].Resume()
+	return nil
+}
+
+// SetRackLinkDelay spikes (or with extra ≤ 0 clears) every fabric edge
+// incident to the rack's ToR switch — a localized congestion event.
+func (r *runner) SetRackLinkDelay(rack int, extra sim.Time) error {
+	tor, err := r.ft.ToROfRack(rack)
+	if err != nil {
+		return err
+	}
+	// Neighbors is sorted, so the edge set updates in deterministic order.
+	for _, nb := range r.ft.Neighbors(tor) {
+		if err := r.net.SetLinkExtra(tor, nb, extra); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // deployILPPlan solves the placement from the warmup window's monitor
@@ -814,7 +963,9 @@ func (r *runner) deployILPPlan() {
 	plan, err := r.ctl.UpdateRSPWithTraffic(rates)
 	if err != nil {
 		// Keep the ToR plan; the run proceeds, which mirrors the
-		// controller's behavior when no better RSP exists.
+		// controller's behavior when no better RSP exists — but the
+		// fallback is recorded rather than silent.
+		r.errorf("ILP plan at %v: %v (keeping ToR plan)", r.eng.Now(), err)
 		return
 	}
 	r.plan = plan

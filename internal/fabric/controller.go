@@ -37,6 +37,14 @@ type Controller struct {
 	problem     placement.Problem
 	hasPlan     bool
 	rspVersions int
+
+	// failedGroups records, per failed operator, the group indices its
+	// failure flipped to DRS, so recovery can restore exactly the
+	// pre-failure assignment. failedOrder tracks failure recency for the
+	// fault engine's "most recently failed" target. deploy clears both: a
+	// fresh plan supersedes old failure records.
+	failedGroups map[uint16][]int
+	failedOrder  []uint16
 }
 
 // NewController wires a controller to the network. budget is E, the
@@ -210,6 +218,8 @@ func (c *Controller) deploy(problem placement.Problem, plan placement.Plan) erro
 	c.problem = problem
 	c.hasPlan = true
 	c.rspVersions++
+	c.failedGroups = nil
+	c.failedOrder = nil
 	return nil
 }
 
@@ -288,6 +298,11 @@ func (c *Controller) HandleOperatorFailure(failed *Operator) error {
 	if !c.hasPlan {
 		return errors.New("fabric: no plan deployed")
 	}
+	if _, dup := c.failedGroups[failed.id]; dup {
+		// Idempotent: the first failure already flipped this operator's
+		// groups; a repeated report must not re-append to plan.Degraded.
+		return nil
+	}
 	failed.Fail()
 	oi := -1
 	for idx, op := range c.problem.Operators {
@@ -319,7 +334,87 @@ func (c *Controller) HandleOperatorFailure(failed *Operator) error {
 	}
 	sort.Ints(flipped)
 	c.plan.Degraded = append(c.plan.Degraded, flipped...)
+	if c.failedGroups == nil {
+		c.failedGroups = make(map[uint16][]int)
+	}
+	c.failedGroups[failed.id] = flipped
+	c.failedOrder = append(c.failedOrder, failed.id)
 	return nil
+}
+
+// HandleOperatorRecovery is the inverse of HandleOperatorFailure: it
+// re-admits a recovered operator into the RSP by restoring exactly the
+// group assignments its failure flipped to DRS — ToR rules point back at
+// the operator, the plan's assignment entries are reinstated, and the
+// recorded indices leave plan.Degraded. Restoring the pre-failure plan
+// (rather than solving a fresh ILP) keeps the recovered run comparable to
+// the pre-crash run; the next periodic UpdateRSP re-optimizes as usual. It
+// is an error to recover an operator the controller never saw fail.
+func (c *Controller) HandleOperatorRecovery(op *Operator) error {
+	if !c.hasPlan {
+		return errors.New("fabric: no plan deployed")
+	}
+	gis, ok := c.failedGroups[op.id]
+	if !ok {
+		return fmt.Errorf("operator %d not recorded as failed: %w", op.id, ErrInvalidParam)
+	}
+	oi := -1
+	for idx, cand := range c.problem.Operators {
+		if uint16(cand.ID) == op.id {
+			oi = idx
+			break
+		}
+	}
+	if oi == -1 {
+		return fmt.Errorf("operator %d not in deployed problem: %w", op.id, ErrInvalidParam)
+	}
+	op.Recover()
+	for _, gi := range gis {
+		g := c.groups[gi]
+		tor, err := c.net.topo.ToROfRack(g.Rack)
+		if err != nil {
+			return err
+		}
+		top, err := c.net.Operator(tor)
+		if err != nil {
+			return err
+		}
+		top.rules.SetRSNode(g.ID, op.id)
+		c.plan.Assignment[gi] = oi
+	}
+	c.pruneDegraded(gis)
+	delete(c.failedGroups, op.id)
+	for i, id := range c.failedOrder {
+		if id == op.id {
+			c.failedOrder = append(c.failedOrder[:i], c.failedOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// pruneDegraded removes one occurrence of each recovered group index from
+// plan.Degraded, preserving the order of the remaining entries.
+func (c *Controller) pruneDegraded(gis []int) {
+	remove := make(map[int]int, len(gis))
+	for _, gi := range gis {
+		remove[gi]++
+	}
+	kept := c.plan.Degraded[:0]
+	for _, gi := range c.plan.Degraded {
+		if remove[gi] > 0 {
+			remove[gi]--
+			continue
+		}
+		kept = append(kept, gi)
+	}
+	c.plan.Degraded = kept
+}
+
+// FailedOperators returns the IDs of operators with an active failure
+// record, oldest first; the last entry is the most recent failure.
+func (c *Controller) FailedOperators() []uint16 {
+	return slices.Clone(c.failedOrder)
 }
 
 // InstallGroupDBs pushes the replica-group database and server locator to

@@ -476,6 +476,158 @@ func TestControllerFailureWithoutPlan(t *testing.T) {
 	}
 }
 
+func TestControllerRecoveryWithoutPlan(t *testing.T) {
+	h := newHarness(t, nil)
+	if err := h.ctrl.HandleOperatorRecovery(h.torOperator()); err == nil {
+		t.Fatal("recovery handling without a plan accepted")
+	}
+}
+
+func TestControllerDoubleFailureIdempotent(t *testing.T) {
+	h := newHarness(t, nil)
+	if err := h.ctrl.InstallToRPlan(); err != nil {
+		t.Fatal(err)
+	}
+	torOp := h.torOperator()
+	if err := h.ctrl.HandleOperatorFailure(torOp); err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := h.ctrl.CurrentPlan()
+	if len(plan.Degraded) != 1 {
+		t.Fatalf("plan.Degraded after first failure = %v", plan.Degraded)
+	}
+	// A repeated failure report must not re-flip or re-append.
+	if err := h.ctrl.HandleOperatorFailure(torOp); err != nil {
+		t.Fatalf("second failure report errored: %v", err)
+	}
+	plan, _ = h.ctrl.CurrentPlan()
+	if len(plan.Degraded) != 1 {
+		t.Fatalf("plan.Degraded after double failure = %v, want one entry", plan.Degraded)
+	}
+	if got := h.ctrl.FailedOperators(); len(got) != 1 || got[0] != torOp.ID() {
+		t.Fatalf("FailedOperators = %v, want [%d]", got, torOp.ID())
+	}
+}
+
+func TestControllerRecoveryRestoresAssignments(t *testing.T) {
+	h := newHarness(t, nil)
+	if err := h.ctrl.InstallToRPlan(); err != nil {
+		t.Fatal(err)
+	}
+	torOp := h.torOperator()
+	before, _ := h.ctrl.CurrentPlan()
+	wantAssign := before.Assignment[0]
+
+	if err := h.ctrl.HandleOperatorFailure(torOp); err != nil {
+		t.Fatal(err)
+	}
+	if !torOp.Failed() {
+		t.Fatal("failure did not mark the operator")
+	}
+	h.sendRequest(30)
+	h.eng.Run()
+	if resp := h.got[30]; resp == nil || resp.RID != wire.DegradedRID {
+		t.Fatalf("post-failure request not under DRS: %+v", resp)
+	}
+
+	if err := h.ctrl.HandleOperatorRecovery(torOp); err != nil {
+		t.Fatal(err)
+	}
+	if torOp.Failed() {
+		t.Fatal("recovery did not clear the operator's failed flag")
+	}
+	after, _ := h.ctrl.CurrentPlan()
+	if after.Assignment[0] != wantAssign {
+		t.Fatalf("assignment after recovery = %d, want restored %d", after.Assignment[0], wantAssign)
+	}
+	if len(after.Degraded) != 0 {
+		t.Fatalf("plan.Degraded after recovery = %v, want empty", after.Degraded)
+	}
+	if got := h.ctrl.FailedOperators(); len(got) != 0 {
+		t.Fatalf("FailedOperators after recovery = %v, want none", got)
+	}
+	// Traffic steers through the re-admitted RSNode again.
+	h.sendRequest(31)
+	h.eng.Run()
+	if resp := h.got[31]; resp == nil || resp.RID != torOp.ID() {
+		t.Fatalf("post-recovery request RID = %+v, want RSNode %d", resp, torOp.ID())
+	}
+
+	// Recovering again (or recovering an operator that never failed) is an
+	// error: there is no failure record to restore from.
+	if err := h.ctrl.HandleOperatorRecovery(torOp); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("double recovery err = %v, want ErrInvalidParam", err)
+	}
+}
+
+func TestControllerDeployClearsFailureRecords(t *testing.T) {
+	h := newHarness(t, nil)
+	if err := h.ctrl.InstallToRPlan(); err != nil {
+		t.Fatal(err)
+	}
+	torOp := h.torOperator()
+	if err := h.ctrl.HandleOperatorFailure(torOp); err != nil {
+		t.Fatal(err)
+	}
+	torOp.Recover() // clear the operator flag so redeploy routes normally
+	if err := h.ctrl.InstallToRPlan(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.ctrl.FailedOperators(); len(got) != 0 {
+		t.Fatalf("FailedOperators after redeploy = %v, want none", got)
+	}
+	// The old failure record is gone: recovery now reports an error.
+	if err := h.ctrl.HandleOperatorRecovery(torOp); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("recovery after redeploy err = %v, want ErrInvalidParam", err)
+	}
+}
+
+func TestLinkExtraDelaysHops(t *testing.T) {
+	h := newHarness(t, nil)
+	if err := h.ctrl.InstallToRPlan(); err != nil {
+		t.Fatal(err)
+	}
+	h.sendRequest(1)
+	h.eng.Run()
+	base := h.gotTime[1]
+
+	// Spike the client↔ToR edge: the request's first hop and the response's
+	// last hop both pay the extra.
+	tor, err := h.ft.ToROfRack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 200 * sim.Microsecond
+	if err := h.net.SetLinkExtra(h.client, tor, extra); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.net.LinkExtra(tor, h.client); got != extra {
+		t.Fatalf("LinkExtra = %v, want %v (order-insensitive)", got, extra)
+	}
+	start := h.eng.Now()
+	h.sendRequest(2)
+	h.eng.Run()
+	if got := h.gotTime[2] - start; got != base+2*extra {
+		t.Fatalf("spiked latency = %v, want %v", got, base+2*extra)
+	}
+
+	// Clearing restores the baseline.
+	if err := h.net.SetLinkExtra(h.client, tor, 0); err != nil {
+		t.Fatal(err)
+	}
+	start = h.eng.Now()
+	h.sendRequest(3)
+	h.eng.Run()
+	if got := h.gotTime[3] - start; got != base {
+		t.Fatalf("cleared latency = %v, want baseline %v", got, base)
+	}
+
+	// A non-existent edge is rejected.
+	if err := h.net.SetLinkExtra(h.client, h.servers[1], extra); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("nonadjacent SetLinkExtra err = %v, want ErrInvalidParam", err)
+	}
+}
+
 func TestAcceleratorQueueing(t *testing.T) {
 	h := newHarness(t, nil)
 	if err := h.ctrl.InstallToRPlan(); err != nil {

@@ -137,6 +137,11 @@ type Network struct {
 	// pktFree recycles pooled packets (NewPacket) after delivery or drop.
 	pktFree []*Packet
 
+	// linkExtra holds fault-injected per-edge latency additions, keyed by
+	// the normalized (low, high) endpoint pair. Nil until the first spike,
+	// so the hot path pays only a length check when no fault is active.
+	linkExtra map[edgeKey]sim.Time
+
 	forwardsTotal uint64
 	delivered     uint64
 	dropped       uint64
@@ -265,7 +270,51 @@ func (n *Network) hop(p *Packet) {
 		return
 	}
 	n.forwardsTotal++
-	n.eng.MustScheduleArg(n.cfg.LinkLatency, n.arriveFn, p)
+	delay := n.cfg.LinkLatency
+	if len(n.linkExtra) > 0 {
+		if extra, ok := n.linkExtra[edgeKeyOf(p.path[p.idx], p.path[p.idx+1])]; ok {
+			delay += extra
+		}
+	}
+	n.eng.MustScheduleArg(delay, n.arriveFn, p)
+}
+
+// edgeKey identifies an undirected fabric edge by its normalized endpoints.
+type edgeKey struct {
+	lo, hi topo.NodeID
+}
+
+// edgeKeyOf normalizes an endpoint pair.
+func edgeKeyOf(a, b topo.NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{lo: a, hi: b}
+}
+
+// SetLinkExtra installs (or, with extra ≤ 0, clears) a fault-injected
+// latency addition on the edge between a and b. Both hop directions pay the
+// extra. The edge must exist in the topology.
+func (n *Network) SetLinkExtra(a, b topo.NodeID, extra sim.Time) error {
+	if !n.topo.Linked(a, b) {
+		return fmt.Errorf("no link between %d and %d: %w", a, b, ErrInvalidParam)
+	}
+	key := edgeKeyOf(a, b)
+	if extra <= 0 {
+		delete(n.linkExtra, key)
+		return nil
+	}
+	if n.linkExtra == nil {
+		n.linkExtra = make(map[edgeKey]sim.Time)
+	}
+	n.linkExtra[key] = extra
+	return nil
+}
+
+// LinkExtra returns the active latency addition on the edge between a and
+// b, zero when none.
+func (n *Network) LinkExtra(a, b topo.NodeID) sim.Time {
+	return n.linkExtra[edgeKeyOf(a, b)]
 }
 
 // arrive processes the packet at its current node.

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"netrs/internal/sim"
+)
+
+// Actions is the fault surface the experiment runner exposes to the
+// injector. Every method applies one fault effect; errors are reported
+// through the injector's deterministic sink rather than aborting the run,
+// because a mid-run fault that cannot apply (for example crashing an
+// operator when every operator is already down) is an observable outcome of
+// the experiment, not a programming error.
+type Actions interface {
+	// CrashRSNode fails the targeted operator ("busiest", "failed", or a
+	// decimal ID) and returns the resolved operator ID.
+	CrashRSNode(target string) (uint16, error)
+	// RecoverRSNode re-admits the targeted operator and returns its ID.
+	RecoverRSNode(target string) (uint16, error)
+	// SetServerSlowdown scales the server's mean service time by mult.
+	SetServerSlowdown(server int, mult float64) error
+	// CrashServer halts the server until RestartServer.
+	CrashServer(server int) error
+	// RestartServer resumes a halted server.
+	RestartServer(server int) error
+	// SetRackLinkDelay adds extra latency to the rack's ToR-incident links
+	// (zero clears a previous spike).
+	SetRackLinkDelay(rack int, extra sim.Time) error
+}
+
+// threshold is a fraction-positioned event compiled to a completion count.
+type threshold struct {
+	count int
+	ev    Event
+}
+
+// Injector executes a validated fault schedule against a run. Time-positioned
+// events are placed on the engine agenda by Start; fraction-positioned events
+// fire synchronously from OnCompletion at the same completion count the
+// legacy FailRSNodeAt path used, so a one-event schedule reproduces it
+// bit-identically.
+type Injector struct {
+	eng    *sim.Engine
+	acts   Actions
+	report func(msg string)
+
+	timed      []Event
+	thresholds []threshold
+	next       int
+	fired      int
+}
+
+// NewInjector compiles events against a run of total measured requests.
+// The report sink receives one deterministic line per fault that fails to
+// apply; nil discards them.
+func NewInjector(eng *sim.Engine, acts Actions, total int, events []Event, report func(msg string)) (*Injector, error) {
+	if err := ValidateEvents(events); err != nil {
+		return nil, err
+	}
+	if report == nil {
+		report = func(string) {}
+	}
+	in := &Injector{eng: eng, acts: acts, report: report}
+	for _, e := range events {
+		if e.AtFraction > 0 {
+			// Same arithmetic as the legacy FailRSNodeAt trigger so that a
+			// synthesized one-event schedule fires at the identical count.
+			count := int(e.AtFraction * float64(total))
+			if count < 1 {
+				count = 1
+			}
+			in.thresholds = append(in.thresholds, threshold{count: count, ev: e})
+			continue
+		}
+		in.timed = append(in.timed, e)
+	}
+	// Stable: equal counts keep declaration order, matching the FIFO
+	// tie-break the engine applies to equal-time events.
+	sort.SliceStable(in.thresholds, func(i, j int) bool {
+		return in.thresholds[i].count < in.thresholds[j].count
+	})
+	return in, nil
+}
+
+// Start places the time-positioned events on the agenda. Call once, before
+// the engine runs.
+func (in *Injector) Start() error {
+	for _, e := range in.timed {
+		ev := e
+		if _, err := in.eng.ScheduleAt(sim.FromMs(ev.AtMs), func() { in.apply(ev) }); err != nil {
+			return fmt.Errorf("faults: schedule %s: %w", ev, err)
+		}
+	}
+	return nil
+}
+
+// OnCompletion fires every fraction-positioned event whose threshold the
+// completion count has reached. The runner calls it once per completed
+// measured request with the running count.
+func (in *Injector) OnCompletion(completed int) {
+	for in.next < len(in.thresholds) && in.thresholds[in.next].count <= completed {
+		ev := in.thresholds[in.next].ev
+		in.next++
+		in.apply(ev)
+	}
+}
+
+// Fired returns how many events (including duration-scheduled inverses) have
+// been applied so far.
+func (in *Injector) Fired() int { return in.fired }
+
+// apply dispatches one event and, on success, schedules its inverse when a
+// duration is set.
+func (in *Injector) apply(ev Event) {
+	in.fired++
+	var inverse *Event
+	var err error
+	switch ev.Kind {
+	case KindRSNodeCrash:
+		var id uint16
+		if id, err = in.acts.CrashRSNode(ev.RSNode); err == nil && ev.DurationMs > 0 {
+			// Recover the specific operator this crash hit, not whichever
+			// failed most recently by the time the duration elapses.
+			inverse = &Event{Kind: KindRSNodeRecover, RSNode: strconv.FormatUint(uint64(id), 10)}
+		}
+	case KindRSNodeRecover:
+		_, err = in.acts.RecoverRSNode(ev.RSNode)
+	case KindServerSlowdown:
+		if err = in.acts.SetServerSlowdown(ev.Server, ev.Multiplier); err == nil && ev.DurationMs > 0 {
+			inverse = &Event{Kind: KindServerSlowdown, Server: ev.Server, Multiplier: 1}
+		}
+	case KindServerCrash:
+		if err = in.acts.CrashServer(ev.Server); err == nil && ev.DurationMs > 0 {
+			inverse = &Event{Kind: KindServerRestart, Server: ev.Server}
+		}
+	case KindServerRestart:
+		err = in.acts.RestartServer(ev.Server)
+	case KindLinkDelay:
+		if err = in.acts.SetRackLinkDelay(ev.Rack, sim.FromMs(ev.ExtraMs)); err == nil && ev.DurationMs > 0 {
+			inverse = &Event{Kind: KindLinkDelay, Rack: ev.Rack, ExtraMs: 0}
+		}
+	default:
+		err = fmt.Errorf("unknown event kind %q: %w", ev.Kind, ErrInvalidSchedule)
+	}
+	if err != nil {
+		in.report(fmt.Sprintf("fault %s at %v: %v", ev, in.eng.Now(), err))
+		return
+	}
+	if inverse != nil {
+		inv := *inverse
+		in.eng.MustSchedule(sim.FromMs(ev.DurationMs), func() { in.apply(inv) })
+	}
+}

@@ -364,6 +364,118 @@ func TestServerCancelHeadOfQueue(t *testing.T) {
 	_ = tail
 }
 
+func TestServerSlowdownScalesServiceTimes(t *testing.T) {
+	measure := func(mult float64) sim.Time {
+		eng := sim.NewEngine()
+		cfg := ServerConfig{Parallelism: 1, MeanServiceTime: 4 * sim.Millisecond}
+		s, err := NewServer(0, eng, cfg, sim.NewRNG(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetSlowdown(mult); err != nil {
+			t.Fatal(err)
+		}
+		var total sim.Time
+		for i := 0; i < 2000; i++ {
+			s.Submit(Request{Done: func(st sim.Time) { total += st }})
+			eng.Run()
+		}
+		return total
+	}
+	base := measure(1)
+	slowed := measure(4)
+	// Identical seed → identical exponential draws, so the slowed total is
+	// exactly 4× up to the per-draw integer truncation.
+	ratio := float64(slowed) / float64(base)
+	if math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("slowdown ratio %.4f, want ~4", ratio)
+	}
+}
+
+func TestServerSlowdownValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	s, err := NewServer(0, eng, ServerConfig{Parallelism: 1, MeanServiceTime: sim.Millisecond}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSlowdown(0); !errors.Is(err, ErrInvalidParam) {
+		t.Errorf("SetSlowdown(0) err = %v", err)
+	}
+	if err := s.SetSlowdown(-2); !errors.Is(err, ErrInvalidParam) {
+		t.Errorf("SetSlowdown(-2) err = %v", err)
+	}
+	if s.Slowdown() != 1 {
+		t.Errorf("Slowdown after rejected sets = %v, want 1", s.Slowdown())
+	}
+}
+
+func TestServerPauseResume(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 2, MeanServiceTime: sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	done := Request{Done: func(sim.Time) { served++ }}
+
+	// Two in service, one queued; pause, then let the engine drain.
+	s.Submit(done)
+	s.Submit(done)
+	s.Submit(done)
+	s.Pause()
+	s.Pause() // idempotent
+	if !s.Paused() {
+		t.Fatal("not paused")
+	}
+	eng.Run()
+	if served != 2 {
+		t.Fatalf("served %d while paused, want 2 (in-flight only)", served)
+	}
+	if s.QueueSize() != 1 {
+		t.Fatalf("queue size = %d, want the stranded request", s.QueueSize())
+	}
+
+	// Submissions during the outage queue instead of starting service.
+	s.Submit(done)
+	eng.Run()
+	if served != 2 {
+		t.Fatalf("paused server served a new request (served=%d)", served)
+	}
+
+	// Resume drains the queue up to the free slots.
+	s.Resume()
+	s.Resume() // idempotent
+	if s.Paused() {
+		t.Fatal("still paused after Resume")
+	}
+	eng.Run()
+	if served != 4 {
+		t.Fatalf("served %d after resume, want 4", served)
+	}
+}
+
+func TestServerResumeSkipsCanceled(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ServerConfig{Parallelism: 1, MeanServiceTime: sim.Millisecond}
+	s, err := NewServer(0, eng, cfg, sim.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pause()
+	served := 0
+	tk1 := s.Submit(Request{Done: func(sim.Time) { served++ }})
+	s.Submit(Request{Done: func(sim.Time) { served++ }})
+	if !tk1.Cancel() {
+		t.Fatal("queued request not cancelable during outage")
+	}
+	s.Resume()
+	eng.Run()
+	if served != 1 {
+		t.Fatalf("served %d, want 1 (canceled entry skipped)", served)
+	}
+}
+
 func BenchmarkServerThroughput(b *testing.B) {
 	eng := sim.NewEngine()
 	cfg := ServerConfig{Parallelism: 4, MeanServiceTime: 4 * sim.Millisecond}

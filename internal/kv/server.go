@@ -49,6 +49,8 @@ type Server struct {
 	fluct  *dist.Bimodal
 
 	currentMean float64 // ns
+	slow        float64 // fault-injected service-time multiplier (1 = nominal)
+	paused      bool    // fault-injected outage: service halts, queue grows
 	busy        int
 	queue       []*queued
 	stEWMA      *stats.EWMA
@@ -132,6 +134,7 @@ func NewServer(id int, eng *sim.Engine, cfg ServerConfig, rng *sim.RNG) (*Server
 		cfg:         cfg,
 		rng:         rng,
 		currentMean: float64(cfg.MeanServiceTime),
+		slow:        1,
 	}
 	s.finishFn = func(arg any) { s.finishJob(arg.(*svcJob)) }
 	s.redrawFn = s.redrawMode
@@ -178,11 +181,52 @@ func (s *Server) redrawMode() {
 // tests and instrumentation.
 func (s *Server) CurrentMeanServiceTime() sim.Time { return sim.Time(s.currentMean) }
 
+// SetSlowdown scales the server's mean service time by mult on top of the
+// fluctuating performance mode — the fault engine's brownout knob. Requests
+// already in service keep their drawn times; subsequent draws are scaled.
+// Multiplier 1 restores nominal speed.
+func (s *Server) SetSlowdown(mult float64) error {
+	if mult <= 0 {
+		return fmt.Errorf("server %d slowdown multiplier %v: %w", s.id, mult, ErrInvalidParam)
+	}
+	s.slow = mult
+	return nil
+}
+
+// Slowdown returns the active slowdown multiplier.
+func (s *Server) Slowdown() float64 { return s.slow }
+
+// Pause halts the server — the fault engine's crash model. In-flight
+// service completes (the work was already committed to the simulated CPU),
+// but no queued or newly submitted request starts service until Resume.
+// Idempotent.
+func (s *Server) Pause() { s.paused = true }
+
+// Resume restarts a paused server and immediately starts service on queued
+// requests up to the free parallel slots. Idempotent.
+func (s *Server) Resume() {
+	if !s.paused {
+		return
+	}
+	s.paused = false
+	for s.busy < s.cfg.Parallelism && len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		if next.canceled {
+			continue
+		}
+		s.startService(next.req)
+	}
+}
+
+// Paused reports whether the server is in a fault-injected outage.
+func (s *Server) Paused() bool { return s.paused }
+
 // Submit enqueues a request. It starts service immediately when a
 // parallel slot is free. The returned ticket can cancel the request while
 // it is still queued.
 func (s *Server) Submit(req Request) Ticket {
-	if s.busy < s.cfg.Parallelism {
+	if !s.paused && s.busy < s.cfg.Parallelism {
 		s.startService(req)
 		return Ticket{}
 	}
@@ -196,7 +240,7 @@ func (s *Server) Submit(req Request) Ticket {
 
 func (s *Server) startService(req Request) {
 	s.busy++
-	st := sim.Time(s.expDrw.Draw() * s.currentMean)
+	st := sim.Time(s.expDrw.Draw() * s.currentMean * s.slow)
 	if st < 1 {
 		st = 1
 	}
@@ -226,8 +270,9 @@ func (s *Server) finishService(req Request, st sim.Time) {
 	s.served++
 	s.busyNs += st
 	s.stEWMA.Observe(float64(st))
-	// Pop the next live (non-canceled) queued request.
-	for len(s.queue) > 0 {
+	// Pop the next live (non-canceled) queued request. A paused server
+	// leaves its queue intact for Resume.
+	for !s.paused && len(s.queue) > 0 {
 		next := s.queue[0]
 		s.queue = s.queue[1:]
 		if next.canceled {

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"netrs/internal/sim"
+)
+
+// Timeline is a time-bucketed latency recorder: it splits the simulated
+// clock into fixed-width buckets and keeps, per bucket, the exact latency
+// samples of the requests that completed inside it plus the counts needed
+// for the resilience experiments — degraded (DRS) responses and timeout
+// expiries. Summarizing yields a latency-over-time series that shows when a
+// run degrades after a fault and when it re-converges after recovery,
+// rather than one steady-state number that averages the excursion away.
+//
+// Buckets are indexed by completion time. Width must be positive; samples
+// are appended in simulation order, so summaries are deterministic.
+type Timeline struct {
+	width   sim.Time
+	buckets []timelineBucket
+}
+
+// timelineBucket accumulates one bucket's raw samples and counters.
+type timelineBucket struct {
+	samples  []sim.Time
+	sum      sim.Time
+	degraded int
+	timeouts int
+}
+
+// TimelineBucket is one summarized bucket of a timeline series.
+type TimelineBucket struct {
+	// StartMs and EndMs bound the bucket on the simulated clock.
+	StartMs float64 `json:"startMs"`
+	EndMs   float64 `json:"endMs"`
+	// Count is the number of requests that completed in the bucket.
+	Count int `json:"count"`
+	// MeanMs and P99Ms summarize the bucket's completion latencies.
+	MeanMs float64 `json:"meanMs"`
+	P99Ms  float64 `json:"p99Ms"`
+	// DRSShare is the fraction of the bucket's completions answered under
+	// Degraded Replica Selection.
+	DRSShare float64 `json:"drsShare"`
+	// Timeouts counts timeout expiries (redundant-request timer firings)
+	// inside the bucket.
+	Timeouts int `json:"timeouts"`
+}
+
+// NewTimeline returns an empty timeline with the given bucket width.
+func NewTimeline(width sim.Time) (*Timeline, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("stats: timeline bucket width %v must be positive", width)
+	}
+	return &Timeline{width: width}, nil
+}
+
+// Width returns the bucket width.
+func (t *Timeline) Width() sim.Time { return t.width }
+
+// bucketAt returns the bucket covering instant at, growing the series as
+// the clock advances.
+func (t *Timeline) bucketAt(at sim.Time) *timelineBucket {
+	idx := int(at / t.width)
+	if at < 0 {
+		idx = 0
+	}
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, timelineBucket{})
+	}
+	return &t.buckets[idx]
+}
+
+// Record adds one completed request: its completion instant, its latency,
+// and whether it was answered under DRS.
+func (t *Timeline) Record(at sim.Time, latency sim.Time, degraded bool) {
+	b := t.bucketAt(at)
+	b.samples = append(b.samples, latency)
+	b.sum += latency
+	if degraded {
+		b.degraded++
+	}
+}
+
+// RecordTimeout notes a timeout expiry at instant at.
+func (t *Timeline) RecordTimeout(at sim.Time) {
+	t.bucketAt(at).timeouts++
+}
+
+// Buckets summarizes the series: one entry per bucket from time zero
+// through the last bucket touched, empty buckets included so the series is
+// contiguous.
+func (t *Timeline) Buckets() []TimelineBucket {
+	out := make([]TimelineBucket, len(t.buckets))
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		tb := TimelineBucket{
+			StartMs:  (sim.Time(i) * t.width).Float64Ms(),
+			EndMs:    (sim.Time(i+1) * t.width).Float64Ms(),
+			Count:    len(b.samples),
+			Timeouts: b.timeouts,
+		}
+		if n := len(b.samples); n > 0 {
+			tb.MeanMs = (b.sum / sim.Time(n)).Float64Ms()
+			sorted := slices.Clone(b.samples)
+			slices.Sort(sorted)
+			// Nearest-rank p99, same epsilon guard as Recorder.Percentile.
+			rank := int(math.Ceil(0.99*float64(n) - 1e-9))
+			if rank < 1 {
+				rank = 1
+			}
+			tb.P99Ms = sorted[rank-1].Float64Ms()
+			tb.DRSShare = float64(b.degraded) / float64(n)
+		}
+		out[i] = tb
+	}
+	return out
+}
+
+// TimelineTable renders a bucket series as a fixed-width text table, the
+// format the resilience experiment records in figs_output.txt.
+func TimelineTable(buckets []TimelineBucket) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10s %10s %8s %10s %10s %9s %8s\n",
+		"startMs", "endMs", "n", "meanMs", "p99Ms", "drsShare", "timeouts")
+	for _, b := range buckets {
+		fmt.Fprintf(&sb, "%10.1f %10.1f %8d %10.3f %10.3f %9.3f %8d\n",
+			b.StartMs, b.EndMs, b.Count, b.MeanMs, b.P99Ms, b.DRSShare, b.Timeouts)
+	}
+	return sb.String()
+}

@@ -36,6 +36,72 @@ func FuzzUnmarshalRequest(f *testing.F) {
 	})
 }
 
+// FuzzRequestRoundTrip drives AppendRequest from arbitrary field values:
+// every in-range request must encode (appended to a dirty, nonempty dst —
+// the recycled-buffer hot path) and decode back to identical fields.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint16(7), uint64(MagicRequest), uint16(9), uint32(0xABCDEF), []byte("key"))
+	f.Add(uint16(0), uint64(0), uint16(0), uint32(0), []byte{})
+	f.Add(DegradedRID, uint64(MaxMagic), uint16(0xffff), uint32(1<<24-1), bytes.Repeat([]byte{0x55}, 300))
+	f.Fuzz(func(t *testing.T, rid uint16, magic uint64, rv uint16, rgid uint32, payload []byte) {
+		req := Request{RID: rid, Magic: Magic(magic % (uint64(MaxMagic) + 1)), RV: rv,
+			RGID: rgid % (1 << 24), Payload: payload}
+		prefix := []byte{0xde, 0xad, 0xbe, 0xef}
+		dst, err := AppendRequest(append([]byte(nil), prefix...), req)
+		if err != nil {
+			t.Fatalf("in-range request rejected: %v", err)
+		}
+		if !bytes.Equal(dst[:len(prefix)], prefix) {
+			t.Fatalf("append clobbered dst prefix: %x", dst[:len(prefix)])
+		}
+		got, err := UnmarshalRequest(dst[len(prefix):])
+		if err != nil {
+			t.Fatalf("encoded request does not parse: %v", err)
+		}
+		if got.RID != req.RID || got.Magic != req.Magic || got.RV != req.RV ||
+			got.RGID != req.RGID || !bytes.Equal(got.Payload, req.Payload) {
+			t.Fatalf("lossy round trip: %+v vs %+v", req, got)
+		}
+	})
+}
+
+// FuzzResponseRoundTrip drives AppendResponse from arbitrary field values,
+// covering the source marker and the piggybacked SS status segment.
+func FuzzResponseRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint64(MagicResponse), uint16(2), uint16(3), uint16(4),
+		uint16(5), float32(6.5), []byte("value"))
+	f.Add(uint16(0), uint64(0), uint16(0), uint16(0), uint16(0),
+		uint16(0), float32(0), []byte{})
+	f.Fuzz(func(t *testing.T, rid uint16, magic uint64, rv uint16, pod, rack uint16,
+		queue uint16, serviceUs float32, payload []byte) {
+		if serviceUs != serviceUs || serviceUs < 0 {
+			// AppendResponse rejects NaN/negative service times by contract.
+			return
+		}
+		resp := Response{RID: rid, Magic: Magic(magic % (uint64(MaxMagic) + 1)), RV: rv,
+			Source:  SourceMarker{Pod: pod, Rack: rack},
+			Status:  Status{QueueSize: queue, ServiceTimeUs: serviceUs},
+			Payload: payload}
+		prefix := []byte{0x01, 0x02}
+		dst, err := AppendResponse(append([]byte(nil), prefix...), resp)
+		if err != nil {
+			t.Fatalf("in-range response rejected: %v", err)
+		}
+		if !bytes.Equal(dst[:len(prefix)], prefix) {
+			t.Fatalf("append clobbered dst prefix: %x", dst[:len(prefix)])
+		}
+		got, err := UnmarshalResponse(dst[len(prefix):])
+		if err != nil {
+			t.Fatalf("encoded response does not parse: %v", err)
+		}
+		if got.RID != resp.RID || got.Magic != resp.Magic || got.RV != resp.RV ||
+			got.Source != resp.Source || got.Status != resp.Status ||
+			!bytes.Equal(got.Payload, resp.Payload) {
+			t.Fatalf("lossy round trip: %+v vs %+v", resp, got)
+		}
+	})
+}
+
 // FuzzUnmarshalResponse hardens the response parser, including its
 // variable-length SS segment.
 func FuzzUnmarshalResponse(f *testing.F) {

@@ -35,6 +35,7 @@ import (
 
 	"netrs/internal/cluster"
 	"netrs/internal/exec"
+	"netrs/internal/faults"
 	"netrs/internal/sim"
 	"netrs/internal/stats"
 )
@@ -51,6 +52,37 @@ type Scheme = cluster.Scheme
 
 // Summary holds the per-run latency statistics (mean, p95, p99, p99.9).
 type Summary = stats.Summary
+
+// FaultEvent is one declared fault of a run's schedule (RSNode crash or
+// recovery, server slowdown/crash/restart, link-delay spike); see
+// internal/faults for event semantics and validation rules.
+type FaultEvent = faults.Event
+
+// FaultSchedule is the JSON schedule-file format of `netrs-sim -faults`.
+type FaultSchedule = faults.Schedule
+
+// TimelineBucket is one bucket of a run's time-resolved latency/DRS-share
+// series (Result.Timeline), produced when Config.TimelineBucket is set.
+type TimelineBucket = stats.TimelineBucket
+
+// The fault-event kinds and RSNode target sentinels.
+const (
+	FaultRSNodeCrash    = faults.KindRSNodeCrash
+	FaultRSNodeRecover  = faults.KindRSNodeRecover
+	FaultServerSlowdown = faults.KindServerSlowdown
+	FaultServerCrash    = faults.KindServerCrash
+	FaultServerRestart  = faults.KindServerRestart
+	FaultLinkDelay      = faults.KindLinkDelay
+
+	FaultTargetBusiest = faults.TargetBusiest
+	FaultTargetFailed  = faults.TargetFailed
+)
+
+// LoadFaultSchedule reads and validates a JSON fault-schedule file.
+func LoadFaultSchedule(path string) (FaultSchedule, error) { return faults.LoadSchedule(path) }
+
+// TimelineTable renders a timeline series as a fixed-width text table.
+func TimelineTable(buckets []TimelineBucket) string { return stats.TimelineTable(buckets) }
 
 // The paper's four schemes.
 const (

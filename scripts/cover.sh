@@ -1,0 +1,37 @@
+#!/bin/sh
+# Per-package coverage summary with regression floors.
+#
+#   ./scripts/cover.sh
+#
+# Prints `go test -cover` for every package, then enforces floors on the
+# packages at the heart of the control plane and the experiment runner:
+# internal/fabric and internal/cluster must not drop below the baselines
+# recorded when the fault-schedule engine landed. Raise a floor when new
+# tests push coverage up; never lower one to make a PR pass.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go test -cover ./..."
+out=$(go test -cover ./...)
+printf '%s\n' "$out" | grep -v 'no test files'
+
+# check_floor <package> <min-percent>
+check_floor() {
+	pkg=$1
+	floor=$2
+	pct=$(printf '%s\n' "$out" | awk -v p="$pkg" '$1=="ok" && $2==p {sub(/%/,"",$5); print $5}')
+	if [ -z "$pct" ]; then
+		echo "cover: no coverage line for $pkg" >&2
+		exit 1
+	fi
+	if awk -v got="$pct" -v min="$floor" 'BEGIN { exit !(got < min) }'; then
+		echo "cover: $pkg coverage ${pct}% fell below its ${floor}% floor" >&2
+		exit 1
+	fi
+	echo "cover: $pkg ${pct}% (floor ${floor}%)"
+}
+
+check_floor netrs/internal/fabric 80.0
+check_floor netrs/internal/cluster 80.3
+
+echo "== OK (cover)"
