@@ -14,6 +14,13 @@
 // (the CliRS schemes, having no control plane, are the unaffected control
 // curves). It uses the first seed of -seeds.
 //
+// -fig adapt runs the controller-epoch adaptation experiment: a NetRS-ILP
+// workload whose hot client demand relocates to the opposite racks at 45%
+// completion, once under the static initial plan and once with the
+// controller re-solving the placement every 50 ms from windowed monitor
+// rates. The accelerator is slowed to 150 µs per selection so placement
+// capacity binds at simulation scale. It uses the first seed of -seeds.
+//
 // The paper runs 6 M requests per point on a 1024-host fat-tree; that is
 // hours of simulation per figure. -requests and -scale trade statistical
 // depth for wall-clock time while preserving the comparisons' shape.
@@ -70,7 +77,7 @@ func scaledConfig(scale string) (netrs.Config, error) {
 
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-figs", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience, adapt")
 	requests := fs.Int("requests", 50000, "measured requests per point (paper: 6000000; env NETRS_REQUESTS overrides)")
 	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated deployment seeds (paper repeats 3×)")
 	scale := fs.String("scale", "medium", "cluster scale: paper, medium, small")
@@ -120,6 +127,9 @@ func run(args []string) (retErr error) {
 	if *fig == "resilience" {
 		return runResilience(base, seeds, *parallel)
 	}
+	if *fig == "adapt" {
+		return runAdapt(base, seeds, *parallel)
+	}
 
 	var sweeps []netrs.Sweep
 	if *fig == "all" {
@@ -168,6 +178,31 @@ func run(args []string) (retErr error) {
 		fmt.Printf("NetRS-ILP vs CliRS: max mean reduction %.1f%%, max p99 reduction %.1f%%\n\n",
 			res.MaxReduction("Avg."), res.MaxReduction("99th Percentile"))
 	}
+	return nil
+}
+
+// runAdapt evaluates the controller-epoch adaptation experiment on the
+// first seed: static plan versus periodic epochs through a mid-run demand
+// shift, with a verdict line stating whether the epochs arm re-converged.
+func runAdapt(base netrs.Config, seeds []uint64, parallel int) error {
+	base.Seed = seeds[0]
+	base.DemandSkew = 0.9
+	base.Fabric.AccelService = 150 * netrs.Microsecond
+	// Host-level traffic groups: a rack can hold several hot clients, and
+	// a single rack-level group whose demand exceeds one accelerator's
+	// capacity cannot be re-placed at all.
+	base.RackLevelGroups = false
+	res, err := netrs.RunAdapt(base, 0.45, 50*netrs.Millisecond, 50*netrs.Millisecond, netrs.RunOptions{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	epre, epost := res.PhaseMeans(res.Epochs)
+	verdict := "epochs arm re-converged: settled post-shift mean within 25% of pre-shift"
+	if epost > 1.25*epre {
+		verdict = "epochs arm did NOT re-converge within 25% of its pre-shift mean"
+	}
+	fmt.Println(verdict)
 	return nil
 }
 

@@ -51,6 +51,9 @@ func run(args []string) (retErr error) {
 	warmup := fs.Float64("warmup", def.WarmupFraction, "warmup fraction excluded from statistics")
 	rateControl := fs.Bool("rate-control", def.RateControl, "enable C3 cubic rate control")
 	rackGroups := fs.Bool("rack-groups", def.RackLevelGroups, "rack-level traffic groups (false = host-level)")
+	epochMs := fs.Float64("epoch-ms", 0, "controller epoch interval in ms: re-solve the RSP from windowed monitor rates (NetRS-ILP only; 0 disables)")
+	shiftAt := fs.Float64("shift-at", 0, "demand-shift position as a completion fraction (0 disables; requires -skew)")
+	shiftFraction := fs.Float64("shift-fraction", 0, "fraction of client demand relocated to the opposite racks at -shift-at")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
 	configPath := fs.String("config", "", "load the experiment from a JSON config file (flags are ignored)")
 	faultsPath := fs.String("faults", "", "load a JSON fault schedule (typed crash/recovery/slowdown/link events executed on the sim timeline; enables the resilience timeline)")
@@ -111,6 +114,9 @@ func run(args []string) (retErr error) {
 	cfg.RateControl = *rateControl
 	cfg.RackLevelGroups = *rackGroups
 	cfg.StatsSampleCap = *statsCap
+	cfg.ControllerInterval = sim.FromMs(*epochMs)
+	cfg.DemandShiftAt = *shiftAt
+	cfg.DemandShiftFraction = *shiftFraction
 
 	s, err := netrs.ParseScheme(*scheme)
 	if err != nil {
@@ -198,6 +204,9 @@ func execute(cfg netrs.Config, seeds []uint64, parallel int, jsonOut bool, trace
 	fmt.Printf("accel util  %.1f%% (busiest accelerator)\n", 100*res.MaxAccelUtilization)
 	if len(res.Timeline) > 0 {
 		fmt.Printf("\ntimeline\n%s", netrs.TimelineTable(res.Timeline))
+	}
+	if len(res.Epochs) > 0 {
+		fmt.Printf("\ncontroller epochs\n%s", netrs.EpochTable(res.Epochs))
 	}
 	for _, e := range res.Errors {
 		fmt.Printf("fault error %s\n", e)

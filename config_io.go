@@ -48,6 +48,11 @@ type configJSON struct {
 	// unit-suffixed keys (atMs, extraMs, durationMs).
 	Faults           []FaultEvent `json:"faults,omitempty"`
 	TimelineBucketMs float64      `json:"timelineBucketMs,omitempty"`
+
+	// Controller epochs and the time-varying demand shift.
+	ControllerIntervalMs float64 `json:"controllerIntervalMs,omitempty"`
+	DemandShiftAt        float64 `json:"demandShiftAt,omitempty"`
+	DemandShiftFraction  float64 `json:"demandShiftFraction,omitempty"`
 }
 
 // MarshalConfig serializes a Config to indented JSON.
@@ -86,6 +91,9 @@ func MarshalConfig(cfg Config) ([]byte, error) {
 		ReplayTracePath:        cfg.ReplayTracePath,
 		Faults:                 cfg.Faults,
 		TimelineBucketMs:       cfg.TimelineBucket.Float64Ms(),
+		ControllerIntervalMs:   cfg.ControllerInterval.Float64Ms(),
+		DemandShiftAt:          cfg.DemandShiftAt,
+		DemandShiftFraction:    cfg.DemandShiftFraction,
 	}
 	return json.MarshalIndent(j, "", "  ")
 }
@@ -134,6 +142,9 @@ func UnmarshalConfig(data []byte) (Config, error) {
 	cfg.ReplayTracePath = j.ReplayTracePath
 	cfg.Faults = j.Faults
 	cfg.TimelineBucket = Time(j.TimelineBucketMs * float64(Millisecond))
+	cfg.ControllerInterval = Time(j.ControllerIntervalMs * float64(Millisecond))
+	cfg.DemandShiftAt = j.DemandShiftAt
+	cfg.DemandShiftFraction = j.DemandShiftFraction
 	return cfg, nil
 }
 

@@ -16,6 +16,9 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	in.FailRSNodeAt = 0.5
 	in.MeanServiceTime = Time(2.5 * float64(Millisecond))
 	in.TimelineBucket = 50 * Millisecond
+	in.ControllerInterval = 100 * Millisecond
+	in.DemandShiftAt = 0.45
+	in.DemandShiftFraction = 0.75
 	in.Faults = []FaultEvent{
 		{Kind: FaultRSNodeCrash, AtMs: 400, RSNode: FaultTargetBusiest, DurationMs: 300},
 		{Kind: FaultServerSlowdown, AtFraction: 0.25, Server: 3, Multiplier: 4},

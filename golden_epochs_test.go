@@ -1,0 +1,130 @@
+package netrs
+
+// Golden digest for controller-epoch runs, plus the adaptation
+// experiment's qualitative shape. The digest pins a fully-featured epoch
+// run — timeline buckets, recorded errors, and the per-epoch plan history
+// (minus the wall-clock solve time, which is diagnostic-only) — across
+// parallelism levels, locking the periodic re-solve loop, the windowed
+// monitor snapshots, and the delta deploy path against nondeterminism.
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// goldenEpochConfig is the adaptation scenario at golden scale: skewed
+// demand whose hot set relocates to the opposite racks mid-run, an
+// accelerator slow enough (150 µs per selection) that placement capacity
+// binds, and the controller re-solving every 50 ms from windowed monitor
+// rates.
+func goldenEpochConfig() Config {
+	cfg := goldenConfig(SchemeNetRSILP)
+	cfg.TimelineBucket = 25 * Millisecond
+	cfg.DemandSkew = 0.9
+	cfg.DemandShiftAt = 0.45
+	cfg.DemandShiftFraction = 1
+	cfg.Fabric.AccelService = 150 * Microsecond
+	cfg.ControllerInterval = 50 * Millisecond
+	return cfg
+}
+
+// epochDigest extends faultDigest with every deterministic field of the
+// per-epoch plan history. SolveWallMs is deliberately excluded: it is the
+// one wall-clock value in a Result.
+func epochDigest(results []Result, merged Summary) uint64 {
+	h := fnv.New64a()
+	mix64(h, faultDigest(results, merged))
+	for _, r := range results {
+		mix64(h, uint64(len(r.Epochs)))
+		for _, e := range r.Epochs {
+			mix64(h, math.Float64bits(e.AtMs))
+			mix64(h, uint64(e.RSNodes))
+			mix64(h, uint64(e.MovedGroups))
+			mix64(h, uint64(e.DegradedGroups))
+			if e.Kept {
+				mix64(h, 1)
+			} else {
+				mix64(h, 0)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// goldenEpochDigest pins the epoch-run digest, captured when controller
+// epochs landed.
+const goldenEpochDigest = 0x3882b3ab86b41a28
+
+// TestGoldenEpochDigest proves an epoch-enabled adaptation run — windowed
+// monitor snapshots, periodic ILP re-solves, delta deploys, the demand
+// shift — is bit-identical at every parallelism level and pinned against
+// the captured digest.
+func TestGoldenEpochDigest(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	cfg := goldenEpochConfig()
+	for _, par := range []int{1, 2, 0} {
+		results, merged, err := RunRepeatedWith(cfg, seeds, RunOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if got := epochDigest(results, merged); got != goldenEpochDigest {
+			t.Errorf("parallelism %d: digest = %#016x, want %#016x", par, got, goldenEpochDigest)
+		}
+		for i, r := range results {
+			if len(r.Epochs) == 0 {
+				t.Fatalf("parallelism %d: seed %d recorded no epochs", par, seeds[i])
+			}
+		}
+	}
+}
+
+// TestAdaptExperimentShape asserts the adaptation experiment's qualitative
+// claim at test scale: after the demand shift relocates the hot racks, the
+// static plan's overloaded RSNode drives latency up and keeps it there,
+// while the controller epochs re-place the hot groups and return the mean
+// to its pre-shift level.
+func TestAdaptExperimentShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Requests = 12000
+	cfg.DemandSkew = 0.9
+	cfg.Fabric.AccelService = 150 * Microsecond
+	res, err := RunAdapt(cfg, 0.45, 50*Millisecond, 25*Millisecond, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spre, spost := res.PhaseMeans(res.Static)
+	epre, epost := res.PhaseMeans(res.Epochs)
+	if spre <= 0 || epre <= 0 {
+		t.Fatalf("empty pre-shift phases: static %v, epochs %v", spre, epre)
+	}
+	// The epochs arm re-converges: its settled post-shift mean is within
+	// 25% of its pre-shift mean.
+	if epost > 1.25*epre {
+		t.Fatalf("epochs arm did not re-converge: pre %0.3f ms, post %0.3f ms", epre, epost)
+	}
+	// The static arm stays degraded, and by a wide margin.
+	if spost < 3*spre {
+		t.Fatalf("static arm not degraded: pre %0.3f ms, post %0.3f ms", spre, spost)
+	}
+	if spost < 5*epost {
+		t.Fatalf("static post-shift mean %0.3f ms not clearly above epochs' %0.3f ms", spost, epost)
+	}
+	if len(res.Static.Epochs) != 0 {
+		t.Fatalf("static arm recorded epochs: %+v", res.Static.Epochs)
+	}
+	moved := 0
+	for _, e := range res.Epochs.Epochs {
+		moved += e.MovedGroups
+	}
+	if moved == 0 {
+		t.Fatal("no epoch moved any group")
+	}
+	// Validation of the experiment's own parameters.
+	if _, err := RunAdapt(cfg, 0, 50*Millisecond, 25*Millisecond, RunOptions{}); err == nil {
+		t.Fatal("zero shift fraction accepted")
+	}
+	if _, err := RunAdapt(cfg, 0.45, 0, 25*Millisecond, RunOptions{}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}

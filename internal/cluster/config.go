@@ -100,6 +100,16 @@ type Config struct {
 	DemandSkew        float64
 	HotClientFraction float64
 
+	// DemandShiftAt, when positive, enables the time-varying hotspot
+	// phase: once this fraction of the run's requests has been emitted,
+	// DemandShiftFraction of each client's demand relocates to the client
+	// half a population away, moving the hot set to different racks
+	// mid-run. Requires DemandSkew > 0 to be observable and a
+	// DemandShiftFraction in (0,1]. Synthetic workload only (trace replay
+	// carries its own time structure).
+	DemandShiftAt       float64
+	DemandShiftFraction float64
+
 	// Utilization is the target system utilization ρ = tkv·A/(Ns·Np).
 	Utilization float64
 
@@ -170,6 +180,16 @@ type Config struct {
 	// and reported in Result.Timeline (per-bucket mean/p99 latency, DRS
 	// share, timeout expiries). Zero disables the timeline.
 	TimelineBucket sim.Time
+
+	// ControllerInterval, when positive, enables controller epochs (§II's
+	// periodic loop): every interval after the initial ILP deployment, the
+	// controller snapshots the ToR monitors, re-solves the placement from
+	// that window's rates, and deploys the delta (only groups whose RSNode
+	// changed are re-steered; an infeasible epoch keeps the standing plan
+	// and records a Result.Errors entry). Zero (the default) solves once
+	// after warmup and never adapts — the pre-epoch behavior, bit for bit.
+	// NetRS-ILP only.
+	ControllerInterval sim.Time
 
 	// KeepLatencyTrace records every measured request's latency in
 	// Result.TraceMs (emission order), for external analysis.
@@ -267,6 +287,17 @@ func (c Config) validate() error {
 		return fmt.Errorf("stats sample cap %d: %w", c.StatsSampleCap, ErrInvalidParam)
 	case c.TimelineBucket < 0:
 		return fmt.Errorf("timeline bucket %v: %w", c.TimelineBucket, ErrInvalidParam)
+	case c.ControllerInterval < 0:
+		return fmt.Errorf("controller interval %v: %w", c.ControllerInterval, ErrInvalidParam)
+	case c.ControllerInterval > 0 && c.Scheme != SchemeNetRSILP:
+		return fmt.Errorf("controller interval %v needs scheme NetRS-ILP, got %s: %w",
+			c.ControllerInterval, c.Scheme, ErrInvalidParam)
+	case c.DemandShiftAt < 0 || c.DemandShiftAt >= 1:
+		return fmt.Errorf("demand shift at %v: %w", c.DemandShiftAt, ErrInvalidParam)
+	case c.DemandShiftAt > 0 && (c.DemandShiftFraction <= 0 || c.DemandShiftFraction > 1):
+		return fmt.Errorf("demand shift fraction %v: %w", c.DemandShiftFraction, ErrInvalidParam)
+	case c.DemandShiftAt > 0 && c.DemandSkew <= 0:
+		return fmt.Errorf("demand shift needs demand skew > 0: %w", ErrInvalidParam)
 	}
 	if err := faults.ValidateEvents(c.Faults); err != nil {
 		return fmt.Errorf("fault schedule: %w", err)

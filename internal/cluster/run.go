@@ -6,6 +6,7 @@ import (
 	"os"
 	"slices"
 	"strconv"
+	"time"
 
 	"netrs/internal/c3"
 	"netrs/internal/fabric"
@@ -74,6 +75,29 @@ type Result struct {
 	// errors the run survived: fault events that could not apply and RSP
 	// solves that fell back to the standing plan. Empty on a clean run.
 	Errors []string `json:"errors,omitempty"`
+	// Epochs is the per-epoch plan history when Config.ControllerInterval
+	// is positive: one record per periodic controller re-solve.
+	Epochs []EpochRecord `json:"epochs,omitempty"`
+}
+
+// EpochRecord summarizes one controller epoch — one firing of the periodic
+// RSP re-solve loop enabled by Config.ControllerInterval.
+type EpochRecord struct {
+	// AtMs is the epoch's instant on the simulated clock.
+	AtMs float64 `json:"atMs"`
+	// RSNodes and DegradedGroups describe the plan in force after the
+	// epoch; MovedGroups counts the groups the epoch re-steered.
+	RSNodes        int `json:"rsnodes"`
+	MovedGroups    int `json:"movedGroups"`
+	DegradedGroups int `json:"degradedGroups"`
+	// Kept is true when the epoch deployed nothing — the window was empty
+	// or the solve failed (recorded in Result.Errors) — and the previous
+	// plan stayed in force.
+	Kept bool `json:"kept,omitempty"`
+	// SolveWallMs is the wall-clock time the placement solve took. It is
+	// diagnostic only: wall time is nondeterministic, so it is excluded
+	// from golden digests and reproducible reports.
+	SolveWallMs float64 `json:"solveWallMs,omitempty"`
 }
 
 // client is one end-host issuing requests. Under CliRS it is a full
@@ -149,6 +173,9 @@ type runner struct {
 
 	queueCV    stats.Welford // samples of cross-server queue-length CV
 	samplerRef sim.EventRef
+
+	epochRef sim.EventRef
+	epochs   []EpochRecord
 
 	// launchPickFn is the shared handler for rate-control-delayed CliRS
 	// sends (closure-free scheduling; the packetCtx is the argument).
@@ -295,14 +322,16 @@ func (r *runner) setup() error {
 		r.warmup = int(cfg.WarmupFraction * float64(cfg.Requests))
 		r.total = cfg.Requests + r.warmup
 		srcCfg := workload.SourceConfig{
-			Generators:  cfg.Generators,
-			RatePerSec:  rate,
-			Clients:     cfg.Clients,
-			DemandSkew:  cfg.DemandSkew,
-			HotFraction: cfg.HotClientFraction,
-			Keys:        cfg.Keys,
-			ZipfTheta:   cfg.ZipfTheta,
-			Total:       r.total,
+			Generators:    cfg.Generators,
+			RatePerSec:    rate,
+			Clients:       cfg.Clients,
+			DemandSkew:    cfg.DemandSkew,
+			HotFraction:   cfg.HotClientFraction,
+			Keys:          cfg.Keys,
+			ZipfTheta:     cfg.ZipfTheta,
+			Total:         r.total,
+			ShiftAt:       cfg.DemandShiftAt,
+			ShiftFraction: cfg.DemandShiftFraction,
 		}
 		if r.source, err = workload.NewSource(srcCfg, r.eng, root.Stream(3), r.onArrival); err != nil {
 			return err
@@ -540,6 +569,7 @@ func (r *runner) execute() (Result, error) {
 		res.Timeline = r.timeline.Buckets()
 	}
 	res.Errors = r.errs
+	res.Epochs = r.epochs
 	var loads stats.Welford
 	for _, srv := range r.servers {
 		loads.Observe(float64(srv.Served()))
@@ -782,6 +812,13 @@ func (r *runner) clientHandler(c *client) fabric.HostHandler {
 		if r.cfg.Scheme == SchemeNetRSILP && r.completed == (r.warmup+1)/2 {
 			r.deployILPPlan()
 		}
+		// Measurement effectively starts with the first completion: the
+		// monitors were constructed with windowStart == 0, so without a
+		// reset the pipeline-fill idle time would dilute the first
+		// snapshot's rates (the bias the normalization then overcorrects).
+		if r.completed == 1 && r.ctl != nil {
+			r.ctl.ResetMonitors(now)
+		}
 		if r.injector != nil {
 			r.injector.OnCompletion(r.completed)
 		}
@@ -931,35 +968,45 @@ func (r *runner) SetRackLinkDelay(rack int, extra sim.Time) error {
 	return nil
 }
 
-// deployILPPlan solves the placement from the warmup window's monitor
-// statistics and deploys it (the NetRS controller's periodic RSP update,
-// §II). The measured rates are normalized so their total matches the known
-// offered load: in scaled-down runs the warmup window is close to the
-// pipeline-fill time, which biases raw monitor rates low; the paper's
-// administrators know A anyway (they derive the hop budget E from it).
-func (r *runner) deployILPPlan() {
+// normalizeRates scales per-group tier rates in place so their total
+// matches the offered load target (req/s), and returns the measured total
+// before scaling. The scaling is symmetric: under-measured windows (close
+// to the pipeline-fill time in scaled-down runs) are scaled up, and
+// over-measured windows (a queue-drain burst compressed into a short
+// window) are scaled down — either bias would otherwise feed the solver a
+// wrong utilization. The paper's administrators know A anyway (they derive
+// the hop budget E from it). A nonpositive target or an empty window
+// leaves the rates untouched.
+func normalizeRates(rates map[int][3]float64, target float64) float64 {
 	// Group order is sorted throughout: measured is a float sum (addition
 	// order changes the low bits, and the derived scale feeds the solver).
-	rates := r.ctl.CollectTraffic()
 	groups := slices.Sorted(maps.Keys(rates))
 	measured := 0.0
 	for _, g := range groups {
 		tiers := rates[g]
 		measured += tiers[0] + tiers[1] + tiers[2]
 	}
-	if measured > 0 {
-		target, err := workload.UtilizationRate(r.cfg.Utilization, r.cfg.Servers, r.cfg.Parallelism, r.cfg.MeanServiceTime)
-		if err == nil && target > measured {
-			scale := target / measured
-			for _, g := range groups {
-				tiers := rates[g]
-				for k := range tiers {
-					tiers[k] *= scale
-				}
-				rates[g] = tiers
-			}
-		}
+	if measured <= 0 || target <= 0 {
+		return measured
 	}
+	scale := target / measured
+	for _, g := range groups {
+		tiers := rates[g]
+		for k := range tiers {
+			tiers[k] *= scale
+		}
+		rates[g] = tiers
+	}
+	return measured
+}
+
+// deployILPPlan solves the placement from the warmup window's monitor
+// statistics and deploys it (the NetRS controller's initial RSP update,
+// §II). The measured rates are normalized so their total matches the known
+// offered load (see normalizeRates).
+func (r *runner) deployILPPlan() {
+	rates := r.ctl.CollectTraffic()
+	normalizeRates(rates, r.rate)
 	plan, err := r.ctl.UpdateRSPWithTraffic(rates)
 	if err != nil {
 		// Keep the ToR plan; the run proceeds, which mirrors the
@@ -970,6 +1017,51 @@ func (r *runner) deployILPPlan() {
 	}
 	r.plan = plan
 	r.setOperatorWeights(len(plan.RSNodes))
+	r.startEpochs()
+}
+
+// startEpochs begins the periodic controller loop after the initial ILP
+// deployment; with ControllerInterval unset it does nothing and the run is
+// bit-identical to the single-solve behavior.
+func (r *runner) startEpochs() {
+	if r.cfg.ControllerInterval <= 0 {
+		return
+	}
+	r.epochRef = r.eng.MustSchedule(r.cfg.ControllerInterval, r.epochTick)
+}
+
+func (r *runner) epochTick() {
+	r.runEpoch()
+	r.epochRef = r.eng.MustSchedule(r.cfg.ControllerInterval, r.epochTick)
+}
+
+// runEpoch is one controller epoch: snapshot the monitors, normalize the
+// window's rates to the offered load, re-solve the placement, and deploy
+// the delta. An empty window or a failed solve keeps the standing plan —
+// the latter also records a Result.Errors entry.
+func (r *runner) runEpoch() {
+	now := r.eng.Now()
+	rec := EpochRecord{AtMs: now.Float64Ms(), Kept: true}
+	rates := r.ctl.CollectTraffic()
+	if measured := normalizeRates(rates, r.rate); measured > 0 {
+		solveStart := time.Now() //lint:wallclock epoch solve wall time is diagnostic-only, excluded from digests
+		plan, diff, err := r.ctl.UpdateRSPDelta(rates)
+		rec.SolveWallMs = float64(time.Since(solveStart)) / 1e6 //lint:wallclock diagnostic-only, excluded from digests
+		if err != nil {
+			r.errorf("controller epoch at %v: %v (keeping plan)", now, err)
+		} else {
+			prev := len(r.plan.RSNodes)
+			r.plan = plan
+			rec.Kept = false
+			rec.MovedGroups = len(diff.MovedGroups)
+			if len(plan.RSNodes) != prev {
+				r.setOperatorWeights(len(plan.RSNodes))
+			}
+		}
+	}
+	rec.RSNodes = len(r.plan.RSNodes)
+	rec.DegradedGroups = len(r.plan.Degraded)
+	r.epochs = append(r.epochs, rec)
 }
 
 // startQueueSampler periodically samples the cross-server queue-length
@@ -1000,5 +1092,6 @@ func (r *runner) finish() {
 		srv.Stop()
 	}
 	r.samplerRef.Cancel()
+	r.epochRef.Cancel()
 	r.eng.Stop()
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"netrs/internal/placement"
+	"netrs/internal/sim"
 	"netrs/internal/topo"
 	"netrs/internal/wire"
 )
@@ -144,6 +145,105 @@ func (c *Controller) UpdateRSPWithTraffic(rates map[int][3]float64) (placement.P
 // (req/s) without deploying anything, for callers that post-process the
 // statistics before solving.
 func (c *Controller) CollectTraffic() map[int][3]float64 { return c.collect() }
+
+// ResetMonitors restarts every ToR monitor's window at now without reading
+// it. Call it when measurement begins: the monitors are constructed with
+// windowStart == 0, so idle pipeline-fill time before the first response
+// would otherwise dilute the first snapshot's rates.
+func (c *Controller) ResetMonitors(now sim.Time) {
+	for _, op := range c.net.OperatorsSorted() {
+		if op.monitor != nil {
+			op.monitor.ResetWindow(now)
+		}
+	}
+}
+
+// UpdateRSPDelta is the controller's periodic epoch update (§II): it
+// re-solves the placement from explicit per-group tier rates and deploys
+// only the delta. It differs from UpdateRSPWithTraffic in three ways:
+//
+//   - Failed operators are excluded (their capacity is zeroed), so an
+//     epoch cannot resurrect a crashed RSNode by assigning groups to it.
+//   - DRS fallback is disabled: mid-run, the standing plan is the better
+//     fallback, so an infeasible instance returns an error and deploys
+//     nothing rather than degrading traffic groups.
+//   - Only the ToR rules of groups whose RSNode changed are rewritten.
+//     In-flight requests already stamped with the old RSNode ID drain
+//     under the old binding (operators serve any request addressed to
+//     them); only new stampings follow the updated rules.
+//
+// It returns the deployed plan and its diff against the previous plan.
+func (c *Controller) UpdateRSPDelta(rates map[int][3]float64) (placement.Plan, placement.PlanDiff, error) {
+	if !c.hasPlan {
+		return placement.Plan{}, placement.PlanDiff{}, errors.New("fabric: no plan deployed")
+	}
+	problem, err := c.buildProblem(rates)
+	if err != nil {
+		return placement.Plan{}, placement.PlanDiff{}, err
+	}
+	for i := range problem.Operators {
+		op, err := c.net.OperatorByID(uint16(problem.Operators[i].ID))
+		if err == nil && op.Failed() {
+			problem.Operators[i].MaxTraffic = 0
+		}
+	}
+	opts := c.solveOpt
+	opts.AllowDRS = false
+	plan, err := placement.Solve(problem, opts)
+	if err != nil {
+		return placement.Plan{}, placement.PlanDiff{}, fmt.Errorf("solve placement: %w", err)
+	}
+	diff, err := c.deployDelta(problem, plan)
+	if err != nil {
+		return placement.Plan{}, placement.PlanDiff{}, err
+	}
+	return plan, diff, nil
+}
+
+// deployDelta installs plan as current, rewriting only the ToR rules of
+// groups the diff reports as moved. Unlike deploy, failure records survive
+// — but they shrink to the groups the new plan still leaves in DRS, so a
+// later recovery restores only bindings the plan has not superseded.
+func (c *Controller) deployDelta(problem placement.Problem, plan placement.Plan) (placement.PlanDiff, error) {
+	if err := problem.Validate(plan); err != nil {
+		return placement.PlanDiff{}, fmt.Errorf("refusing to deploy invalid plan: %w", err)
+	}
+	diff := problem.DiffPlans(c.plan, plan)
+	for _, gi := range diff.MovedGroups {
+		g := c.groups[gi]
+		tor, err := c.net.topo.ToROfRack(g.Rack)
+		if err != nil {
+			return placement.PlanDiff{}, err
+		}
+		op, err := c.net.Operator(tor)
+		if err != nil {
+			return placement.PlanDiff{}, err
+		}
+		oi := plan.Assignment[gi]
+		if oi == -1 {
+			op.rules.SetDRS(g.ID)
+			continue
+		}
+		rid := problem.Operators[oi].ID
+		if rid <= 0 || uint16(rid) == wire.DegradedRID {
+			return placement.PlanDiff{}, fmt.Errorf("plan assigns illegal RSNode id %d: %w", rid, ErrInvalidParam)
+		}
+		op.rules.SetRSNode(g.ID, uint16(rid))
+	}
+	c.plan = plan
+	c.problem = problem
+	c.rspVersions++
+	for _, id := range slices.Sorted(maps.Keys(c.failedGroups)) {
+		var kept []int
+		for _, gi := range c.failedGroups[id] {
+			if plan.Assignment[gi] == -1 {
+				kept = append(kept, gi)
+			}
+		}
+		c.failedGroups[id] = kept
+	}
+	return diff, nil
+}
 
 // collect drains every ToR monitor into per-group tier rates. Operators
 // and snapshot groups are visited in sorted order: the per-group rates are

@@ -22,6 +22,11 @@ type Monitor struct {
 	counts      map[int]*[3]uint64 // group → [tier0, tier1, tier2]
 	total       uint64
 	unmatched   uint64
+
+	// Lifetime counters, never reset: the windowed accessors above cover
+	// the span since the last Snapshot/ResetWindow only.
+	totalAll     uint64
+	unmatchedAll uint64
 }
 
 func newMonitor(pod, rack int, op *Operator) *Monitor {
@@ -33,6 +38,7 @@ func (m *Monitor) count(p *Packet, dst topo.NodeID) {
 	group, ok := m.op.rules.GroupOfHost(dst)
 	if !ok {
 		m.unmatched++
+		m.unmatchedAll++
 		return
 	}
 	c, ok := m.counts[group]
@@ -49,13 +55,22 @@ func (m *Monitor) count(p *Packet, dst topo.NodeID) {
 		c[topo.TierCore]++
 	}
 	m.total++
+	m.totalAll++
 }
 
 // Total returns the number of counted responses in the current window.
 func (m *Monitor) Total() uint64 { return m.total }
 
-// Unmatched returns responses whose destination had no group binding.
+// TotalAll returns the number of counted responses over the monitor's
+// lifetime, across window resets.
+func (m *Monitor) TotalAll() uint64 { return m.totalAll }
+
+// Unmatched returns, for the current window, responses whose destination
+// had no group binding.
 func (m *Monitor) Unmatched() uint64 { return m.unmatched }
+
+// UnmatchedAll returns the lifetime unmatched count, across window resets.
+func (m *Monitor) UnmatchedAll() uint64 { return m.unmatchedAll }
 
 // Snapshot returns per-group tier rates in requests per second over the
 // window since the last snapshot, then resets the counters. It reports
@@ -75,8 +90,18 @@ func (m *Monitor) Snapshot(now sim.Time) (map[int][3]float64, bool) {
 			float64(c[2]) / secs,
 		}
 	}
+	m.ResetWindow(now)
+	return out, true
+}
+
+// ResetWindow discards the current window — counts, totals, and the
+// unmatched counter — and starts a fresh one at now. The controller calls
+// this on every monitor when measurement begins, so the first snapshot's
+// rates are not diluted by pipeline-fill idle time before traffic flowed.
+// Lifetime counters are unaffected.
+func (m *Monitor) ResetWindow(now sim.Time) {
 	m.counts = make(map[int]*[3]uint64)
 	m.total = 0
+	m.unmatched = 0
 	m.windowStart = now
-	return out, true
 }

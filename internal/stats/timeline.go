@@ -104,7 +104,10 @@ func (t *Timeline) Buckets() []TimelineBucket {
 			Timeouts: b.timeouts,
 		}
 		if n := len(b.samples); n > 0 {
-			tb.MeanMs = (b.sum / sim.Time(n)).Float64Ms()
+			// The mean must be computed in float64: integer division of
+			// the tick-granular sum truncates toward zero, biasing every
+			// bucket mean low by up to one tick per sample.
+			tb.MeanMs = float64(b.sum) / float64(n) / float64(sim.Millisecond)
 			sorted := slices.Clone(b.samples)
 			slices.Sort(sorted)
 			// Nearest-rank p99, same epsilon guard as Recorder.Percentile.

@@ -110,3 +110,21 @@ func TestTimelineTable(t *testing.T) {
 		t.Errorf("table has %d lines, want header + 1 bucket:\n%s", len(lines), table)
 	}
 }
+
+// TestTimelineMeanSubTickPrecision pins the float64 bucket mean: a bucket
+// holding latencies of 1 ns and 2 ns has mean 1.5 ns. The mean used to be
+// computed with integer division of the tick-granular sum, truncating it
+// to 1 ns — a bias of up to one tick per sample on every bucket.
+func TestTimelineMeanSubTickPrecision(t *testing.T) {
+	tl, err := NewTimeline(10 * sim.Millisecond)
+	if err != nil {
+		t.Fatalf("NewTimeline: %v", err)
+	}
+	tl.Record(1*sim.Millisecond, 1, false)
+	tl.Record(2*sim.Millisecond, 2, false)
+	b := tl.Buckets()[0]
+	want := 1.5 / float64(sim.Millisecond)
+	if b.MeanMs != want {
+		t.Fatalf("MeanMs = %v, want %v (1.5 ns, not truncated to 1 ns)", b.MeanMs, want)
+	}
+}

@@ -88,6 +88,15 @@ type SourceConfig struct {
 	ZipfTheta float64
 	// Total is the number of requests to emit before stopping.
 	Total int
+	// ShiftAt, when positive, enables the time-varying hotspot phase: once
+	// this fraction of Total has been emitted, ShiftFraction of each
+	// client's demand relocates to the client half a population away —
+	// with demand skew, the hot set effectively moves to different racks
+	// mid-run. Zero keeps the demand distribution static.
+	ShiftAt float64
+	// ShiftFraction is the fraction of demand that relocates at the shift
+	// (1 moves the hot set entirely). Required in (0,1] when ShiftAt > 0.
+	ShiftFraction float64
 }
 
 func (c SourceConfig) validate() error {
@@ -103,6 +112,12 @@ func (c SourceConfig) validate() error {
 	if c.DemandSkew > 0 && (c.HotFraction <= 0 || c.HotFraction > 1) {
 		return fmt.Errorf("hot fraction %v: %w", c.HotFraction, ErrInvalidParam)
 	}
+	if c.ShiftAt < 0 || c.ShiftAt >= 1 {
+		return fmt.Errorf("shift at %v: %w", c.ShiftAt, ErrInvalidParam)
+	}
+	if c.ShiftAt > 0 && (c.ShiftFraction <= 0 || c.ShiftFraction > 1) {
+		return fmt.Errorf("shift fraction %v: %w", c.ShiftFraction, ErrInvalidParam)
+	}
 	return nil
 }
 
@@ -113,8 +128,12 @@ type Source struct {
 	emit    func(Request)
 	zipf    *dist.Zipf
 	clients *dist.Alias
-	procs   []*dist.Poisson
-	emitted int
+	// shifted is the post-shift client distribution, drawn from once
+	// shiftIndex requests have been emitted; nil when ShiftAt is 0.
+	shifted    *dist.Alias
+	shiftIndex int
+	procs      []*dist.Poisson
+	emitted    int
 	// tickFn is the shared arrival handler: one func value for every
 	// generator tick, so per-arrival scheduling stays allocation-free.
 	tickFn sim.ArgHandler
@@ -154,6 +173,27 @@ func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Reques
 		return nil, err
 	}
 
+	if cfg.ShiftAt > 0 {
+		// The post-shift distribution blends each client's weight with the
+		// client half a population away: with skewed weights (hot clients
+		// first), the hot demand lands on previously cold clients. Stream 4
+		// keeps the pre-shift draw sequence bit-identical to a shift-free
+		// run up to the shift point.
+		post := make([]float64, cfg.Clients)
+		for i := range post {
+			j := (i + cfg.Clients/2) % cfg.Clients
+			post[i] = (1-cfg.ShiftFraction)*weights[i] + cfg.ShiftFraction*weights[j]
+		}
+		s.shifted, err = dist.NewAlias(post, rng.Stream(4))
+		if err != nil {
+			return nil, err
+		}
+		s.shiftIndex = int(cfg.ShiftAt * float64(cfg.Total))
+		if s.shiftIndex < 1 {
+			s.shiftIndex = 1
+		}
+	}
+
 	perGen := cfg.RatePerSec / float64(cfg.Generators)
 	for g := 0; g < cfg.Generators; g++ {
 		proc, err := dist.NewPoisson(perGen, rng.Stream(uint64(100+g)))
@@ -176,9 +216,13 @@ func (s *Source) tick(proc *dist.Poisson) {
 	if s.emitted >= s.cfg.Total {
 		return // the source has drained; let the engine wind down
 	}
+	table := s.clients
+	if s.shifted != nil && s.emitted >= s.shiftIndex {
+		table = s.shifted
+	}
 	req := Request{
 		Index:  s.emitted,
-		Client: s.clients.Draw(),
+		Client: table.Draw(),
 		Key:    s.zipf.Draw(),
 	}
 	s.emitted++

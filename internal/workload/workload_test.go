@@ -219,3 +219,103 @@ func TestUtilizationRate(t *testing.T) {
 		t.Error("zero service time accepted")
 	}
 }
+
+func TestSourceDemandShift(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := sourceConfig(100000)
+	cfg.DemandSkew = 0.9
+	cfg.HotFraction = 0.2
+	cfg.ShiftAt = 0.5
+	cfg.ShiftFraction = 1
+	pre := make([]int, 50)
+	post := make([]int, 50)
+	src, err := NewSource(cfg, eng, sim.NewRNG(6), func(r Request) {
+		if r.Index < 50000 {
+			pre[r.Client]++
+		} else {
+			post[r.Client]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	eng.Run()
+	// Before the shift, clients 0–9 are hot; after it, the hot demand has
+	// relocated half a population away, to clients 25–34.
+	preHot, postOld, postNew := 0, 0, 0
+	for c := 0; c < 10; c++ {
+		preHot += pre[c]
+		postOld += post[c]
+	}
+	for c := 25; c < 35; c++ {
+		postNew += post[c]
+	}
+	if frac := float64(preHot) / 50000; math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("pre-shift hot clients issued %.3f, want 0.9", frac)
+	}
+	if frac := float64(postNew) / 50000; math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("post-shift relocated hot clients issued %.3f, want 0.9", frac)
+	}
+	if frac := float64(postOld) / 50000; frac > 0.05 {
+		t.Fatalf("post-shift old hot clients still issued %.3f", frac)
+	}
+}
+
+// TestSourceShiftPrefixUnchanged pins the zero-impact property the golden
+// digests depend on: enabling the shift must not perturb a single request
+// before the shift point (the post-shift alias table draws from its own
+// RNG stream).
+func TestSourceShiftPrefixUnchanged(t *testing.T) {
+	run := func(shiftAt float64) []Request {
+		eng := sim.NewEngine()
+		cfg := sourceConfig(20000)
+		cfg.DemandSkew = 0.9
+		cfg.HotFraction = 0.2
+		cfg.ShiftAt = shiftAt
+		if shiftAt > 0 {
+			cfg.ShiftFraction = 1
+		}
+		var got []Request
+		src, err := NewSource(cfg, eng, sim.NewRNG(7), func(r Request) { got = append(got, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Start()
+		eng.Run()
+		return got
+	}
+	base := run(0)
+	shifted := run(0.5)
+	for i := 0; i < 10000; i++ {
+		if base[i] != shifted[i] {
+			t.Fatalf("request %d diverged before the shift: %+v vs %+v", i, base[i], shifted[i])
+		}
+	}
+	diverged := false
+	for i := 10000; i < 20000; i++ {
+		if base[i].Client != shifted[i].Client {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("post-shift client sequence identical to the unshifted run")
+	}
+}
+
+func TestSourceShiftValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	emit := func(Request) {}
+	bad := sourceConfig(10)
+	bad.ShiftAt = 1.5
+	if _, err := NewSource(bad, eng, rng, emit); !errors.Is(err, ErrInvalidParam) {
+		t.Error("shift at 1.5 accepted")
+	}
+	bad = sourceConfig(10)
+	bad.ShiftAt = 0.5 // fraction missing
+	if _, err := NewSource(bad, eng, rng, emit); !errors.Is(err, ErrInvalidParam) {
+		t.Error("shift without fraction accepted")
+	}
+}

@@ -65,6 +65,10 @@ type FaultSchedule = faults.Schedule
 // series (Result.Timeline), produced when Config.TimelineBucket is set.
 type TimelineBucket = stats.TimelineBucket
 
+// EpochRecord is one controller epoch of a run's plan history
+// (Result.Epochs), produced when Config.ControllerInterval is set.
+type EpochRecord = cluster.EpochRecord
+
 // The fault-event kinds and RSNode target sentinels.
 const (
 	FaultRSNodeCrash    = faults.KindRSNodeCrash

@@ -33,5 +33,6 @@ check_floor() {
 
 check_floor netrs/internal/fabric 80.0
 check_floor netrs/internal/cluster 80.3
+check_floor netrs/internal/workload 90.0
 
 echo "== OK (cover)"
