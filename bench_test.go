@@ -272,6 +272,65 @@ func BenchmarkSweepParallel(b *testing.B) {
 	benchSweep(b, workers)
 }
 
+// scaleCase is one hyperscale cell: a k-ary fat-tree at DefaultConfig's
+// population ratios (the netrs-sim -topo presets), run on the sequential
+// or the pod-parallel sharded engine.
+type scaleCase struct {
+	k, servers, clients, generators, shards int
+}
+
+func (c scaleCase) config() Config {
+	cfg := DefaultConfig()
+	cfg.FatTreeK = c.k
+	cfg.Servers = c.servers
+	cfg.Clients = c.clients
+	cfg.Generators = c.generators
+	cfg.Shards = c.shards
+	cfg.Scheme = SchemeNetRSILP
+	// A full hyperscale run is about topology and placement scale, not
+	// request depth; keep iterations tractable (NETRS_REQUESTS overrides).
+	cfg.Requests = 20000
+	if env := os.Getenv("NETRS_REQUESTS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			cfg.Requests = n
+		}
+	}
+	return cfg
+}
+
+// BenchmarkScaleFatTree runs one NetRS-ILP cell at the paper's 16-ary
+// scale (1024 hosts) and at the hyperscale 32-ary fat-tree (8192 hosts),
+// each sequentially and on the sharded engine — the shards=1/shards=4
+// pairs measure the sharded engine's wall-clock effect at identical
+// results (the engines are bit-identical at any shard count).
+func BenchmarkScaleFatTree(b *testing.B) {
+	cases := []scaleCase{
+		{16, 100, 500, 200, 1},
+		{16, 100, 500, 200, 4},
+		{32, 800, 4000, 1600, 1},
+		{32, 800, 4000, 1600, 4},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("k=%d/shards=%d", c.k, c.shards), func(b *testing.B) {
+			var sum Summary
+			for i := 0; i < b.N; i++ {
+				cfg := c.config()
+				cfg.Seed = uint64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum.Count += res.Summary.Count
+				sum.MeanMs += res.Summary.MeanMs / float64(b.N)
+				sum.P99Ms += res.Summary.P99Ms / float64(b.N)
+			}
+			b.ReportMetric(sum.MeanMs, "mean_ms")
+			b.ReportMetric(sum.P99Ms, "p99_ms")
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator speed: simulated
 // requests per wall-clock second for a full NetRS-ILP run.
 func BenchmarkEngineThroughput(b *testing.B) {

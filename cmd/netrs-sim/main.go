@@ -9,6 +9,7 @@
 //	netrs-sim -scheme NetRS-ILP -requests 100000 -utilization 0.9
 //	netrs-sim -scheme CliRS -clients 700 -json
 //	netrs-sim -scheme NetRS-ILP -seeds 1,2,3 -parallel 3
+//	netrs-sim -topo scale32 -shards 4 -requests 20000
 package main
 
 import (
@@ -38,7 +39,9 @@ func run(args []string) (retErr error) {
 	seed := fs.Uint64("seed", def.Seed, "random seed (deployment, workload, service times)")
 	seedsFlag := fs.String("seeds", "", "comma-separated seeds for repeated runs (overrides -seed; merged summary reported)")
 	trialPar := fs.Int("parallel", 0, "concurrent repeated runs: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default; not -parallelism, which is per-server capacity)")
+	shards := fs.Int("shards", def.Shards, "intra-run worker count for the pod-parallel sharded engine (0/1 = sequential engine; any value is bit-identical)")
 	statsCap := fs.Int("stats-cap", 0, "bound latency-recorder memory to this many exact samples (0 = exact mode)")
+	topoPreset := fs.String("topo", "", "topology preset: scale16 (k=16, 1024 hosts) or scale32 (k=32, 8192 hosts); conflicts with -k/-servers/-clients/-generators")
 	k := fs.Int("k", def.FatTreeK, "fat-tree arity (k=16 → 1024 hosts)")
 	servers := fs.Int("servers", def.Servers, "number of replica servers (Ns)")
 	parallel := fs.Int("parallelism", def.Parallelism, "per-server parallelism (Np)")
@@ -104,6 +107,7 @@ func run(args []string) (retErr error) {
 	cfg.FatTreeK = *k
 	cfg.Servers = *servers
 	cfg.Parallelism = *parallel
+	cfg.Shards = *shards
 	cfg.MeanServiceTime = sim.FromMs(*serviceMs)
 	cfg.Clients = *clients
 	cfg.Generators = *generators
@@ -117,6 +121,9 @@ func run(args []string) (retErr error) {
 	cfg.ControllerInterval = sim.FromMs(*epochMs)
 	cfg.DemandShiftAt = *shiftAt
 	cfg.DemandShiftFraction = *shiftFraction
+	if err := applyTopoPreset(&cfg, *topoPreset, fs); err != nil {
+		return err
+	}
 
 	s, err := netrs.ParseScheme(*scheme)
 	if err != nil {
@@ -135,6 +142,42 @@ func run(args []string) (retErr error) {
 		return nil
 	}
 	return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
+}
+
+// topoPresets maps -topo names to cluster-scale settings: the fat-tree
+// arity plus server/client/generator counts at DefaultConfig's ratios
+// (servers ≈ 10% of hosts, clients ≈ 50%, one generator per 2.5 clients).
+var topoPresets = map[string]struct{ k, servers, clients, generators int }{
+	"scale16": {16, 100, 500, 200},
+	"scale32": {32, 800, 4000, 1600},
+}
+
+// applyTopoPreset applies a -topo preset, rejecting explicit topology
+// flags so a preset never silently loses to (or overrides) hand-set
+// values.
+func applyTopoPreset(cfg *netrs.Config, name string, fs *flag.FlagSet) error {
+	if name == "" {
+		return nil
+	}
+	p, ok := topoPresets[name]
+	if !ok {
+		return fmt.Errorf("-topo %q: unknown preset (have scale16, scale32)", name)
+	}
+	conflict := ""
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "k", "servers", "clients", "generators":
+			conflict = f.Name
+		}
+	})
+	if conflict != "" {
+		return fmt.Errorf("-topo %s conflicts with explicit -%s", name, conflict)
+	}
+	cfg.FatTreeK = p.k
+	cfg.Servers = p.servers
+	cfg.Clients = p.clients
+	cfg.Generators = p.generators
+	return nil
 }
 
 // applyFaults loads a -faults schedule file into the config: its events are

@@ -1,0 +1,37 @@
+package netrs
+
+// Golden digests across shard counts. The sharded engine's contract is
+// that partitioning is logical (fixed by the topology) and the shard count
+// only sets the worker pool — so every shard count must reproduce the
+// sequential runner's results bit for bit. Shards=1 IS the sequential
+// runner (Run dispatches to the legacy path), so passing here means the
+// pod-parallel execution matches the pinned pre-refactor digests exactly.
+
+import "testing"
+
+// shardableSchemes are the schemes the sharded runner supports (CliRS-R95's
+// cross-partition duplicate bookkeeping keeps it sequential-only).
+var shardableSchemes = []Scheme{SchemeCliRS, SchemeNetRSToR, SchemeNetRSILP}
+
+func TestGoldenShardDigest(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	for _, scheme := range shardableSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			want := goldenDigests[scheme.String()]
+			for _, shards := range []int{1, 2, 4} {
+				cfg := goldenConfig(scheme)
+				cfg.Shards = shards
+				results, merged, err := RunRepeatedWith(cfg, seeds, RunOptions{Parallelism: 1})
+				if err != nil {
+					t.Fatalf("shards %d: %v", shards, err)
+				}
+				got := resultDigest(results, merged)
+				if got != want {
+					t.Errorf("shards %d: digest = %#016x, want %#016x", shards, got, want)
+				}
+			}
+		})
+	}
+}

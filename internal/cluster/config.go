@@ -208,6 +208,19 @@ type Config struct {
 	// DemandSkew, Keys, and ZipfTheta are ignored; the request count is
 	// the trace length and WarmupFraction applies to it.
 	ReplayTracePath string
+
+	// Shards, when above one, runs the experiment on the pod-parallel
+	// sharded engine: the fat-tree's pods (plus one control partition for
+	// the core switches and the controller) become conservative-PDES
+	// partitions synchronized by the inter-switch link latency, and up to
+	// Shards worker goroutines execute partition windows concurrently.
+	// The partition structure is fixed by the topology, so any Shards
+	// value above one produces the identical event order — the worker
+	// count changes wall time only. Zero or one keeps today's sequential
+	// single-engine path, bit for bit. Sharded runs support the CliRS,
+	// NetRS-ToR, and NetRS-ILP schemes (with epochs and demand shifts);
+	// the remaining single-engine-only features are rejected by validate.
+	Shards int
 }
 
 // DefaultConfig returns the paper's experimental defaults, except that
@@ -298,9 +311,31 @@ func (c Config) validate() error {
 		return fmt.Errorf("demand shift fraction %v: %w", c.DemandShiftFraction, ErrInvalidParam)
 	case c.DemandShiftAt > 0 && c.DemandSkew <= 0:
 		return fmt.Errorf("demand shift needs demand skew > 0: %w", ErrInvalidParam)
+	case c.Shards < 0:
+		return fmt.Errorf("shards %d: %w", c.Shards, ErrInvalidParam)
 	}
 	if err := faults.ValidateEvents(c.Faults); err != nil {
 		return fmt.Errorf("fault schedule: %w", err)
+	}
+	if c.Shards > 1 {
+		// The sharded runner reproduces the sequential event order exactly
+		// for the supported feature set; features whose bookkeeping is
+		// inherently cross-partition-sequential stay on the single-engine
+		// path.
+		switch {
+		case c.Scheme == SchemeCliRSR95:
+			return fmt.Errorf("shards: scheme %s needs the single-engine runner: %w", c.Scheme, ErrInvalidParam)
+		case c.ReplayTracePath != "":
+			return fmt.Errorf("shards: trace replay needs the single-engine runner: %w", ErrInvalidParam)
+		case c.KeepLatencyTrace:
+			return fmt.Errorf("shards: latency trace needs the single-engine runner: %w", ErrInvalidParam)
+		case c.TimelineBucket > 0:
+			return fmt.Errorf("shards: timeline needs the single-engine runner: %w", ErrInvalidParam)
+		case len(c.Faults) > 0 || c.FailRSNodeAt > 0:
+			return fmt.Errorf("shards: fault injection needs the single-engine runner: %w", ErrInvalidParam)
+		case c.StatsSampleCap > 0:
+			return fmt.Errorf("shards: bounded stats need the single-engine runner: %w", ErrInvalidParam)
+		}
 	}
 	return nil
 }

@@ -181,6 +181,13 @@ type runner struct {
 	// sends (closure-free scheduling; the packetCtx is the argument).
 	launchPickFn sim.ArgHandler
 
+	// Pilot mode (sharded NetRS-ILP runs only): stop after pilotStop
+	// completions, recording the instants of the first and pilotStop-th —
+	// the completion-count triggers the windowed engine replays as
+	// absolute-time globals. Zero disables pilot mode entirely.
+	pilotStop        int
+	pilotT1, pilotTm sim.Time
+
 	netrs bool
 }
 
@@ -195,6 +202,9 @@ type runner struct {
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
 	}
 	r := &runner{
 		cfg:      cfg,
@@ -413,7 +423,7 @@ func (r *runner) clientSelector(rng *sim.RNG) (selection.Selector, error) {
 // setupControlPlane defines traffic groups, installs databases and the
 // initial (ToR) plan, and sizes the C3 concurrency weights.
 func (r *runner) setupControlPlane(clientHosts []topo.NodeID, rate float64) error {
-	groups, err := r.buildGroups(clientHosts)
+	groups, err := buildGroupDefs(r.cfg, r.ft, clientHosts)
 	if err != nil {
 		return err
 	}
@@ -445,16 +455,17 @@ func (r *runner) setupControlPlane(clientHosts []topo.NodeID, rate float64) erro
 	plan, _ := r.ctl.CurrentPlan()
 	r.plan = plan
 	r.hasPlan = true
-	r.setOperatorWeights(len(plan.RSNodes))
+	setOperatorWeights(r.net, len(plan.RSNodes))
 	return nil
 }
 
-// buildGroups derives traffic groups from the client deployment.
-func (r *runner) buildGroups(clientHosts []topo.NodeID) ([]fabric.GroupDef, error) {
-	if !r.cfg.RackLevelGroups {
+// buildGroupDefs derives traffic groups from the client deployment; both
+// runners (sequential and sharded) define their groups through it.
+func buildGroupDefs(cfg Config, ft *topo.Topology, clientHosts []topo.NodeID) ([]fabric.GroupDef, error) {
+	if !cfg.RackLevelGroups {
 		groups := make([]fabric.GroupDef, len(clientHosts))
 		for i, h := range clientHosts {
-			node, err := r.ft.Node(h)
+			node, err := ft.Node(h)
 			if err != nil {
 				return nil, err
 			}
@@ -464,14 +475,14 @@ func (r *runner) buildGroups(clientHosts []topo.NodeID) ([]fabric.GroupDef, erro
 	}
 	byRack := make(map[int][]topo.NodeID)
 	for _, h := range clientHosts {
-		node, err := r.ft.Node(h)
+		node, err := ft.Node(h)
 		if err != nil {
 			return nil, err
 		}
 		byRack[node.Rack] = append(byRack[node.Rack], h)
 	}
 	groups := make([]fabric.GroupDef, 0, len(byRack))
-	for rack := 0; rack < r.ft.Racks(); rack++ {
+	for rack := 0; rack < ft.Racks(); rack++ {
 		hosts, ok := byRack[rack]
 		if !ok {
 			continue
@@ -479,8 +490,8 @@ func (r *runner) buildGroups(clientHosts []topo.NodeID) ([]fabric.GroupDef, erro
 		// Intervening-level granularity: chunk a rack's clients into
 		// groups of at most GroupMaxHosts (§III-A).
 		chunk := len(hosts)
-		if r.cfg.GroupMaxHosts > 0 && r.cfg.GroupMaxHosts < chunk {
-			chunk = r.cfg.GroupMaxHosts
+		if cfg.GroupMaxHosts > 0 && cfg.GroupMaxHosts < chunk {
+			chunk = cfg.GroupMaxHosts
 		}
 		for start := 0; start < len(hosts); start += chunk {
 			end := start + chunk
@@ -495,11 +506,11 @@ func (r *runner) buildGroups(clientHosts []topo.NodeID) ([]fabric.GroupDef, erro
 
 // setOperatorWeights retunes every operator selector's C3 concurrency
 // weight to the number of active RSNodes.
-func (r *runner) setOperatorWeights(rsnodes int) {
+func setOperatorWeights(net *fabric.Network, rsnodes int) {
 	if rsnodes < 1 {
 		rsnodes = 1
 	}
-	for _, op := range r.net.OperatorsSorted() {
+	for _, op := range net.OperatorsSorted() {
 		if ad, ok := op.Accelerator().Selector().(*selection.Adapter); ok {
 			// The weight is nonnegative by construction.
 			_ = ad.Inner().SetConcurrencyWeight(float64(rsnodes))
@@ -805,6 +816,19 @@ func (r *runner) clientHandler(c *client) fabric.HostHandler {
 			}
 		}
 		r.completed++
+		if r.pilotStop > 0 {
+			// Sharded-run pilot: everything up to the ILP deployment point is
+			// deployment-independent, so the run stops right where the deploy
+			// would fire, having recorded the trigger instants.
+			if r.completed == 1 {
+				r.pilotT1 = now
+			}
+			if r.completed == r.pilotStop {
+				r.pilotTm = now
+				r.finish()
+			}
+			return
+		}
 		// The ILP plan deploys halfway through warmup: the paper notes a
 		// temporary latency increase after an RSP deployment while new
 		// RSNodes rebuild their view, so the second half of the warmup
@@ -1016,7 +1040,7 @@ func (r *runner) deployILPPlan() {
 		return
 	}
 	r.plan = plan
-	r.setOperatorWeights(len(plan.RSNodes))
+	setOperatorWeights(r.net, len(plan.RSNodes))
 	r.startEpochs()
 }
 
@@ -1055,7 +1079,7 @@ func (r *runner) runEpoch() {
 			rec.Kept = false
 			rec.MovedGroups = len(diff.MovedGroups)
 			if len(plan.RSNodes) != prev {
-				r.setOperatorWeights(len(plan.RSNodes))
+				setOperatorWeights(r.net, len(plan.RSNodes))
 			}
 		}
 	}

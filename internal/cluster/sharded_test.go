@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// shardedTestConfig is a small experiment exercising the full feature set
+// the sharded runner supports: NetRS-ILP with controller epochs and a
+// mid-run demand shift.
+func shardedTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FatTreeK = 6
+	cfg.Servers = 18
+	cfg.Clients = 30
+	cfg.Generators = 12
+	cfg.Requests = 2000
+	cfg.Scheme = SchemeNetRSILP
+	cfg.ControllerInterval = 100 * 1_000_000 // 100ms
+	cfg.DemandSkew = 0.6
+	cfg.DemandShiftAt = 0.4
+	cfg.DemandShiftFraction = 0.5
+	return cfg
+}
+
+// stripWallClock zeroes the diagnostic-only wall-time field so epoch
+// records compare deterministically.
+func stripWallClock(epochs []EpochRecord) []EpochRecord {
+	out := append([]EpochRecord(nil), epochs...)
+	for i := range out {
+		out[i].SolveWallMs = 0
+	}
+	return out
+}
+
+// TestShardedEpochsMatchSequential runs a NetRS-ILP experiment with
+// controller epochs and a demand shift on the sequential engine and on the
+// sharded engine at several worker counts, asserting the full Result —
+// including the per-epoch plan history and any recorded solve errors — is
+// identical.
+func TestShardedEpochsMatchSequential(t *testing.T) {
+	base := shardedTestConfig()
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Epochs) == 0 {
+		t.Fatal("sequential run recorded no epochs; the test exercises nothing")
+	}
+	for _, shards := range []int{2, 4} {
+		cfg := base
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		if got.Summary != want.Summary {
+			t.Errorf("shards %d: summary %+v, want %+v", shards, got.Summary, want.Summary)
+		}
+		if got.Completed != want.Completed || got.Emitted != want.Emitted {
+			t.Errorf("shards %d: completed/emitted %d/%d, want %d/%d",
+				shards, got.Completed, got.Emitted, want.Completed, want.Emitted)
+		}
+		if got.SimulatedSpan != want.SimulatedSpan {
+			t.Errorf("shards %d: span %v, want %v", shards, got.SimulatedSpan, want.SimulatedSpan)
+		}
+		if got.RSNodes != want.RSNodes || got.DegradedGroups != want.DegradedGroups ||
+			got.PlanMethod != want.PlanMethod {
+			t.Errorf("shards %d: plan (%d,%d,%s), want (%d,%d,%s)", shards,
+				got.RSNodes, got.DegradedGroups, got.PlanMethod,
+				want.RSNodes, want.DegradedGroups, want.PlanMethod)
+		}
+		if got.OperatorSelections != want.OperatorSelections ||
+			got.DegradedResponses != want.DegradedResponses {
+			t.Errorf("shards %d: selections/degraded %d/%d, want %d/%d", shards,
+				got.OperatorSelections, got.DegradedResponses,
+				want.OperatorSelections, want.DegradedResponses)
+		}
+		if got.MaxAccelUtilization != want.MaxAccelUtilization ||
+			got.ServerLoadCV != want.ServerLoadCV || got.QueueCVMean != want.QueueCVMean {
+			t.Errorf("shards %d: float stats (%v,%v,%v), want (%v,%v,%v)", shards,
+				got.MaxAccelUtilization, got.ServerLoadCV, got.QueueCVMean,
+				want.MaxAccelUtilization, want.ServerLoadCV, want.QueueCVMean)
+		}
+		if !reflect.DeepEqual(stripWallClock(got.Epochs), stripWallClock(want.Epochs)) {
+			t.Errorf("shards %d: epochs %+v, want %+v", shards,
+				stripWallClock(got.Epochs), stripWallClock(want.Epochs))
+		}
+		if !reflect.DeepEqual(got.Errors, want.Errors) {
+			t.Errorf("shards %d: errors %v, want %v", shards, got.Errors, want.Errors)
+		}
+	}
+}
+
+// TestShardedConfigValidation pins which features the sharded runner
+// rejects: each needs bookkeeping that is inherently sequential, and a
+// silent wrong answer would be worse than an explicit error.
+func TestShardedConfigValidation(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"r95 scheme":     func(c *Config) { c.Scheme = SchemeCliRSR95 },
+		"trace replay":   func(c *Config) { c.ReplayTracePath = "trace.csv" },
+		"latency trace":  func(c *Config) { c.KeepLatencyTrace = true },
+		"timeline":       func(c *Config) { c.TimelineBucket = 1_000_000 },
+		"rsnode failure": func(c *Config) { c.FailRSNodeAt = 0.5 },
+		"bounded stats":  func(c *Config) { c.StatsSampleCap = 100 },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		cfg.Shards = 2
+		mutate(&cfg)
+		if err := cfg.validate(); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("%s: validate() = %v, want ErrInvalidParam", name, err)
+		}
+		// The same feature stays accepted on the sequential path.
+		cfg.Shards = 1
+		if name == "r95 scheme" {
+			continue // needs RedundantPercentile defaults, covered elsewhere
+		}
+		if err := cfg.validate(); err != nil {
+			t.Errorf("%s: sequential validate() = %v, want nil", name, err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if err := cfg.validate(); !errors.Is(err, ErrInvalidParam) {
+		t.Errorf("negative shards: validate() = %v, want ErrInvalidParam", err)
+	}
+}

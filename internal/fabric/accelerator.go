@@ -79,11 +79,18 @@ func (a *Accelerator) MaxQueue() int { return a.maxQueue }
 
 // Utilization returns busy time divided by elapsed core-time.
 func (a *Accelerator) Utilization() float64 {
-	now := a.eng.Now()
-	if now == 0 {
+	return a.UtilizationAt(a.eng.Now())
+}
+
+// UtilizationAt returns busy time divided by core-time over an explicit
+// span. Sharded runs use it with the logical end-of-run instant: partition
+// clocks overrun the stop time by up to one window, so the local Now() is
+// not the measurement span there.
+func (a *Accelerator) UtilizationAt(span sim.Time) float64 {
+	if span <= 0 {
 		return 0
 	}
-	return float64(a.busyNs) / (float64(now) * float64(a.cores))
+	return float64(a.busyNs) / (float64(span) * float64(a.cores))
 }
 
 // submitRequest ships a request across the switch–accelerator link, queues

@@ -164,9 +164,11 @@ func (c *Controller) ResetMonitors(now sim.Time) {
 //
 //   - Failed operators are excluded (their capacity is zeroed), so an
 //     epoch cannot resurrect a crashed RSNode by assigning groups to it.
-//   - DRS fallback is disabled: mid-run, the standing plan is the better
-//     fallback, so an infeasible instance returns an error and deploys
-//     nothing rather than degrading traffic groups.
+//   - The solve is warm-started from the standing plan with whole-plan DRS
+//     disabled: if the cold re-solve is infeasible (the greedy heuristic
+//     can corner itself on a shifted traffic matrix), the standing
+//     assignments are repaired group by group rather than aborting the
+//     epoch, degrading only groups no operator can host.
 //   - Only the ToR rules of groups whose RSNode changed are rewritten.
 //     In-flight requests already stamped with the old RSNode ID drain
 //     under the old binding (operators serve any request addressed to
@@ -189,7 +191,7 @@ func (c *Controller) UpdateRSPDelta(rates map[int][3]float64) (placement.Plan, p
 	}
 	opts := c.solveOpt
 	opts.AllowDRS = false
-	plan, err := placement.Solve(problem, opts)
+	plan, err := placement.SolveWarm(problem, c.plan, opts)
 	if err != nil {
 		return placement.Plan{}, placement.PlanDiff{}, fmt.Errorf("solve placement: %w", err)
 	}

@@ -119,12 +119,36 @@ func (c Config) validate() error {
 // HostHandler receives packets delivered to an end-host.
 type HostHandler func(*Packet)
 
+// partCounters are the per-partition forwarding counters. Keeping them
+// partition-local lets sharded windows count without atomics; Stats sums
+// them.
+type partCounters struct {
+	forwards  uint64
+	delivered uint64
+	dropped   uint64
+}
+
 // Network simulates the data-center fabric: topology-aware hop-by-hop
 // forwarding with NetRS operators on every switch.
+//
+// In single-engine mode every node lives in partition 0 and eng drives
+// everything. In sharded mode (NewShardedNetwork) each node schedules on
+// its home partition's engine, and hops whose endpoints live in different
+// partitions — exclusively aggregation↔core links — travel through the
+// shard set's exchange instead of a direct Schedule call. eng is then the
+// control partition's engine, which the controller's barrier-time reads
+// observe.
 type Network struct {
 	eng  *sim.Engine
 	topo *topo.Topology
 	cfg  Config
+
+	// set is the shard coordinator, nil in single-engine mode. engs[p] is
+	// partition p's engine ([eng] in single-engine mode); partOf maps nodes
+	// to partitions (nil means everything is partition 0).
+	set    *sim.ShardSet
+	engs   []*sim.Engine
+	partOf []int
 
 	operators map[topo.NodeID]*Operator
 	opsSorted []*Operator // topology switch order; the deterministic view
@@ -134,17 +158,16 @@ type Network struct {
 	// arriveFn is the one hop-completion handler shared by every in-flight
 	// packet (closure-free per-hop scheduling).
 	arriveFn sim.ArgHandler
-	// pktFree recycles pooled packets (NewPacket) after delivery or drop.
-	pktFree []*Packet
+	// pktFree recycles pooled packets (NewPacket) after delivery or drop,
+	// one free list per partition so recycling stays worker-local.
+	pktFree [][]*Packet
 
 	// linkExtra holds fault-injected per-edge latency additions, keyed by
 	// the normalized (low, high) endpoint pair. Nil until the first spike,
 	// so the hot path pays only a length check when no fault is active.
 	linkExtra map[edgeKey]sim.Time
 
-	forwardsTotal uint64
-	delivered     uint64
-	dropped       uint64
+	counters []partCounters
 }
 
 // NewNetwork builds a fabric over the topology with one NetRS operator per
@@ -162,6 +185,9 @@ func NewNetwork(eng *sim.Engine, t *topo.Topology, cfg Config, selectorFactory f
 		eng:       eng,
 		topo:      t,
 		cfg:       cfg,
+		engs:      []*sim.Engine{eng},
+		pktFree:   make([][]*Packet, 1),
+		counters:  make([]partCounters, 1),
 		operators: make(map[topo.NodeID]*Operator),
 		opByID:    make(map[uint16]*Operator),
 		hosts:     make(map[topo.NodeID]HostHandler),
@@ -177,7 +203,7 @@ func NewNetwork(eng *sim.Engine, t *topo.Topology, cfg Config, selectorFactory f
 		if err != nil {
 			return nil, fmt.Errorf("selector for operator %d: %w", id, err)
 		}
-		op, err := newOperator(id, sw, n, sel)
+		op, err := newOperator(id, sw, n, eng, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -186,6 +212,84 @@ func NewNetwork(eng *sim.Engine, t *topo.Topology, cfg Config, selectorFactory f
 		n.opByID[id] = op
 	}
 	return n, nil
+}
+
+// NewShardedNetwork builds a fabric whose nodes schedule on their home
+// partition's engine (topo.PartitionOf) and whose cross-partition hops
+// travel through the shard set's exchange. The set must have one engine
+// per topology partition, and its lookahead must not exceed the link
+// latency — the latency of the only cross-partition hops. selectorFactory
+// receives the engine of the partition the operator is pinned to, so
+// clock-reading selectors observe their own partition's time.
+func NewShardedNetwork(set *sim.ShardSet, t *topo.Topology, cfg Config, selectorFactory func(op uint16, eng *sim.Engine) (Selector, error)) (*Network, error) {
+	if set == nil || t == nil || selectorFactory == nil {
+		return nil, fmt.Errorf("nil shard set, topology, or factory: %w", ErrInvalidParam)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if set.Partitions() != t.PodPartitions() {
+		return nil, fmt.Errorf("%d shard partitions for %d topology partitions: %w",
+			set.Partitions(), t.PodPartitions(), ErrInvalidParam)
+	}
+	if set.Lookahead() > cfg.LinkLatency {
+		return nil, fmt.Errorf("lookahead %v exceeds link latency %v: %w",
+			set.Lookahead(), cfg.LinkLatency, ErrInvalidParam)
+	}
+	parts := set.Partitions()
+	n := &Network{
+		eng:       set.Engine(t.ControlPartition()),
+		topo:      t,
+		cfg:       cfg,
+		set:       set,
+		engs:      make([]*sim.Engine, parts),
+		partOf:    make([]int, t.Size()),
+		pktFree:   make([][]*Packet, parts),
+		counters:  make([]partCounters, parts),
+		operators: make(map[topo.NodeID]*Operator),
+		opByID:    make(map[uint16]*Operator),
+		hosts:     make(map[topo.NodeID]HostHandler),
+	}
+	for p := 0; p < parts; p++ {
+		n.engs[p] = set.Engine(p)
+	}
+	for id := range n.partOf {
+		n.partOf[id] = t.PartitionOf(topo.NodeID(id))
+	}
+	n.arriveFn = func(arg any) {
+		p := arg.(*Packet)
+		p.idx++
+		n.arrive(p)
+	}
+	for i, sw := range t.Switches() {
+		id := uint16(i + 1)
+		eng := n.engs[n.partOf[sw]]
+		sel, err := selectorFactory(id, eng)
+		if err != nil {
+			return nil, fmt.Errorf("selector for operator %d: %w", id, err)
+		}
+		op, err := newOperator(id, sw, n, eng, sel)
+		if err != nil {
+			return nil, err
+		}
+		n.operators[sw] = op
+		n.opsSorted = append(n.opsSorted, op)
+		n.opByID[id] = op
+	}
+	return n, nil
+}
+
+// PartitionOf returns a node's home partition (0 in single-engine mode).
+func (n *Network) PartitionOf(id topo.NodeID) int {
+	if n.partOf == nil {
+		return 0
+	}
+	return n.partOf[id]
+}
+
+// EngineOf returns the engine driving a node's home partition.
+func (n *Network) EngineOf(id topo.NodeID) *sim.Engine {
+	return n.engs[n.PartitionOf(id)]
 }
 
 // Engine exposes the driving engine.
@@ -239,9 +343,10 @@ func (n *Network) AttachHost(host topo.NodeID, h HostHandler) error {
 
 // Launch injects a packet at a host, destined for the node `to` (a host
 // for direct flows, a switch for RSNode-bound flows). The first hop leaves
-// immediately; each link costs LinkLatency.
+// immediately; each link costs LinkLatency. The packet's path buffer is
+// reused, so a recycled packet routes without allocating.
 func (n *Network) Launch(p *Packet, from, to topo.NodeID) error {
-	path, err := n.topo.Route(from, to, flowHash(p.ReqID))
+	path, err := n.topo.RouteInto(p.path[:0], from, to, flowHash(p.ReqID))
 	if err != nil {
 		return fmt.Errorf("launch: %w", err)
 	}
@@ -253,7 +358,7 @@ func (n *Network) Launch(p *Packet, from, to topo.NodeID) error {
 
 // relaunch resets the packet's path from a waypoint switch.
 func (n *Network) relaunch(p *Packet, from, to topo.NodeID) error {
-	path, err := n.topo.Route(from, to, flowHash(p.ReqID))
+	path, err := n.topo.RouteInto(p.path[:0], from, to, flowHash(p.ReqID))
 	if err != nil {
 		return fmt.Errorf("relaunch: %w", err)
 	}
@@ -263,20 +368,28 @@ func (n *Network) relaunch(p *Packet, from, to topo.NodeID) error {
 	return nil
 }
 
-// hop moves the packet one link toward path[idx+1].
+// hop moves the packet one link toward path[idx+1]. In sharded mode a hop
+// whose endpoints live in different partitions goes through the exchange;
+// the link latency covers the lookahead by NewShardedNetwork's check, and
+// fault-injected extras only widen the margin.
 func (n *Network) hop(p *Packet) {
 	if p.idx >= len(p.path)-1 {
 		n.arrive(p)
 		return
 	}
-	n.forwardsTotal++
+	src := n.PartitionOf(p.path[p.idx])
+	n.counters[src].forwards++
 	delay := n.cfg.LinkLatency
 	if len(n.linkExtra) > 0 {
 		if extra, ok := n.linkExtra[edgeKeyOf(p.path[p.idx], p.path[p.idx+1])]; ok {
 			delay += extra
 		}
 	}
-	n.eng.MustScheduleArg(delay, n.arriveFn, p)
+	if dst := n.PartitionOf(p.path[p.idx+1]); dst != src {
+		n.set.MustSend(src, dst, n.engs[src].Now()+delay, n.arriveFn, p)
+		return
+	}
+	n.engs[src].MustScheduleArg(delay, n.arriveFn, p)
 }
 
 // edgeKey identifies an undirected fabric edge by its normalized endpoints.
@@ -340,7 +453,7 @@ func (n *Network) arrive(p *Packet) {
 				}
 			}
 		}
-		n.delivered++
+		n.counters[n.PartitionOf(node)].delivered++
 		h(p)
 		n.release(p)
 		return
@@ -357,29 +470,48 @@ func (n *Network) arrive(p *Packet) {
 // when one is available. Pool-owned packets are reclaimed by the fabric
 // after the destination handler returns (or on a drop), so handlers must
 // copy any fields they need and never re-inject or retain the packet.
-// Packets built with a plain &Packet{} literal are never recycled.
-func (n *Network) NewPacket() *Packet {
-	if k := len(n.pktFree); k > 0 {
-		p := n.pktFree[k-1]
-		n.pktFree = n.pktFree[:k-1]
-		*p = Packet{pooled: true}
+// Packets built with a plain &Packet{} literal are never recycled. In
+// sharded mode, use NewPacketIn with the executing partition instead.
+func (n *Network) NewPacket() *Packet { return n.NewPacketIn(0) }
+
+// NewPacketIn recycles from partition part's free list. It must be called
+// from an event executing in that partition, so each free list stays
+// worker-local.
+func (n *Network) NewPacketIn(part int) *Packet {
+	free := n.pktFree[part]
+	if k := len(free); k > 0 {
+		p := free[k-1]
+		n.pktFree[part] = free[:k-1]
+		// Keep the path buffer: route computation reuses its capacity.
+		path := p.path[:0]
+		*p = Packet{pooled: true, path: path}
 		return p
 	}
 	return &Packet{pooled: true}
 }
 
-// release returns a pool-owned packet to the free list; a no-op for
-// literal-built packets.
+// release returns a pool-owned packet to the free list of the partition
+// the packet currently sits in (where the releasing event executes); a
+// no-op for literal-built packets.
 func (n *Network) release(p *Packet) {
-	if p.pooled {
-		p.pooled = false
-		n.pktFree = append(n.pktFree, p)
+	if !p.pooled {
+		return
 	}
+	p.pooled = false
+	part := 0
+	if n.partOf != nil && p.idx < len(p.path) {
+		part = n.partOf[p.path[p.idx]]
+	}
+	n.pktFree[part] = append(n.pktFree[part], p)
 }
 
 // drop counts a packet as dropped and recycles it.
 func (n *Network) drop(p *Packet) {
-	n.dropped++
+	part := 0
+	if n.partOf != nil && p.idx < len(p.path) {
+		part = n.partOf[p.path[p.idx]]
+	}
+	n.counters[part].dropped++
 	n.release(p)
 }
 
@@ -429,9 +561,14 @@ func (n *Network) SendResponse(p *Packet, from topo.NodeID) error {
 	return n.Launch(p, from, p.Dst)
 }
 
-// Stats reports forwarding counters.
+// Stats reports forwarding counters, summed across partitions.
 func (n *Network) Stats() (forwards, delivered, dropped uint64) {
-	return n.forwardsTotal, n.delivered, n.dropped
+	for _, c := range n.counters {
+		forwards += c.forwards
+		delivered += c.delivered
+		dropped += c.dropped
+	}
+	return forwards, delivered, dropped
 }
 
 // flowHash derives the ECMP hash for a request's flows.

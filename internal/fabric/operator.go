@@ -97,6 +97,9 @@ type Operator struct {
 	sw   topo.NodeID
 	tier int
 	net  *Network
+	// eng drives this operator's events: the switch's home-partition engine
+	// in sharded mode, the network's single engine otherwise.
+	eng *sim.Engine
 
 	rules   *Rules
 	accel   *Accelerator
@@ -113,7 +116,7 @@ type Operator struct {
 	sendSelectedFn sim.ArgHandler
 }
 
-func newOperator(id uint16, sw topo.NodeID, net *Network, sel Selector) (*Operator, error) {
+func newOperator(id uint16, sw topo.NodeID, net *Network, eng *sim.Engine, sel Selector) (*Operator, error) {
 	if id == 0 || id == wire.DegradedRID {
 		return nil, fmt.Errorf("operator id %d: %w", id, ErrInvalidParam)
 	}
@@ -129,10 +132,11 @@ func newOperator(id uint16, sw topo.NodeID, net *Network, sel Selector) (*Operat
 		sw:    sw,
 		tier:  node.Tier,
 		net:   net,
+		eng:   eng,
 		rules: NewRules(),
 	}
 	o.sendSelectedFn = func(arg any) { o.sendSelected(arg.(*Packet)) }
-	o.accel = newAccelerator(net.eng, net.cfg, sel, o)
+	o.accel = newAccelerator(eng, net.cfg, sel, o)
 	if node.Tier == topo.TierToR {
 		o.monitor = newMonitor(node.Pod, node.Rack, o)
 	}
@@ -345,7 +349,7 @@ func (o *Operator) onSelected(p *Packet, server int, delay sim.Time) {
 	p.Dst = host
 	p.Magic = wire.Transform(wire.MagicResponse)
 	if delay > 0 {
-		o.net.eng.MustScheduleArg(delay, o.sendSelectedFn, p)
+		o.eng.MustScheduleArg(delay, o.sendSelectedFn, p)
 		return
 	}
 	o.sendSelected(p)

@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"netrs/internal/sim"
+	"netrs/internal/topo"
+	"netrs/internal/wire"
+)
+
+// TestShardedNetworkMatchesSingle drives the same cross-pod NetRS flow —
+// client in pod 0, RSNode on a core switch (the control partition), server
+// in the last pod — through a single-engine Network and a sharded one at
+// several worker counts, asserting identical per-request delivery times
+// and counters. Every aggregation↔core hop of the sharded run crosses a
+// partition boundary and therefore rides the exchange.
+func TestShardedNetworkMatchesSingle(t *testing.T) {
+	type outcome struct {
+		deliveredAt map[uint64]sim.Time
+		forwards    uint64
+		delivered   uint64
+		dropped     uint64
+	}
+
+	const requests = 20
+
+	run := func(t *testing.T, workers int) outcome {
+		t.Helper()
+		ft, err := topo.NewFatTree(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := NewDefaultConfig()
+		var net *Network
+		var drive func()
+		if workers == 0 {
+			eng := sim.NewEngine()
+			net, err = NewNetwork(eng, ft, cfg, func(uint16) (Selector, error) {
+				return &spySelector{}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive = func() { eng.Run() }
+		} else {
+			set, err := sim.NewShardSet(ft.PodPartitions(), workers, cfg.LinkLatency)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err = NewShardedNetwork(set, ft, cfg, func(_ uint16, _ *sim.Engine) (Selector, error) {
+				return &spySelector{}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive = func() {
+				if err := set.Run(sim.Second, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		hosts := ft.Hosts()
+		client := hosts[0]
+		server := hosts[len(hosts)-1]
+		coreOp, err := net.Operator(ft.Cores()[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range net.OperatorsSorted() {
+			op.SetDatabases(
+				func(rgid uint32) ([]int, error) {
+					if rgid != 1 {
+						return nil, errors.New("unknown group")
+					}
+					return []int{0}, nil
+				},
+				func(s int) (topo.NodeID, error) {
+					if s != 0 {
+						return topo.InvalidNode, errors.New("unknown server")
+					}
+					return server, nil
+				},
+			)
+		}
+		tor, err := ft.ToROfRack(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torOp, err := net.Operator(tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torOp.Rules().BindHost(client, 0)
+		torOp.Rules().SetRSNode(0, coreOp.ID())
+
+		out := outcome{deliveredAt: make(map[uint64]sim.Time)}
+		if err := net.AttachHost(server, func(p *Packet) {
+			resp := &Packet{
+				ReqID:  p.ReqID,
+				Magic:  wire.InverseTransform(p.Magic),
+				RID:    p.RID,
+				RGID:   p.RGID,
+				Dst:    p.Src,
+				Server: p.Server,
+			}
+			if err := net.SendResponse(resp, server); err != nil {
+				t.Errorf("send response: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AttachHost(client, func(p *Packet) {
+			out.deliveredAt[p.ReqID] = net.EngineOf(client).Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Stagger injections through the client partition's engine so each
+		// request enters the fabric at a distinct instant.
+		clientEng := net.EngineOf(client)
+		for i := 0; i < requests; i++ {
+			req := &Packet{ReqID: uint64(i + 1), RGID: 1, Dst: topo.InvalidNode, Backup: server}
+			clientEng.MustScheduleArg(sim.Time(i)*50*sim.Microsecond, func(arg any) {
+				if err := net.SendNetRSRequest(arg.(*Packet), client); err != nil {
+					t.Errorf("send request: %v", err)
+				}
+			}, req)
+		}
+		drive()
+		out.forwards, out.delivered, out.dropped = net.Stats()
+		return out
+	}
+
+	want := run(t, 0)
+	if len(want.deliveredAt) != requests {
+		t.Fatalf("reference delivered %d responses, want %d", len(want.deliveredAt), requests)
+	}
+	if want.dropped != 0 {
+		t.Fatalf("reference dropped %d packets", want.dropped)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got := run(t, workers)
+		if got.forwards != want.forwards || got.delivered != want.delivered || got.dropped != want.dropped {
+			t.Errorf("workers=%d: stats (%d,%d,%d), want (%d,%d,%d)", workers,
+				got.forwards, got.delivered, got.dropped, want.forwards, want.delivered, want.dropped)
+		}
+		for id, at := range want.deliveredAt {
+			if got.deliveredAt[id] != at {
+				t.Errorf("workers=%d: request %d delivered at %v, want %v", workers, id, got.deliveredAt[id], at)
+			}
+		}
+	}
+}
+
+func TestShardedNetworkValidation(t *testing.T) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewDefaultConfig()
+	factory := func(uint16, *sim.Engine) (Selector, error) { return &spySelector{}, nil }
+
+	set, err := sim.NewShardSet(ft.PodPartitions()+1, 1, cfg.LinkLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedNetwork(set, ft, cfg, factory); !errors.Is(err, ErrInvalidParam) {
+		t.Error("partition-count mismatch accepted")
+	}
+
+	set, err = sim.NewShardSet(ft.PodPartitions(), 1, cfg.LinkLatency+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedNetwork(set, ft, cfg, factory); !errors.Is(err, ErrInvalidParam) {
+		t.Error("lookahead exceeding link latency accepted")
+	}
+}

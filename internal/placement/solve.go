@@ -34,6 +34,8 @@ func (m Method) String() string {
 		return "heuristic"
 	case MethodToR:
 		return "tor"
+	case MethodWarm:
+		return "warm-start"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

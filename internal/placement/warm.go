@@ -1,0 +1,159 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MethodWarm marks plans produced by SolveWarm's repair pass: the previous
+// plan's assignments, patched group by group where the new instance no
+// longer admits them.
+const MethodWarm Method = MethodToR + 1
+
+// SolveWarm computes a Replica Selection Plan like Solve, warm-started from
+// the previous epoch's plan. It first runs the cold solve unchanged — so
+// whenever Solve would succeed, SolveWarm returns the identical plan. Only
+// when the cold solve fails (typically the greedy heuristic painting itself
+// into a corner on a shifted traffic matrix) does it fall back to repairing
+// prev: assignments that are still eligible and still fit are kept, the
+// remainder is re-placed greedily, and any group no operator can host is
+// degraded individually instead of aborting the whole solve. The repair
+// ignores opts.AllowDRS: per-group degradation is the entire point of the
+// fallback, and mid-run it beats losing the epoch.
+func SolveWarm(p Problem, prev Plan, opts Options) (Plan, error) {
+	plan, err := Solve(p, opts)
+	if err == nil {
+		return plan, nil
+	}
+	if len(prev.Assignment) != len(p.Groups) {
+		// No usable warm state (first solve, or the group set changed).
+		return Plan{}, err
+	}
+	warm, werr := repairPlan(p, prev)
+	if werr != nil {
+		return Plan{}, fmt.Errorf("%v; warm-start repair: %w", err, werr)
+	}
+	return warm, nil
+}
+
+// repairPlan patches prev into a plan feasible for p. Two passes, both
+// deterministic:
+//
+//  1. Keep. Each operator re-admits its previous groups heaviest-first
+//     while they stay eligible and within capacity and the hop budget, so
+//     an overloaded operator sheds its lightest members.
+//  2. Re-place. Shed and previously degraded groups are placed
+//     heaviest-first onto the eligible operator with spare capacity,
+//     preferring operators the plan already opened (the Eq. 1 objective),
+//     then the lowest Eq. 7 hop cost, then the lowest index. Groups no
+//     operator can host fall back to DRS one by one.
+//
+// Operators with zero capacity (failed RSNodes excluded by the epoch) are
+// never assigned, not even zero-traffic groups.
+func repairPlan(p Problem, prev Plan) (Plan, error) {
+	assignment := make([]int, len(p.Groups))
+	for gi := range assignment {
+		assignment[gi] = -1
+	}
+	load := make([]float64, len(p.Operators))
+	open := make([]bool, len(p.Operators))
+	hops := 0.0
+
+	heavierFirst := func(members []int) {
+		sort.Slice(members, func(a, b int) bool {
+			ta, tb := p.Groups[members[a]].Total(), p.Groups[members[b]].Total()
+			switch {
+			case ta > tb:
+				return true
+			case tb > ta:
+				return false
+			}
+			return members[a] < members[b]
+		})
+	}
+
+	// Pass 1: keep what still holds.
+	byOp := make([][]int, len(p.Operators))
+	for gi, oi := range prev.Assignment {
+		if oi < 0 || oi >= len(p.Operators) {
+			continue
+		}
+		if p.Operators[oi].MaxTraffic <= 0 || !p.Eligible(p.Groups[gi], p.Operators[oi]) {
+			continue
+		}
+		byOp[oi] = append(byOp[oi], gi)
+	}
+	for oi, members := range byOp {
+		heavierFirst(members)
+		for _, gi := range members {
+			t := p.Groups[gi].Total()
+			h := p.ExtraHopCost(p.Groups[gi], p.Operators[oi])
+			if load[oi]+t > p.Operators[oi].MaxTraffic+1e-9 || hops+h > p.ExtraHopBudget+1e-9 {
+				continue
+			}
+			assignment[gi] = oi
+			load[oi] += t
+			open[oi] = true
+			hops += h
+		}
+	}
+
+	// Pass 2: re-place everything still unassigned.
+	var rest []int
+	for gi, oi := range assignment {
+		if oi == -1 {
+			rest = append(rest, gi)
+		}
+	}
+	heavierFirst(rest)
+	for _, gi := range rest {
+		g := p.Groups[gi]
+		t := g.Total()
+		best, bestHop := -1, 0.0
+		for oi := range p.Operators {
+			op := p.Operators[oi]
+			if op.MaxTraffic <= 0 || !p.Eligible(g, op) {
+				continue
+			}
+			if load[oi]+t > op.MaxTraffic+1e-9 {
+				continue
+			}
+			h := p.ExtraHopCost(g, op)
+			if hops+h > p.ExtraHopBudget+1e-9 {
+				continue
+			}
+			// Ascending index scan: on ties the earliest operator wins.
+			if best == -1 ||
+				(open[oi] && !open[best]) ||
+				(open[oi] == open[best] && h < bestHop) {
+				best, bestHop = oi, h
+			}
+		}
+		if best == -1 {
+			continue // stays -1: per-group DRS fallback
+		}
+		assignment[gi] = best
+		load[best] += t
+		open[best] = true
+		hops += bestHop
+	}
+
+	plan := Plan{Assignment: assignment, Method: MethodWarm}
+	p.finishPlan(&plan)
+	// A repair that leaves every loaded group in DRS serves no traffic
+	// in-network; deploying it over the standing plan would only churn
+	// rules, so report the instance as infeasible instead.
+	placed := 0.0
+	for gi, oi := range assignment {
+		if oi != -1 {
+			placed += p.Groups[gi].Total()
+		}
+	}
+	if placed <= 0 {
+		return Plan{}, fmt.Errorf("repair leaves all traffic degraded: %w", ErrInfeasible)
+	}
+	if err := p.Validate(plan); err != nil {
+		return Plan{}, fmt.Errorf("repair produced invalid plan: %w", err)
+	}
+	return plan, nil
+}

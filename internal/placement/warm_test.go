@@ -1,0 +1,162 @@
+package placement
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"netrs/internal/topo"
+)
+
+// cornerProblem reproduces the mid-run epoch failure observed in the figure
+// runs (`heuristic cannot place 1 groups`): three operators A (cap 6),
+// B (cap 6), C (cap 12) and three groups g1 = 6 (eligible A, C),
+// g2 = 6 (eligible B, C), g3 = 4 (eligible C only). The greedy heuristic
+// opens C first because it absorbs two groups — {g1, g2}, filling it — and
+// then no operator can host g3. The feasible plan {g1→A, g2→B, g3→C}
+// exists and was the previous epoch's plan, so a warm start recovers it.
+//
+// All traffic is cross-pod (tier 0), which costs zero extra hops at a core
+// operator, so the hop budget never interferes with the construction.
+func cornerProblem(t *testing.T) Problem {
+	t.Helper()
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torA, err := ft.ToROfRack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torB, err := ft.ToROfRack(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var core topo.NodeID = -1
+	for _, sw := range ft.Switches() {
+		node, err := ft.Node(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Tier == topo.TierCore {
+			core = sw
+			break
+		}
+	}
+	if core == -1 {
+		t.Fatal("no core switch in a k=4 fat-tree")
+	}
+	return Problem{
+		Topo: ft,
+		Operators: []Operator{
+			{ID: 1, Switch: torA, Tier: topo.TierToR, MaxTraffic: 6},
+			{ID: 2, Switch: torB, Tier: topo.TierToR, MaxTraffic: 6},
+			{ID: 3, Switch: core, Tier: topo.TierCore, MaxTraffic: 12},
+		},
+		Groups: []Group{
+			{ID: 0, Rack: 0, TierTraffic: [3]float64{6, 0, 0}},
+			{ID: 1, Rack: 1, TierTraffic: [3]float64{6, 0, 0}},
+			{ID: 2, Rack: 2, TierTraffic: [3]float64{4, 0, 0}},
+		},
+	}
+}
+
+// prevCornerPlan is the standing plan the previous epoch deployed for
+// cornerProblem: the assignment the greedy re-solve fails to rediscover.
+func prevCornerPlan(p Problem) Plan {
+	plan := Plan{Assignment: []int{0, 1, 2}, Method: MethodHeuristic}
+	p.finishPlan(&plan)
+	return plan
+}
+
+func TestWarmStartRecoversGreedyCorner(t *testing.T) {
+	p := cornerProblem(t)
+	opts := Options{Method: MethodHeuristic, AllowDRS: false}
+
+	// The cold re-solve reproduces the recorded epoch failure verbatim.
+	_, err := Solve(p, opts)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("cold solve: err = %v, want ErrInfeasible", err)
+	}
+	if !strings.Contains(err.Error(), "heuristic cannot place 1 groups") {
+		t.Fatalf("cold solve error %q does not reproduce the recorded failure", err)
+	}
+
+	prev := prevCornerPlan(p)
+	if err := p.Validate(prev); err != nil {
+		t.Fatalf("previous plan is not feasible, the test is vacuous: %v", err)
+	}
+	plan, err := SolveWarm(p, prev, opts)
+	if err != nil {
+		t.Fatalf("SolveWarm: %v", err)
+	}
+	if !reflect.DeepEqual(plan.Assignment, prev.Assignment) {
+		t.Errorf("assignment %v, want previous plan's %v", plan.Assignment, prev.Assignment)
+	}
+	if len(plan.Degraded) != 0 {
+		t.Errorf("degraded groups %v, want none", plan.Degraded)
+	}
+	if plan.Method != MethodWarm {
+		t.Errorf("method %s, want %s", plan.Method, MethodWarm)
+	}
+	if plan.Optimal {
+		t.Error("repair pass must not claim optimality")
+	}
+}
+
+// TestWarmStartMatchesColdSolveWhenFeasible pins the property the golden
+// digests rely on: SolveWarm runs the identical cold solve first, so on
+// feasible instances the previous plan never influences the result.
+func TestWarmStartMatchesColdSolveWhenFeasible(t *testing.T) {
+	p := cornerProblem(t)
+	p.Operators[2].MaxTraffic = 16 // C now fits all three groups
+	opts := Options{Method: MethodHeuristic, AllowDRS: false}
+
+	cold, err := Solve(p, opts)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	// A deliberately different previous plan must be ignored.
+	warm, err := SolveWarm(p, prevCornerPlan(p), opts)
+	if err != nil {
+		t.Fatalf("SolveWarm: %v", err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Errorf("warm %+v differs from cold %+v on a feasible instance", warm, cold)
+	}
+}
+
+// TestWarmStartDegradesPerGroup covers the repair pass when even the
+// previous plan is no longer feasible: C has failed (capacity zeroed by the
+// epoch), so g3 — eligible nowhere else — falls back to DRS alone while g1
+// and g2 keep their standing operators.
+func TestWarmStartDegradesPerGroup(t *testing.T) {
+	p := cornerProblem(t)
+	prev := prevCornerPlan(p)
+	p.Operators[2].MaxTraffic = 0 // C failed
+
+	if _, err := Solve(p, Options{Method: MethodHeuristic, AllowDRS: false}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("cold solve with failed C: err = %v, want ErrInfeasible", err)
+	}
+	plan, err := SolveWarm(p, prev, Options{Method: MethodHeuristic, AllowDRS: false})
+	if err != nil {
+		t.Fatalf("SolveWarm: %v", err)
+	}
+	if want := []int{0, 1, -1}; !reflect.DeepEqual(plan.Assignment, want) {
+		t.Errorf("assignment %v, want %v", plan.Assignment, want)
+	}
+	if want := []int{2}; !reflect.DeepEqual(plan.Degraded, want) {
+		t.Errorf("degraded %v, want %v", plan.Degraded, want)
+	}
+}
+
+// TestWarmStartWithoutUsableState keeps Solve's error when there is no
+// previous plan to repair from.
+func TestWarmStartWithoutUsableState(t *testing.T) {
+	p := cornerProblem(t)
+	_, err := SolveWarm(p, Plan{}, Options{Method: MethodHeuristic, AllowDRS: false})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want the cold solve's ErrInfeasible", err)
+	}
+}

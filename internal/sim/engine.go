@@ -154,9 +154,9 @@ type Engine struct {
 	now Time
 	seq uint64
 
-	arena []event // slab of event slots
-	free  []int32 // recycled slot indices (LIFO)
-	heap  []int32 // 4-ary min-heap of arena indices, keyed by (at, seq)
+	arena []event     // slab of event slots
+	free  []int32     // recycled slot indices (LIFO)
+	heap  []heapEntry // 4-ary min-heap keyed by (at, seq), arena index payload
 
 	deadInHeap int // canceled events not yet discarded from the heap
 
@@ -169,7 +169,7 @@ type Engine struct {
 func NewEngine() *Engine {
 	return &Engine{
 		arena: make([]event, 0, 1024),
-		heap:  make([]int32, 0, 1024),
+		heap:  make([]heapEntry, 0, 1024),
 	}
 }
 
@@ -244,7 +244,7 @@ func (e *Engine) scheduleAt(at Time, fn Handler, argFn ArgHandler, arg any) (Eve
 	ev.arg = arg
 	e.seq++
 	e.scheduled++
-	e.heapPush(idx)
+	e.heapPush(heapEntry{at: at, seq: ev.seq, idx: idx})
 	return EventRef{eng: e, idx: idx, gen: ev.gen}, nil
 }
 
@@ -356,18 +356,55 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	return e.executed - start
 }
 
+// RunBefore executes events with timestamps strictly before end and leaves
+// the clock at the last executed event's instant (events at end or later
+// stay pending and the clock does not advance to them). It is the window
+// primitive of the sharded engine: a partition runs RunBefore(windowEnd)
+// for each synchronization window, and AdvanceTo lifts the clock at
+// barriers. Stop aborts the window like it aborts Run. It returns the
+// number of events executed by this call.
+func (e *Engine) RunBefore(end Time) uint64 {
+	e.stopped = false
+	start := e.executed
+	for !e.stopped {
+		at, ok := e.peekLive()
+		if !ok || at >= end {
+			break
+		}
+		e.Step()
+	}
+	return e.executed - start
+}
+
+// NextEventAt returns the earliest live pending event's timestamp, if any.
+// Dead events encountered at the heap top are discarded as a side effect.
+func (e *Engine) NextEventAt() (Time, bool) { return e.peekLive() }
+
+// AdvanceTo lifts the clock to t without executing anything. Advancing past
+// a live pending event would rewind causality, so it panics — callers
+// (barrier synchronization in the sharded engine) must have executed every
+// event before t first. Advancing to the past is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if at, ok := e.peekLive(); ok && at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) with live event pending at %v", t, at))
+	}
+	e.now = t
+}
+
 // peekLive discards dead events from the top of the heap and returns the
 // earliest live event's timestamp, if any.
 func (e *Engine) peekLive() (Time, bool) {
 	for len(e.heap) > 0 {
-		idx := e.heap[0]
-		ev := &e.arena[idx]
-		if !ev.dead {
-			return ev.at, true
+		top := e.heap[0]
+		if !e.arena[top.idx].dead {
+			return top.at, true
 		}
 		e.heapPop()
 		e.deadInHeap--
-		e.release(idx)
+		e.release(top.idx)
 	}
 	return 0, false
 }
@@ -388,12 +425,12 @@ func (e *Engine) maybeCompact() {
 // have produced.
 func (e *Engine) compact() {
 	kept := e.heap[:0]
-	for _, idx := range e.heap {
-		if e.arena[idx].dead {
-			e.release(idx)
+	for _, ent := range e.heap {
+		if e.arena[ent.idx].dead {
+			e.release(ent.idx)
 			continue
 		}
-		kept = append(kept, idx)
+		kept = append(kept, ent)
 	}
 	e.heap = kept
 	e.deadInHeap = 0

@@ -1,0 +1,332 @@
+package sim
+
+// Sharded conservative parallel discrete-event simulation.
+//
+// A ShardSet partitions one logical simulation across N sub-engines
+// (partitions), each with its own arena, heap, and clock. Partitions are a
+// property of the model (for the fat-tree fabric: one per pod, plus one for
+// the core switches and the controller), not of the machine — the worker
+// count only decides how many partitions execute concurrently, so the
+// logical execution, and therefore every simulation result, is
+// worker-count-invariant by construction.
+//
+// Synchronization is conservative with a fixed lookahead L: every
+// cross-partition interaction must take at least L of simulated time (in
+// the fat-tree, the inter-switch link latency — the only links that cross a
+// pod boundary are aggregation↔core hops). The coordinator repeatedly
+// computes the earliest pending event time tNext across all partitions,
+// lets every partition execute events in the window [start, tNext+L) in
+// parallel, and exchanges cross-partition messages at the barrier. A
+// message sent at time t carries timestamp ≥ t+L ≥ tNext+L, so it can never
+// arrive inside the window that produced it.
+//
+// Cross-partition messages travel through per-(src,dst) append-only
+// buffers, written only by the sending partition's worker during a window
+// and drained only by the coordinator at barriers. The drain schedules each
+// destination's messages in (time, source shard, source buffer position)
+// order, which is deterministic regardless of worker interleaving.
+//
+// Global events (at, fn) run at barriers between windows, sequentially on
+// the coordinator, and may touch any partition's state. An exclusive global
+// at g runs before partition events at g (windows are bounded to end at g);
+// an inclusive global runs after partition events at instant g (windows are
+// bounded to g+1). They model the run-level control actions — periodic
+// samplers, controller epochs, plan deployments — that in the sequential
+// engine are ordinary events but in the sharded engine must observe a
+// consistent cross-partition cut.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharding errors.
+var (
+	// ErrLookahead reports a cross-partition message violating the
+	// conservative lookahead bound.
+	ErrLookahead = errors.New("sim: cross-shard message inside lookahead window")
+	// ErrDeadline reports a sharded run exceeding its watchdog deadline.
+	ErrDeadline = errors.New("sim: sharded run exceeded deadline")
+)
+
+// xmsg is one cross-partition message: an ArgHandler invocation scheduled
+// into the destination partition at an absolute instant.
+type xmsg struct {
+	at  Time
+	fn  ArgHandler
+	arg any
+}
+
+// globalEvent is a barrier-synchronized event (see package comment above).
+type globalEvent struct {
+	at        Time
+	seq       uint64
+	inclusive bool
+	fn        func()
+}
+
+// ShardSet couples N partition engines with the exchange and the barrier
+// coordinator. Construct with NewShardSet, populate the partitions (models
+// schedule their initial events on Engine(p) directly), then call Run.
+type ShardSet struct {
+	engines   []*Engine
+	lookahead Time
+	workers   int
+
+	// xbuf[src][dst] is the (src→dst) message buffer. During a window only
+	// src's worker appends; between windows only the coordinator reads.
+	xbuf [][][]xmsg
+
+	globals []globalEvent
+	gseq    uint64
+
+	// running guards Send/ScheduleGlobal misuse from within windows.
+	inWindow atomic.Bool
+}
+
+// NewShardSet builds n partition engines synchronized with the given
+// lookahead. workers bounds concurrent window execution: 1 executes
+// partitions inline on the calling goroutine (no goroutines at all), which
+// is the deterministic reference mode; higher counts run partitions on that
+// many goroutines. The logical execution is identical for every worker
+// count.
+func NewShardSet(n int, workers int, lookahead Time) (*ShardSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: %d partitions", n)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: lookahead %v must be positive", lookahead)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	s := &ShardSet{
+		engines:   make([]*Engine, n),
+		lookahead: lookahead,
+		workers:   workers,
+	}
+	for i := range s.engines {
+		s.engines[i] = NewEngine()
+	}
+	s.xbuf = make([][][]xmsg, n)
+	for i := range s.xbuf {
+		s.xbuf[i] = make([][]xmsg, n)
+	}
+	return s, nil
+}
+
+// Engine returns partition p's engine.
+func (s *ShardSet) Engine(p int) *Engine { return s.engines[p] }
+
+// Partitions returns the partition count.
+func (s *ShardSet) Partitions() int { return len(s.engines) }
+
+// Lookahead returns the conservative lookahead bound.
+func (s *ShardSet) Lookahead() Time { return s.lookahead }
+
+// Workers returns the effective worker count.
+func (s *ShardSet) Workers() int { return s.workers }
+
+// Send enqueues a cross-partition message: fn(arg) runs in partition dst at
+// absolute instant at. It must be called from src's executing event (or
+// from the coordinator between windows) and at must respect the lookahead:
+// at ≥ src.Now() + lookahead. Same-partition sends are scheduled directly.
+func (s *ShardSet) Send(src, dst int, at Time, fn ArgHandler, arg any) error {
+	if src == dst {
+		_, err := s.engines[dst].ScheduleArgAt(at, fn, arg)
+		return err
+	}
+	if min := s.engines[src].Now() + s.lookahead; at < min {
+		return fmt.Errorf("%w: at %v < %v (src %d now %v + lookahead %v)",
+			ErrLookahead, at, min, src, s.engines[src].Now(), s.lookahead)
+	}
+	if fn == nil {
+		return ErrNilHandler
+	}
+	s.xbuf[src][dst] = append(s.xbuf[src][dst], xmsg{at: at, fn: fn, arg: arg})
+	return nil
+}
+
+// MustSend is Send with the MustSchedule error contract.
+func (s *ShardSet) MustSend(src, dst int, at Time, fn ArgHandler, arg any) {
+	if err := s.Send(src, dst, at, fn, arg); err != nil {
+		panic(err)
+	}
+}
+
+// ScheduleGlobal registers a barrier event at absolute instant at. With
+// inclusive=false the event runs before any partition event at instant at;
+// with inclusive=true it runs after every partition event at instant at.
+// Call it before Run or from inside a global event's fn (re-arming
+// periodic globals) — never from partition events.
+func (s *ShardSet) ScheduleGlobal(at Time, inclusive bool, fn func()) error {
+	if fn == nil {
+		return ErrNilHandler
+	}
+	if s.inWindow.Load() {
+		return fmt.Errorf("sim: ScheduleGlobal called during a window")
+	}
+	s.globals = append(s.globals, globalEvent{at: at, seq: s.gseq, inclusive: inclusive, fn: fn})
+	s.gseq++
+	return nil
+}
+
+// barrierOf is the window bound a global imposes: exclusive globals run
+// before instant at (windows end at at), inclusive ones after it (windows
+// end at at+1 — timestamps are integer nanoseconds).
+func (g globalEvent) barrierOf() Time {
+	if g.inclusive {
+		return g.at + 1
+	}
+	return g.at
+}
+
+// nextGlobal returns the index of the earliest registered global by
+// (barrier, at, seq), or -1.
+func (s *ShardSet) nextGlobal() int {
+	best := -1
+	for i, g := range s.globals {
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := s.globals[best]
+		gb, bb := g.barrierOf(), b.barrierOf()
+		if gb < bb || (gb == bb && (g.at < b.at || (g.at == b.at && g.seq < b.seq))) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Run drives the window loop until afterWindow reports completion, the
+// agenda (partition events and globals) drains, or the earliest pending
+// work exceeds deadline (ErrDeadline — the watchdog). afterWindow, if
+// non-nil, runs at every barrier with the window's end; returning true
+// stops the run (the cluster layer uses it for its exact completion-count
+// stop). Globals run one per barrier, earliest first.
+func (s *ShardSet) Run(deadline Time, afterWindow func(end Time) bool) error {
+	for {
+		if err := s.drain(); err != nil {
+			return err
+		}
+		tNext := Time(math.MaxInt64)
+		have := false
+		for _, e := range s.engines {
+			if at, ok := e.NextEventAt(); ok && at < tNext {
+				tNext, have = at, true
+			}
+		}
+		gi := s.nextGlobal()
+		if !have && gi < 0 {
+			return nil // fully drained
+		}
+		barrier := Time(math.MaxInt64)
+		if gi >= 0 {
+			barrier = s.globals[gi].barrierOf()
+		}
+		var end Time
+		switch {
+		case have && tNext+s.lookahead < barrier:
+			end = tNext + s.lookahead
+		default:
+			end = barrier
+		}
+		if start := min64(tNext, barrier); start > deadline {
+			return fmt.Errorf("%w: next work at %v, deadline %v", ErrDeadline, start, deadline)
+		}
+		s.runWindow(end)
+		if err := s.drain(); err != nil {
+			return err
+		}
+		if gi >= 0 && end == barrier {
+			g := s.globals[gi]
+			// Remove before running so a re-arm appended by fn is fresh.
+			s.globals = append(s.globals[:gi], s.globals[gi+1:]...)
+			for _, e := range s.engines {
+				e.AdvanceTo(g.at)
+			}
+			g.fn()
+		}
+		if afterWindow != nil && afterWindow(end) {
+			return nil
+		}
+	}
+}
+
+func min64(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runWindow executes every partition's events in [·, end). With one worker
+// the partitions run inline in index order; otherwise workers claim
+// partitions from an atomic counter. Either way each partition's execution
+// is self-contained (cross-partition effects only enter buffers), so the
+// interleaving cannot influence results.
+func (s *ShardSet) runWindow(end Time) {
+	s.inWindow.Store(true)
+	defer s.inWindow.Store(false)
+	if s.workers <= 1 || len(s.engines) == 1 {
+		for _, e := range s.engines {
+			e.RunBefore(end)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.engines) {
+					return
+				}
+				s.engines[i].RunBefore(end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drain moves every buffered cross-partition message into its destination
+// engine. Each destination's messages are scheduled in (time, source
+// shard, source buffer position) order: concatenating the buffers in
+// source order and stable-sorting by timestamp leaves equal-time messages
+// in (source, position) order. Scheduling order fixes the engine's FIFO
+// tie-break, making the merged order independent of worker scheduling.
+func (s *ShardSet) drain() error {
+	n := len(s.engines)
+	var merged []xmsg
+	for dst := 0; dst < n; dst++ {
+		merged = merged[:0]
+		for src := 0; src < n; src++ {
+			if buf := s.xbuf[src][dst]; len(buf) > 0 {
+				merged = append(merged, buf...)
+				s.xbuf[src][dst] = buf[:0]
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		sort.SliceStable(merged, func(a, b int) bool { return merged[a].at < merged[b].at })
+		eng := s.engines[dst]
+		for _, m := range merged {
+			if _, err := eng.ScheduleArgAt(m.at, m.fn, m.arg); err != nil {
+				return fmt.Errorf("sim: exchange delivery to shard %d: %w", dst, err)
+			}
+		}
+	}
+	return nil
+}

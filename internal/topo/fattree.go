@@ -18,12 +18,22 @@ func NewFatTree(k int) (*Topology, error) {
 		return nil, fmt.Errorf("fat-tree arity %d (need even ≥ 2): %w", k, ErrInvalidParam)
 	}
 	half := k / 2
+	// Preallocate everything from the closed-form counts: (k/2)² cores,
+	// k·k/2 aggs and ToRs, k·(k/2)² hosts, and 3·k·(k/2)² links. At k=32
+	// (8192 hosts, 9472 nodes, 24576 links) incremental growth would
+	// otherwise dominate construction.
+	hostsTotal := k * half * half
 	t := &Topology{
-		links: make(map[linkKey]struct{}),
+		links: make(map[linkKey]struct{}, 3*hostsTotal),
 		pods:  k,
 		racks: k * half,
 		name:  fmt.Sprintf("fat-tree(k=%d)", k),
 	}
+	t.nodes = make([]Node, 0, half*half+k*2*half+hostsTotal)
+	t.cores = make([]NodeID, 0, half*half)
+	t.aggs = make([]NodeID, 0, k*half)
+	t.tors = make([]NodeID, 0, k*half)
+	t.hosts = make([]NodeID, 0, hostsTotal)
 
 	addNode := func(n Node) NodeID {
 		n.ID = NodeID(len(t.nodes))

@@ -1,0 +1,27 @@
+package topo
+
+// Execution partitioning for the sharded simulation engine. A pod is a
+// natural conservative-PDES partition: every link that crosses a pod
+// boundary is an aggregation↔core hop, so the inter-switch link latency
+// bounds how soon one pod's events can affect another's. Core switches —
+// and with them the controller and all run-level machinery — live in a
+// dedicated control partition after the pods.
+
+// PodPartitions returns the number of execution partitions: one per pod
+// plus the control partition. It is a property of the topology, not of the
+// worker count driving it.
+func (t *Topology) PodPartitions() int { return t.pods + 1 }
+
+// ControlPartition returns the index of the control partition, home to the
+// core switches and the controller.
+func (t *Topology) ControlPartition() int { return t.pods }
+
+// PartitionOf maps a node to its home partition: its pod for pod-local
+// nodes (hosts, ToR and aggregation switches), the control partition for
+// core switches.
+func (t *Topology) PartitionOf(id NodeID) int {
+	if pod := t.nodes[id].Pod; pod >= 0 {
+		return pod
+	}
+	return t.pods
+}

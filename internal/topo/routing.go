@@ -123,13 +123,34 @@ func (t *Topology) rendezvous(x, y NodeID, hash uint64) ([]NodeID, bool, error) 
 	// Cross-pod (or one endpoint is an agg of a different pod): meet at a
 	// core. Candidates are restricted by agg endpoints, which reach only
 	// their core group.
-	candidates := t.coreCandidates(x)
-	candidates = intersectSorted(candidates, t.coreCandidates(y))
+	candidates := t.meetCores(x, y)
 	if len(candidates) == 0 {
 		return nil, false, nil
 	}
 	m := candidates[int(hash%uint64(len(candidates)))]
 	return t.join(x, m, y, hash)
+}
+
+// meetCores returns the rendezvous core candidates for x and y: the
+// intersection of their pure-up-reachable cores. When one side can reach
+// every core (hosts and ToRs), the intersection is the other side's
+// candidate set unchanged — an agg's up-neighbors are all cores — so the
+// packet hot path skips the intersection allocation entirely.
+func (t *Topology) meetCores(x, y NodeID) []NodeID {
+	ca, cb := t.coreCandidates(x), t.coreCandidates(y)
+	switch {
+	case sameIDs(ca, t.cores):
+		return cb
+	case sameIDs(cb, t.cores):
+		return ca
+	default:
+		return intersectSorted(ca, cb)
+	}
+}
+
+// sameIDs reports whether a and b are the same slice (identical header).
+func sameIDs(a, b []NodeID) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // coreCandidates returns the cores reachable on a pure up-path from n.

@@ -1,0 +1,196 @@
+package topo
+
+// Append-variant routing. RouteInto and RouteViaInto compute exactly the
+// paths of Route and RouteVia but append them to a caller-owned buffer, so
+// the fabric's packet hot path can reuse one backing array per pooled
+// packet instead of allocating a fresh path per flow. Only the BFS fallback
+// — which no fat-tree flow reaches — still allocates.
+
+// RouteInto appends Route(x, y, hash)'s path to buf and returns the
+// extended slice.
+func (t *Topology) RouteInto(buf []NodeID, x, y NodeID, hash uint64) ([]NodeID, error) {
+	if _, err := t.Node(x); err != nil {
+		return buf, err
+	}
+	if _, err := t.Node(y); err != nil {
+		return buf, err
+	}
+	if x == y {
+		return append(buf, x), nil
+	}
+	nx, ny := t.nodes[x], t.nodes[y]
+
+	if nx.Kind == KindSwitch && t.Contains(x, y) {
+		return t.downInto(append(buf, x), x, y, hash)
+	}
+	if ny.Kind == KindSwitch && t.Contains(y, x) {
+		mark := len(buf)
+		out, err := t.downInto(append(buf, y), y, x, hash)
+		if err != nil {
+			return buf, err
+		}
+		reversePath(out[mark:])
+		return out, nil
+	}
+
+	if out, ok, err := t.rendezvousInto(buf, x, y, hash); err != nil {
+		return buf, err
+	} else if ok {
+		return out, nil
+	}
+	path, err := t.bfs(x, y)
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, path...), nil
+}
+
+// RouteViaInto appends RouteVia(x, via, y, hash)'s path to buf. The via
+// switch appears exactly once: it closes the first segment and opens the
+// second, so the first segment's copy is dropped before the second is
+// appended.
+func (t *Topology) RouteViaInto(buf []NodeID, x, via, y NodeID, hash uint64) ([]NodeID, error) {
+	out, err := t.RouteInto(buf, x, via, hash)
+	if err != nil {
+		return buf, err
+	}
+	return t.RouteInto(out[:len(out)-1], via, y, hash)
+}
+
+// downInto appends the down-path nodes after s to buf, which must already
+// end with s. It mirrors downPath case for case.
+func (t *Topology) downInto(buf []NodeID, s, n NodeID, hash uint64) ([]NodeID, error) {
+	sw := t.nodes[s]
+	nd := t.nodes[n]
+	switch sw.Tier {
+	case TierToR:
+		if n == s {
+			return buf, nil
+		}
+		if nd.Kind == KindHost {
+			return append(buf, n), nil
+		}
+	case TierAgg:
+		if n == s {
+			return buf, nil
+		}
+		if nd.Rack < 0 {
+			break // a sibling agg; not a pure down-path
+		}
+		tor := t.torByRack[nd.Rack]
+		if n == tor {
+			return append(buf, tor), nil
+		}
+		if nd.Kind == KindHost {
+			return append(buf, tor, n), nil
+		}
+	case TierCore:
+		if n == s {
+			return buf, nil
+		}
+		if nd.Pod < 0 {
+			break // another core; not a down-path
+		}
+		agg := t.coreDownAgg[s][nd.Pod]
+		if agg == InvalidNode {
+			break
+		}
+		if n == agg {
+			return append(buf, agg), nil
+		}
+		if nd.Rack < 0 {
+			break // a different agg of the pod; needs a ToR bounce
+		}
+		return t.downInto(append(buf, agg), agg, n, hash)
+	}
+	path, err := t.bfs(s, n)
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, path[1:]...), nil
+}
+
+// rendezvousInto is rendezvous with the joined path appended to buf.
+func (t *Topology) rendezvousInto(buf []NodeID, x, y NodeID, hash uint64) ([]NodeID, bool, error) {
+	nx, ny := t.nodes[x], t.nodes[y]
+	if nx.Tier == TierCore || ny.Tier == TierCore {
+		return buf, false, nil
+	}
+	if nx.Rack >= 0 && nx.Rack == ny.Rack {
+		return t.joinInto(buf, x, t.torByRack[nx.Rack], y, hash)
+	}
+	if nx.Pod >= 0 && nx.Pod == ny.Pod && nx.Rack >= 0 && ny.Rack >= 0 {
+		aggs := t.aggsByPod[nx.Pod]
+		m := aggs[int(hash%uint64(len(aggs)))]
+		return t.joinInto(buf, x, m, y, hash)
+	}
+	candidates := t.meetCores(x, y)
+	if len(candidates) == 0 {
+		return buf, false, nil
+	}
+	m := candidates[int(hash%uint64(len(candidates)))]
+	return t.joinInto(buf, x, m, y, hash)
+}
+
+// joinInto appends up-path(x→m) + down-path(m→y) to buf.
+func (t *Topology) joinInto(buf []NodeID, x, m, y NodeID, hash uint64) ([]NodeID, bool, error) {
+	out, err := t.upInto(buf, x, m)
+	if err != nil {
+		return buf, false, err
+	}
+	out, err = t.downInto(out, m, y, hash)
+	if err != nil {
+		return buf, false, err
+	}
+	return out, true, nil
+}
+
+// upInto appends the up-path x..m (both inclusive) to buf, mirroring
+// upPath case for case.
+func (t *Topology) upInto(buf []NodeID, n, m NodeID) ([]NodeID, error) {
+	if n == m {
+		return append(buf, n), nil
+	}
+	nd := t.nodes[n]
+	mw := t.nodes[m]
+	switch mw.Tier {
+	case TierToR:
+		if nd.Kind == KindHost && t.torByRack[nd.Rack] == m {
+			return append(buf, n, m), nil
+		}
+	case TierAgg:
+		switch nd.Tier {
+		case TierHost:
+			tor := t.torByRack[nd.Rack]
+			if t.Linked(tor, m) {
+				return append(buf, n, tor, m), nil
+			}
+		case TierToR:
+			if t.Linked(n, m) {
+				return append(buf, n, m), nil
+			}
+		}
+	case TierCore:
+		switch nd.Tier {
+		case TierAgg:
+			if t.Linked(n, m) {
+				return append(buf, n, m), nil
+			}
+		case TierToR, TierHost:
+			if nd.Pod >= 0 {
+				agg := t.coreDownAgg[m][nd.Pod]
+				if agg != InvalidNode {
+					out, err := t.upInto(buf, n, agg)
+					if err == nil {
+						return append(out, m), nil
+					}
+				}
+			}
+		}
+	}
+	path, err := t.bfs(n, m)
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, path...), nil
+}

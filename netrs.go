@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"netrs/internal/cluster"
 	"netrs/internal/exec"
@@ -124,10 +125,13 @@ func Run(cfg Config) (Result, error) { return cluster.Run(cfg) }
 // RunOptions controls how repeated runs and sweeps execute.
 type RunOptions struct {
 	// Parallelism bounds the number of concurrently running trials. Zero
-	// selects runtime.GOMAXPROCS(0); 1 runs strictly sequentially on the
-	// calling goroutine. Parallelism never changes results: trials are
-	// independent seeded simulations and their outputs are assembled by
-	// trial index, so any setting produces bit-identical numbers.
+	// selects runtime.GOMAXPROCS(0) — divided by Config.Shards when the
+	// sharded engine is on, so trial-level and intra-run parallelism
+	// compose to roughly one worker per core instead of multiplying.
+	// 1 runs strictly sequentially on the calling goroutine. Parallelism
+	// never changes results: trials are independent seeded simulations and
+	// their outputs are assembled by trial index, so any setting produces
+	// bit-identical numbers.
 	Parallelism int
 
 	// Context, if non-nil, cancels in-flight trials when it is done.
@@ -150,7 +154,7 @@ func RunRepeatedWith(cfg Config, seeds []uint64, opts RunOptions) ([]Result, Sum
 	if len(seeds) == 0 {
 		return nil, Summary{}, fmt.Errorf("netrs: no seeds given")
 	}
-	pool := exec.Pool{Workers: opts.Parallelism}
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, cfg.Shards)}
 	results, err := exec.Run(opts.Context, pool, len(seeds), func(_ context.Context, i int) (Result, error) {
 		c := cfg
 		c.Seed = seeds[i]
@@ -172,6 +176,21 @@ func RunRepeatedWith(cfg Config, seeds []uint64, opts RunOptions) ([]Result, Sum
 		return nil, Summary{}, err
 	}
 	return results, merged, nil
+}
+
+// trialWorkers composes trial-level parallelism with the sharded engine's
+// intra-run workers: an automatic (zero) trial count is divided by the
+// shard count, so the two levels multiply to roughly GOMAXPROCS instead
+// of oversubscribing the machine. Explicit counts are honored unchanged —
+// parallelism never affects results at either level.
+func trialWorkers(parallelism, shards int) int {
+	if parallelism != 0 || shards <= 1 {
+		return parallelism
+	}
+	if w := runtime.GOMAXPROCS(0) / shards; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // unwrapTrial strips the executor's trial-index wrapper so facade errors

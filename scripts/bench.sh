@@ -1,33 +1,40 @@
 #!/bin/sh
 # Benchmark runner with a tracked JSON baseline.
 #
-#   ./scripts/bench.sh                 # run + distill into BENCH_PR3.json
+#   ./scripts/bench.sh                 # run + distill into BENCH_PR6.json
 #   BENCH_COUNT=10 ./scripts/bench.sh  # more samples
 #   BENCH_OUT=/tmp/b.json ./scripts/bench.sh
 #
-# Two benchmark families are measured:
+# Three benchmark families are measured:
 #
 #   1. the engine microbenchmarks (internal/sim, -bench Engine): the
 #      schedule→execute hot path, the closure-free ScheduleArg variant,
 #      and the cancel/compact path — all expected at 0 allocs/op;
 #   2. one end-to-end figure cell (-bench Fig4NumClients/x=300/NetRS-ILP):
 #      a full experiment run, whose ns/op and allocs/op track what the
-#      arena scheduler and pooled packets save per request.
+#      arena scheduler and pooled packets save per request;
+#   3. the hyperscale cells (-bench ScaleFatTree): the 16-ary (1024-host)
+#      and 32-ary (8192-host) fat-trees, each sequential and on the
+#      sharded engine (shards=1 vs shards=4 at identical results), so the
+#      baseline records both that the 8192-host topology runs and how the
+#      sharded engine's wall time compares to sequential on this machine.
 #
 # Each benchmark runs BENCH_COUNT (default 5) times; the distilled JSON
 # records per-benchmark mean and p99 for every metric go test reports
 # (ns/op, B/op, allocs/op, and the figure statistics mean_ms/p99_ms/…).
 # With count ≤ 100 samples, p99 is simply the maximum sample.
 #
-# The committed BENCH_PR3.json is the PR-3 baseline; regenerate and diff
-# it when touching the engine hot path.
+# The committed BENCH_PR6.json is the current baseline (BENCH_PR3.json is
+# the pre-sharding one); regenerate and diff when touching the hot path.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR3.json}"
+out="${BENCH_OUT:-BENCH_PR6.json}"
 count="${BENCH_COUNT:-5}"
 engine_pat="${BENCH_ENGINE_PATTERN:-Engine}"
 fig_pat="${BENCH_FIG_PATTERN:-Fig4NumClients/x=300/NetRS-ILP\$}"
+scale_pat="${BENCH_SCALE_PATTERN:-ScaleFatTree}"
+scale_count="${BENCH_SCALE_COUNT:-3}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -37,6 +44,9 @@ go test -run '^$' -bench "$engine_pat" -benchmem -count "$count" ./internal/sim 
 
 echo "== end-to-end figure cell: go test -bench $fig_pat -benchtime 1x -benchmem -count $count ."
 go test -run '^$' -bench "$fig_pat" -benchtime 1x -benchmem -count "$count" . | tee -a "$raw"
+
+echo "== hyperscale cells: go test -bench $scale_pat -benchtime 1x -benchmem -count $scale_count ."
+go test -run '^$' -bench "$scale_pat" -benchtime 1x -benchmem -count "$scale_count" . | tee -a "$raw"
 
 awk -v go_version="$(go version | awk '{print $3}')" -v count="$count" '
 /^Benchmark/ {
