@@ -1,15 +1,19 @@
 // Command netrs-lint runs the repository's determinism and
-// simulation-hygiene analyzer suite (internal/lint, DESIGN.md §7) over
-// every package of the module.
+// simulation-hygiene analyzer suite (internal/lint, DESIGN.md §7 and §12)
+// over every package of the module.
 //
 // Usage:
 //
-//	netrs-lint [-json] [-rules] [-typecheck] [pattern]
+//	netrs-lint [-json | -sarif] [-rules list] [-list-rules] [-typecheck] [pattern]
 //
 // The pattern is a directory or a ./...-style pattern; the whole module
-// containing it is always loaded (default: the current directory). The
-// exit status is 0 when the tree is clean, 1 when diagnostics were
-// reported, and 2 on usage or load errors.
+// containing it is always loaded (default: the current directory).
+// -rules takes a comma-separated subset of rule names to run (default:
+// all); -list-rules prints the catalog. Output is text (one line per
+// finding, transitive findings carry their call chain), -json (one object
+// per line with a structured chain), or -sarif (one SARIF 2.1.0 document,
+// chains as code flows). The exit status is 0 when the tree is clean, 1
+// when diagnostics were reported, and 2 on usage or load errors.
 package main
 
 import (
@@ -31,10 +35,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("netrs-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic instead of text")
-	listRules := fs.Bool("rules", false, "list the registered rules and exit")
+	sarifOut := fs.Bool("sarif", false, "emit one SARIF 2.1.0 document instead of text")
+	ruleList := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	listRules := fs.Bool("list-rules", false, "list the registered rules and exit")
 	typecheck := fs.Bool("typecheck", false, "also print type-check problems the loader tolerated (debugging aid)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: netrs-lint [-json] [-rules] [-typecheck] [pattern]\n")
+		fmt.Fprintf(stderr, "usage: netrs-lint [-json | -sarif] [-rules list] [-list-rules] [-typecheck] [pattern]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +51,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", r.Name(), r.Doc())
 		}
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "netrs-lint: -json and -sarif are mutually exclusive\n")
+		return 2
+	}
+	enabled, err := parseRules(*ruleList)
+	if err != nil {
+		fmt.Fprintf(stderr, "netrs-lint: %v\n", err)
+		return 2
 	}
 	if fs.NArg() > 1 {
 		fs.Usage()
@@ -66,11 +81,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	diags := lint.Run(mod.Packages)
-	for _, d := range diags {
-		if *jsonOut {
+	diags := lint.RunRules(mod.Packages, enabled)
+	switch {
+	case *sarifOut:
+		writeSARIF(stdout, mod.Root, diags)
+	case *jsonOut:
+		for _, d := range diags {
 			writeJSON(stdout, d)
-		} else {
+		}
+	default:
+		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
 		}
 	}
@@ -79,6 +99,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseRules turns the -rules value into an enabled set (nil = all).
+// Unknown names are a usage error so a typo cannot silently disable a
+// rule.
+func parseRules(list string) (map[string]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	var names []string
+	for _, r := range lint.Rules() {
+		known[r.Name()] = true
+		names = append(names, r.Name())
+	}
+	enabled := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown rule %q in -rules (known: %s)", name, strings.Join(names, ", "))
+		}
+		enabled[name] = true
+	}
+	if len(enabled) == 0 {
+		return nil, fmt.Errorf("-rules named no rules")
+	}
+	return enabled, nil
 }
 
 // patternDir maps a package pattern to the directory the module search
@@ -93,23 +143,37 @@ func patternDir(pattern string) string {
 }
 
 // jsonDiag is the -json wire form: one object per line, stable field
-// names for CI annotators.
+// names for CI annotators. Transitive findings carry the root-to-sink
+// call chain.
 type jsonDiag struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
+	File    string      `json:"file"`
+	Line    int         `json:"line"`
+	Col     int         `json:"col"`
+	Rule    string      `json:"rule"`
+	Message string      `json:"message"`
+	Chain   []jsonChain `json:"chain,omitempty"`
+}
+
+// jsonChain is one call-chain hop: the function's name and declaration
+// site.
+type jsonChain struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
 }
 
 func writeJSON(w io.Writer, d lint.Diagnostic) {
-	out, err := json.Marshal(jsonDiag{
+	jd := jsonDiag{
 		File:    d.Pos.Filename,
 		Line:    d.Pos.Line,
 		Col:     d.Pos.Column,
 		Rule:    d.Rule,
 		Message: d.Message,
-	})
+	}
+	for _, s := range d.Chain {
+		jd.Chain = append(jd.Chain, jsonChain{Func: s.Func, File: s.Pos.Filename, Line: s.Pos.Line})
+	}
+	out, err := json.Marshal(jd)
 	if err != nil {
 		fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
 		return

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -15,7 +17,7 @@ func TestRunFixtureText(t *testing.T) {
 		t.Fatalf("exit code %d on dirty fixture, want 1 (stderr: %s)", code, stderr.String())
 	}
 	out := stdout.String()
-	for _, rule := range []string{"[wallclock]", "[globalrand]", "[maporder]", "[floateq]", "[waiver]"} {
+	for _, rule := range []string{"[wallclock]", "[globalrand]", "[maporder]", "[floateq]", "[waiver]", "[getenv]", "[shardsafety]", "[hotalloc]"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("text output missing a %s diagnostic:\n%s", rule, out)
 		}
@@ -67,29 +69,185 @@ func TestRunTextAndJSONAgree(t *testing.T) {
 	}
 }
 
-func TestRunRules(t *testing.T) {
+func TestListRules(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-rules"}, &stdout, &stderr); code != 0 {
-		t.Fatalf("-rules exited %d, want 0", code)
+	if code := run([]string{"-list-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list-rules exited %d, want 0", code)
 	}
-	for _, rule := range []string{"wallclock", "globalrand", "maporder", "floateq", "waiver"} {
+	for _, rule := range []string{"wallclock", "globalrand", "maporder", "floateq", "waiver", "getenv", "shardsafety", "hotalloc"} {
 		if !strings.Contains(stdout.String(), rule) {
-			t.Errorf("-rules output missing %s:\n%s", rule, stdout.String())
+			t.Errorf("-list-rules output missing %s:\n%s", rule, stdout.String())
 		}
 	}
 }
 
-func TestRunErrors(t *testing.T) {
-	cases := [][]string{
-		{"/nonexistent/path/with/no/gomod"},
-		{"-unknown-flag"},
-		{"a", "b"}, // at most one pattern
+// TestRulesFilter checks -rules subsetting: only the named rules report.
+func TestRulesFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules", "floateq", fixtureDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-rules floateq exited %d, want 1 (stderr: %s)", code, stderr.String())
 	}
-	for _, args := range cases {
-		var stdout, stderr bytes.Buffer
-		if code := run(args, &stdout, &stderr); code != 2 {
-			t.Errorf("run(%v) = %d, want 2", args, code)
+	lines := nonEmptyLines(stdout.String())
+	if len(lines) == 0 {
+		t.Fatal("floateq-only run found nothing; the fixture has floateq findings")
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "[floateq]") {
+			t.Errorf("rules filtered to floateq, got %q", line)
 		}
+	}
+}
+
+// cleanModule writes a minimal lint-clean module for exit-code checks.
+func cleanModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module clean\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "// Package clean has nothing to report.\npackage clean\n\n// Answer returns a constant.\nfunc Answer() int { return 42 }\n"
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitCodes pins the documented exit contract: 0 clean, 1 findings,
+// 2 usage or load errors.
+func TestExitCodes(t *testing.T) {
+	clean := cleanModule(t)
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{clean}, 0},
+		{[]string{"-rules", "wallclock,hotalloc", clean}, 0},
+		{[]string{fixtureDir}, 1},
+		{[]string{"-sarif", fixtureDir}, 1},
+		{[]string{"/nonexistent/path/with/no/gomod"}, 2},
+		{[]string{"-unknown-flag"}, 2},
+		{[]string{"a", "b"}, 2}, // at most one pattern
+		{[]string{"-rules", "bogus", clean}, 2},
+		{[]string{"-rules", ",", clean}, 2}, // names no rules
+		{[]string{"-json", "-sarif", clean}, 2},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(c.args, &stdout, &stderr); code != c.want {
+			t.Errorf("run(%v) = %d, want %d (stderr: %s)", c.args, code, c.want, stderr.String())
+		}
+	}
+}
+
+// TestSARIF validates the -sarif document shape: tool catalog, one
+// result per diagnostic, and call chains rendered as code flows.
+func TestSARIF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", fixtureDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-sarif exited %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				CodeFlows []struct {
+					ThreadFlows []struct {
+						Locations []struct {
+							Location struct {
+								Message struct {
+									Text string `json:"text"`
+								} `json:"message"`
+							} `json:"location"`
+						} `json:"locations"`
+					} `json:"threadFlows"`
+				} `json:"codeFlows"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and 1 run", doc.Version, len(doc.Runs))
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "netrs-lint" || len(run0.Tool.Driver.Rules) == 0 {
+		t.Errorf("driver = %q with %d rules, want netrs-lint with a catalog", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("no SARIF results for a dirty fixture")
+	}
+	longest := 0
+	for _, r := range run0.Results {
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || strings.HasPrefix(loc.ArtifactLocation.URI, "/") {
+			t.Errorf("result URI %q, want module-root-relative", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result without a line: %+v", r)
+		}
+		for _, cf := range r.CodeFlows {
+			if len(cf.ThreadFlows) != 1 || len(cf.ThreadFlows[0].Locations) == 0 {
+				t.Errorf("degenerate code flow: %+v", cf)
+			} else if n := len(cf.ThreadFlows[0].Locations); n > longest {
+				longest = n
+			}
+		}
+	}
+	// The fixture's pipeline → stageOne → StepTwo → StepThree chain must
+	// survive as a multi-hop thread flow.
+	if longest < 4 {
+		t.Errorf("longest code flow has %d hops, want the 4-hop wallclock chain", longest)
+	}
+}
+
+// TestJSONChains checks the -json chain field on a transitive finding.
+func TestJSONChains(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	run([]string{"-json", fixtureDir}, &stdout, &stderr)
+	found := false
+	for _, line := range nonEmptyLines(stdout.String()) {
+		var d struct {
+			Rule  string `json:"rule"`
+			Chain []struct {
+				Func string `json:"func"`
+				File string `json:"file"`
+				Line int    `json:"line"`
+			} `json:"chain"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		for _, hop := range d.Chain {
+			if hop.Func == "" || hop.File == "" || hop.Line <= 0 {
+				t.Errorf("incomplete chain hop in %q", line)
+			}
+			if hop.Func == "util.StepThree" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no -json chain reaches util.StepThree; transitive chains missing from JSON output")
 	}
 }
 

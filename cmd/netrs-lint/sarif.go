@@ -1,0 +1,148 @@
+package main
+
+// SARIF 2.1.0 output (-sarif): the static-analysis interchange format
+// GitHub code scanning and most CI annotators ingest. One run, one result
+// per diagnostic; transitive findings render their root-to-sink call
+// chain as a codeFlow so viewers can step from the scheduling root to the
+// effect site. URIs are emitted relative to the module root, which is
+// what upload-sarif expects of a checkout-rooted run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"netrs/internal/lint"
+)
+
+const sarifVersion = "2.1.0"
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Rules          []sarifRuleDesc `json:"rules"`
+}
+
+type sarifRuleDesc struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLoc `json:"locations"`
+}
+
+type sarifThreadFlowLoc struct {
+	Location sarifFlowLocation `json:"location"`
+}
+
+type sarifFlowLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          sarifMessage  `json:"message"`
+}
+
+// writeSARIF renders the diagnostics as one SARIF document.
+func writeSARIF(w io.Writer, root string, diags []lint.Diagnostic) {
+	driver := sarifDriver{Name: "netrs-lint"}
+	for _, r := range lint.Rules() {
+		driver.Rules = append(driver.Rules, sarifRuleDesc{
+			ID:               r.Name(),
+			ShortDescription: sarifMessage{Text: r.Doc()},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: physical(root, d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+			}},
+		}
+		if len(d.Chain) > 0 {
+			flow := sarifThreadFlow{}
+			for _, s := range d.Chain {
+				flow.Locations = append(flow.Locations, sarifThreadFlowLoc{
+					Location: sarifFlowLocation{
+						PhysicalLocation: physical(root, s.Pos.Filename, s.Pos.Line, 0),
+						Message:          sarifMessage{Text: s.Func},
+					},
+				})
+			}
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{flow}}}
+		}
+		run.Results = append(run.Results, res)
+	}
+	log := sarifLog{Schema: sarifSchema, Version: sarifVersion, Runs: []sarifRun{run}}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
+		return
+	}
+	fmt.Fprintf(w, "%s\n", out)
+}
+
+// physical builds a module-root-relative physical location.
+func physical(root, file string, line, col int) sarifPhysical {
+	uri := file
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		uri = filepath.ToSlash(rel)
+	}
+	return sarifPhysical{
+		ArtifactLocation: sarifArtifact{URI: uri},
+		Region:           sarifRegion{StartLine: line, StartColumn: col},
+	}
+}

@@ -181,6 +181,10 @@ type runner struct {
 	// sends (closure-free scheduling; the packetCtx is the argument).
 	launchPickFn sim.ArgHandler
 
+	// redundantFn is the shared handler for CliRS-R95 duplicate timers
+	// (the pending request is the argument).
+	redundantFn sim.ArgHandler
+
 	// Pilot mode (sharded NetRS-ILP runs only): stop after pilotStop
 	// completions, recording the instants of the first and pilotStop-th —
 	// the completion-count triggers the windowed engine replays as
@@ -214,6 +218,7 @@ func Run(cfg Config) (Result, error) {
 		netrs:    cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP,
 	}
 	r.launchPickFn = func(arg any) { r.launchPick(arg.(*packetCtx)) }
+	r.redundantFn = func(arg any) { r.fireRedundant(arg.(*pending)) }
 	if err := r.setup(); err != nil {
 		return Result{}, err
 	}
@@ -681,25 +686,30 @@ func (r *runner) armRedundantTimer(p *pending) {
 	if threshold <= 0 {
 		return
 	}
-	p.timer = r.eng.MustSchedule(threshold, func() {
-		if p.done {
-			return
+	p.timer = r.eng.MustScheduleArg(threshold, r.redundantFn, p)
+}
+
+// fireRedundant is the CliRS-R95 duplicate-timer handler: when the
+// primary has not answered by the p95 threshold, re-issue the request to
+// the remaining replicas.
+func (r *runner) fireRedundant(p *pending) {
+	if p.done {
+		return
+	}
+	filtered := make([]int, 0, len(p.replicas))
+	for _, s := range p.replicas {
+		if s != p.primary {
+			filtered = append(filtered, s)
 		}
-		var filtered []int
-		for _, s := range p.replicas {
-			if s != p.primary {
-				filtered = append(filtered, s)
-			}
-		}
-		if len(filtered) == 0 {
-			return
-		}
-		r.redundant++
-		if r.timeline != nil {
-			r.timeline.RecordTimeout(r.eng.Now())
-		}
-		r.sendClientPick(p, filtered, false)
-	})
+	}
+	if len(filtered) == 0 {
+		return
+	}
+	r.redundant++
+	if r.timeline != nil {
+		r.timeline.RecordTimeout(r.eng.Now())
+	}
+	r.sendClientPick(p, filtered, false)
 }
 
 // sendNetRS realizes the NetRS flow: the request heads for the network

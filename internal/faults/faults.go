@@ -25,6 +25,7 @@ import (
 	"strconv"
 
 	"netrs/internal/sim"
+	"netrs/internal/stats"
 )
 
 // ErrInvalidSchedule reports a schedule that fails validation.
@@ -115,7 +116,7 @@ func (e Event) String() string {
 // Validate checks one event's internal consistency.
 func (e Event) Validate() error {
 	hasTime := e.AtMs > 0
-	hasFrac := e.AtFraction != 0
+	hasFrac := !stats.IsZero(e.AtFraction)
 	if hasTime == hasFrac {
 		return fmt.Errorf("event %s: exactly one of atMs (> 0) and atFraction must be set: %w", e.Kind, ErrInvalidSchedule)
 	}

@@ -125,7 +125,7 @@ func NewServer(id int, eng *sim.Engine, cfg ServerConfig, rng *sim.RNG) (*Server
 	if cfg.FluctuationInterval < 0 {
 		return nil, fmt.Errorf("server %d fluctuation interval %v: %w", id, cfg.FluctuationInterval, ErrInvalidParam)
 	}
-	if cfg.StatusAlpha == 0 {
+	if stats.IsZero(cfg.StatusAlpha) {
 		cfg.StatusAlpha = 0.9
 	}
 	s := &Server{
@@ -304,7 +304,7 @@ func (s *Server) Cancelled() uint64 { return s.cancelled }
 // Status returns the piggybacked server state.
 func (s *Server) Status() Status {
 	st := s.stEWMA.Value()
-	if st == 0 {
+	if stats.IsZero(st) {
 		// Before any completion, advertise the configured mean so
 		// selectors have a sane prior.
 		st = float64(s.cfg.MeanServiceTime)

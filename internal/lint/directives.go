@@ -40,6 +40,24 @@ func (d *directive) valid() bool {
 	return true
 }
 
+// allEnabled reports whether every rule the directive names is in the
+// enabled set (nil = everything enabled). A directive serving a disabled
+// rule cannot be judged stale: its diagnostics were never produced.
+func (d *directive) allEnabled(enabled map[string]bool) bool {
+	if enabled == nil {
+		return true
+	}
+	for _, n := range d.names {
+		if n == waiverAliasSorted {
+			n = ruleNameMapOrder
+		}
+		if !enabled[n] {
+			return false
+		}
+	}
+	return true
+}
+
 // covers reports whether the directive waives the named rule.
 func (d *directive) covers(rule string) bool {
 	for _, n := range d.names {

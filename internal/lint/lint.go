@@ -1,19 +1,33 @@
 // Package lint implements netrs-lint, a zero-dependency static analyzer
 // suite that enforces the repository's determinism and simulation-hygiene
-// contract (DESIGN.md §7). Every figure the repo reports depends on the
-// discrete-event core being bit-deterministic, so the invariants are
+// contract (DESIGN.md §7, §12). Every figure the repo reports depends on
+// the discrete-event core being bit-deterministic, so the invariants are
 // enforced by a compiler-grade pass instead of code review:
 //
-//   - wallclock:   no wall-clock reads (time.Now & friends) in the sim core
-//   - globalrand:  no math/rand or crypto/rand imports in the sim core
-//   - maporder:    no map-iteration order leaking into events, returned
-//     slices, or shared accumulators
-//   - floateq:     no ==/!= on floating-point operands outside tests
-//   - waiver:      every "lint:" waiver directive names a real rule and
+//   - wallclock:    no wall-clock reads (time.Now & friends) in the sim
+//     core, nor anywhere reachable from a scheduled handler
+//   - globalrand:   no math/rand or crypto/rand in the sim core or on any
+//     handler path
+//   - maporder:     no map-iteration order leaking into events, returned
+//     slices, or shared accumulators — directly or transitively
+//   - getenv:       no ambient environment reads in the core or on
+//     handler paths
+//   - floateq:      no ==/!= on floating-point operands outside tests
+//   - shardsafety:  no goroutines, channel ops, sync primitives, or
+//     multi-ready selects in the deterministic core outside the
+//     concurrency allowlist; no package-level variable writes reachable
+//     from partitioned handler code
+//   - hotalloc:     no per-event allocation on handler-reachable paths
+//     (capturing closures handed to Schedule, interface boxing at
+//     ScheduleArg sites, un-preallocated appends in loops)
+//   - waiver:       every "lint:" waiver directive names a real rule and
 //     still suppresses something
 //
-// The suite is built on go/parser + go/ast + go/types only (no
-// golang.org/x/tools), keeping go.mod free of external dependencies.
+// Since v2 the suite is a whole-module analyzer: a static call graph over
+// go/types (callgraph.go) makes the effect rules transitive, and findings
+// on handler paths carry the full root-to-sink call chain. The suite is
+// built on go/parser + go/ast + go/types only (no golang.org/x/tools),
+// keeping go.mod free of external dependencies.
 package lint
 
 import (
@@ -23,29 +37,130 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, anchored to a source position.
+// ChainStep is one hop of a root-to-sink call chain attached to a
+// transitive finding: the function's name and declaration position.
+type ChainStep struct {
+	Pos  token.Position
+	Func string
+}
+
+// Diagnostic is one finding, anchored to a source position. Transitive
+// findings carry the call chain from the scheduling root to the function
+// containing the effect.
 type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	Chain   []ChainStep // nil for direct findings
 }
 
-// String renders the canonical text form: file:line:col: [rule] message.
+// String renders the canonical one-line text form:
+// file:line:col: [rule] message (call chain: root -> ... -> sink).
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	if len(d.Chain) > 0 {
+		s += " (call chain: " + d.ChainString() + ")"
+	}
+	return s
 }
 
-// ReportFunc is how rules emit findings; pos must belong to the package's
-// file set.
-type ReportFunc func(pos token.Pos, format string, args ...any)
+// ChainString renders the call chain as "root -> ... -> sink" ("" when
+// the finding is direct).
+func (d Diagnostic) ChainString() string {
+	if len(d.Chain) == 0 {
+		return ""
+	}
+	names := make([]string, len(d.Chain))
+	for i, s := range d.Chain {
+		names[i] = s.Func
+	}
+	return strings.Join(names, " -> ")
+}
+
+// Analysis is the shared whole-module state handed to every rule: the
+// loaded packages plus the lazily-built call graph and its reachability
+// closures. Rules iterate a.Pkgs for per-file checks and use Graph /
+// Reachable for transitive ones.
+type Analysis struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+
+	graph *Graph
+	reach map[string]map[*Node]*reachEntry
+}
+
+// NewAnalysis wraps a loaded package set. All packages of one Load share
+// a file set; the first package's is the module's.
+func NewAnalysis(pkgs []*Package) *Analysis {
+	a := &Analysis{Pkgs: pkgs, reach: make(map[string]map[*Node]*reachEntry)}
+	if len(pkgs) > 0 {
+		a.Fset = pkgs[0].Fset
+	} else {
+		a.Fset = token.NewFileSet()
+	}
+	return a
+}
+
+// Graph returns the module call graph, building it on first use.
+func (a *Analysis) Graph() *Graph {
+	if a.graph == nil {
+		a.graph = buildGraph(a.Pkgs)
+	}
+	return a.graph
+}
+
+// Reachable returns (and caches) the reachability closure from handler
+// roots of the given kinds (none = every kind).
+func (a *Analysis) Reachable(kinds ...string) map[*Node]*reachEntry {
+	key := strings.Join(kinds, ",")
+	if r, ok := a.reach[key]; ok {
+		return r
+	}
+	r := a.Graph().Reachable(kinds...)
+	a.reach[key] = r
+	return r
+}
+
+// forEachReachable visits every node reachable from roots of the given
+// kinds in the graph's deterministic construction order.
+func (a *Analysis) forEachReachable(kinds []string, fn func(n *Node, e *reachEntry)) {
+	reach := a.Reachable(kinds...)
+	for _, n := range a.Graph().nodes {
+		if e, ok := reach[n]; ok {
+			fn(n, e)
+		}
+	}
+}
+
+// Reporter collects one rule's findings. Report emits a direct finding;
+// ReportChain attaches a root-to-sink call chain.
+type Reporter struct {
+	rule  string
+	fset  *token.FileSet
+	diags *[]Diagnostic
+}
+
+// Report emits a finding at pos.
+func (r *Reporter) Report(pos token.Pos, format string, args ...any) {
+	r.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain emits a finding at pos carrying a call chain.
+func (r *Reporter) ReportChain(pos token.Pos, chain []ChainStep, format string, args ...any) {
+	*r.diags = append(*r.diags, Diagnostic{
+		Pos:     r.fset.Position(pos),
+		Rule:    r.rule,
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
 
 // Rule is one self-registered analyzer pass. Check is invoked once per
-// loaded package and reports findings through report; it must not retain
-// state across packages.
+// run with the whole-module analysis and reports findings through rep.
 type Rule interface {
 	Name() string
 	Doc() string
-	Check(pkg *Package, report ReportFunc)
+	Check(a *Analysis, rep *Reporter)
 }
 
 var registry = map[string]Rule{}
@@ -84,10 +199,12 @@ func KnownRule(name string) bool {
 }
 
 // coreSuffixes lists the import-path suffixes of the deterministic sim
-// core. Wall-clock reads, ambient randomness, map-order leaks, and float
-// equality are forbidden in these packages; kvnet (real UDP networking),
-// cmd/*, examples, and the remaining utility packages live outside the
-// contract. The module root is core too (figures.go drives the sweeps).
+// core. Wall-clock reads, ambient randomness, map-order leaks, float
+// equality, and raw concurrency are forbidden in these packages; cmd/*,
+// examples, and the remaining utility packages live outside the contract
+// (kvnet and exec are core-adjacent but sit on the concurrency allowlist
+// — see allowlistedFile). The module root is core too (figures.go drives
+// the sweeps).
 var coreSuffixes = []string{
 	"internal/sim",
 	"internal/fabric",
@@ -100,6 +217,8 @@ var coreSuffixes = []string{
 	"internal/dist",
 	"internal/topo",
 	"internal/workload",
+	"internal/kv",
+	"internal/faults",
 }
 
 // Core reports whether the package is part of the deterministic sim core.
@@ -116,46 +235,47 @@ func (p *Package) Core() bool {
 }
 
 // Run applies every registered rule to the packages and returns the
-// surviving diagnostics sorted by position. Waiver directives
-// ("//lint:rule[,rule...] reason") suppress same-named diagnostics on the
-// directive's own line and the line below it; afterwards any directive in
-// a non-test file that suppressed nothing is reported as stale so waivers
-// cannot rot.
+// surviving diagnostics sorted by position.
 func Run(pkgs []*Package) []Diagnostic {
+	return RunRules(pkgs, nil)
+}
+
+// RunRules is Run restricted to an enabled-rule set (nil = all rules).
+// Waiver directives ("//lint:rule[,rule...] reason") suppress same-named
+// diagnostics on the directive's own line and the line below it;
+// afterwards any directive in a non-test file that suppressed nothing is
+// reported as stale so waivers cannot rot. The stale audit only considers
+// directives whose rules are all enabled — a waiver cannot be judged
+// stale while the rule it serves is switched off.
+func RunRules(pkgs []*Package, enabled map[string]bool) []Diagnostic {
+	a := NewAnalysis(pkgs)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		p := pkg
-		for _, r := range Rules() {
-			rule := r
-			r.Check(p, func(pos token.Pos, format string, args ...any) {
-				diags = append(diags, Diagnostic{
-					Pos:     p.Fset.Position(pos),
-					Rule:    rule.Name(),
-					Message: fmt.Sprintf(format, args...),
-				})
-			})
+	for _, r := range Rules() {
+		if enabled != nil && !enabled[r.Name()] {
+			continue
 		}
+		r.Check(a, &Reporter{rule: r.Name(), fset: a.Fset, diags: &diags})
 	}
-	diags = applyWaivers(pkgs, diags)
+	diags = applyWaivers(pkgs, diags, enabled)
 	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+		x, y := diags[i], diags[j]
+		if x.Pos.Filename != y.Pos.Filename {
+			return x.Pos.Filename < y.Pos.Filename
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if x.Pos.Line != y.Pos.Line {
+			return x.Pos.Line < y.Pos.Line
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if x.Pos.Column != y.Pos.Column {
+			return x.Pos.Column < y.Pos.Column
 		}
-		return a.Rule < b.Rule
+		return x.Rule < y.Rule
 	})
 	return diags
 }
 
 // applyWaivers filters waived diagnostics and appends stale-waiver
 // findings. Waiver-audit diagnostics themselves cannot be waived.
-func applyWaivers(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+func applyWaivers(pkgs []*Package, diags []Diagnostic, enabled map[string]bool) []Diagnostic {
 	byFile := make(map[string][]*directive)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -171,13 +291,16 @@ func applyWaivers(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
+	if enabled != nil && !enabled[ruleNameWaiver] {
+		return kept
+	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			if f.Test {
 				continue // test files host no core rules; nothing to suppress
 			}
 			for _, dir := range f.Directives {
-				if dir.used || !dir.valid() {
+				if dir.used || !dir.valid() || !dir.allEnabled(enabled) {
 					continue
 				}
 				kept = append(kept, Diagnostic{

@@ -78,7 +78,7 @@ func TestRulesRegistered(t *testing.T) {
 			t.Errorf("rule %s has no doc", r.Name())
 		}
 	}
-	want := []string{"floateq", "globalrand", "maporder", "waiver", "wallclock"}
+	want := []string{"floateq", "getenv", "globalrand", "hotalloc", "maporder", "shardsafety", "waiver", "wallclock"}
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("Rules() = %v, want %v (sorted)", names, want)
 	}

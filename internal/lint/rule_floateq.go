@@ -24,34 +24,36 @@ func (floatEqRule) Doc() string {
 	return "no ==/!= on floating-point operands in the sim core outside tests; compare with explicit tolerance or waive a named helper"
 }
 
-func (floatEqRule) Check(pkg *Package, report ReportFunc) {
-	if !pkg.Core() || pkg.Info == nil {
-		return
-	}
-	for _, f := range pkg.Files {
-		if f.Test {
+func (floatEqRule) Check(a *Analysis, rep *Reporter) {
+	for _, pkg := range a.Pkgs {
+		if !pkg.Core() || pkg.Info == nil {
 			continue
 		}
-		ast.Inspect(f.Ast, func(n ast.Node) bool {
-			b, ok := n.(*ast.BinaryExpr)
-			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				x, okx := pkg.Info.Types[b.X]
+				y, oky := pkg.Info.Types[b.Y]
+				if !okx || !oky || (!isFloat(x.Type) && !isFloat(y.Type)) {
+					return true
+				}
+				if x.Value != nil && y.Value != nil {
+					return true // compile-time constant comparison
+				}
+				if types.ExprString(b.X) == types.ExprString(b.Y) {
+					return true // x != x: the NaN check idiom
+				}
+				rep.Report(b.OpPos, "floating-point %s comparison (%s %s %s); use an explicit tolerance or a //lint:floateq-waived helper",
+					b.Op, types.ExprString(b.X), b.Op, types.ExprString(b.Y))
 				return true
-			}
-			x, okx := pkg.Info.Types[b.X]
-			y, oky := pkg.Info.Types[b.Y]
-			if !okx || !oky || (!isFloat(x.Type) && !isFloat(y.Type)) {
-				return true
-			}
-			if x.Value != nil && y.Value != nil {
-				return true // compile-time constant comparison
-			}
-			if types.ExprString(b.X) == types.ExprString(b.Y) {
-				return true // x != x: the NaN check idiom
-			}
-			report(b.OpPos, "floating-point %s comparison (%s %s %s); use an explicit tolerance or a //lint:floateq-waived helper",
-				b.Op, types.ExprString(b.X), b.Op, types.ExprString(b.Y))
-			return true
-		})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package lint
+
+import "go/ast"
+
+const ruleNameGetenv = "getenv"
+
+// getenvRule bans ambient environment reads (os.Getenv & friends) in the
+// sim core and on any handler path. Environment variables are invisible
+// inputs: a figure produced under NETRS_X=1 is not replayable from its
+// recorded seed and flags alone. Configuration must flow through explicit
+// parameters (flags, config structs) so every run is self-describing.
+// cmd/* drivers that translate the environment into explicit knobs at
+// startup remain free to read it — unless a scheduled handler reaches
+// them, which the call graph checks.
+type getenvRule struct{}
+
+func (getenvRule) Name() string { return ruleNameGetenv }
+
+func (getenvRule) Doc() string {
+	return "no os.Getenv/LookupEnv/Environ/ExpandEnv in the sim core or on handler paths; plumb configuration explicitly"
+}
+
+func (getenvRule) Check(a *Analysis, rep *Reporter) {
+	for _, pkg := range a.Pkgs {
+		if !pkg.Core() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !envReadNames[sel.Sel.Name] {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pkg.isPackageRef(f, id, "os") {
+					rep.Report(sel.Pos(), "environment read: os.%s is forbidden in the sim core; pass configuration explicitly", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+	reportReachableEffects(a, rep, effGetenv,
+		"environment read on a handler path: %s in %s; pass configuration explicitly")
+}
+
+func init() { register(getenvRule{}) }

@@ -13,27 +13,33 @@ var bannedRandImports = map[string]string{
 // included: every stochastic component must own a sim.RNG stream derived
 // from the experiment seed (sim.DeriveSeed), so adding or removing one
 // component never perturbs the draws seen by another and every figure is
-// replayable bit-for-bit.
+// replayable bit-for-bit. The call graph extends the ban transitively: a
+// non-core helper that draws from math/rand is flagged, with its call
+// chain, as soon as any scheduled handler can reach it.
 type globalRandRule struct{}
 
 func (globalRandRule) Name() string { return ruleNameGlobalRand }
 
 func (globalRandRule) Doc() string {
-	return "no math/rand, math/rand/v2, or crypto/rand in the sim core; randomness flows from sim.RNG"
+	return "no math/rand, math/rand/v2, or crypto/rand in the sim core or on handler paths; randomness flows from sim.RNG"
 }
 
-func (globalRandRule) Check(pkg *Package, report ReportFunc) {
-	if !pkg.Core() {
-		return
-	}
-	for _, f := range pkg.Files {
-		for _, spec := range f.Ast.Imports {
-			path := importPathOf(spec)
-			if hint, banned := bannedRandImports[path]; banned {
-				report(spec.Pos(), "ambient randomness: import of %s is forbidden in the sim core; %s", path, hint)
+func (globalRandRule) Check(a *Analysis, rep *Reporter) {
+	for _, pkg := range a.Pkgs {
+		if !pkg.Core() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, spec := range f.Ast.Imports {
+				path := importPathOf(spec)
+				if hint, banned := bannedRandImports[path]; banned {
+					rep.Report(spec.Pos(), "ambient randomness: import of %s is forbidden in the sim core; %s", path, hint)
+				}
 			}
 		}
 	}
+	reportReachableEffects(a, rep, effGlobalRand,
+		"ambient randomness on a handler path: %s in %s; derive a stream from sim.RNG instead")
 }
 
 func init() { register(globalRandRule{}) }

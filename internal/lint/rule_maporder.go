@@ -23,36 +23,42 @@ var schedulingNames = map[string]bool{
 // accumulating into an outer variable (+=, ++, ...; float accumulation is
 // not even associative), or plain writes through an outer variable
 // (last-writer-wins and argmax-over-map are both order-dependent on ties).
-// Iterating sorted keys is the fix; a `//lint:sorted` waiver on the range
-// line asserts order-independence the analyzer cannot prove.
+// The call graph extends the check to non-core helpers reachable from
+// scheduled handlers. Iterating sorted keys is the fix; a `//lint:sorted`
+// waiver on the range line asserts order-independence the analyzer cannot
+// prove.
 type mapOrderRule struct{}
 
 func (mapOrderRule) Name() string { return ruleNameMapOrder }
 
 func (mapOrderRule) Doc() string {
-	return "map iteration in the sim core must not schedule events, build slices, or accumulate into shared state; sort the keys first (waiver alias: sorted)"
+	return "map iteration in the sim core or on handler paths must not schedule events, build slices, or accumulate into shared state; sort the keys first (waiver alias: sorted)"
 }
 
-func (mapOrderRule) Check(pkg *Package, report ReportFunc) {
-	if !pkg.Core() || pkg.Info == nil {
-		return
-	}
-	for _, f := range pkg.Files {
-		if f.Test {
+func (mapOrderRule) Check(a *Analysis, rep *Reporter) {
+	for _, pkg := range a.Pkgs {
+		if !pkg.Core() || pkg.Info == nil {
 			continue
 		}
-		ast.Inspect(f.Ast, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok || !pkg.isMapType(rs.X) {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !pkg.isMapType(rs.X) {
+					return true
+				}
+				if leak, pos := pkg.findOrderLeak(rs); leak != "" {
+					rep.Report(rs.Pos(), "map-order leak: range over map %s %s (line %d); iterate sorted keys or waive with //lint:sorted",
+						types.ExprString(rs.X), leak, pkg.Fset.Position(pos).Line)
+				}
 				return true
-			}
-			if leak, pos := pkg.findOrderLeak(rs); leak != "" {
-				report(rs.Pos(), "map-order leak: range over map %s %s (line %d); iterate sorted keys or waive with //lint:sorted",
-					types.ExprString(rs.X), leak, pkg.Fset.Position(pos).Line)
-			}
-			return true
-		})
+			})
+		}
 	}
+	reportReachableEffects(a, rep, effMapOrder,
+		"map-order leak on a handler path: %s in %s; iterate sorted keys or waive with //lint:sorted")
 }
 
 func init() { register(mapOrderRule{}) }

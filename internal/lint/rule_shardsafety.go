@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+const ruleNameShardSafety = "shardsafety"
+
+// concurrencyAllowlist lists the import-path suffixes of the only
+// packages allowed to use goroutines, channels, and sync primitives:
+// internal/exec (the worker pool that fans experiment runs across cores)
+// and internal/kvnet (the real UDP store, which is I/O-concurrent by
+// nature). internal/sim's shard runner (shard.go) is allowlisted at file
+// granularity — it is the one place the conservative-PDES coordinator
+// spawns window workers — while the rest of internal/sim stays strictly
+// sequential.
+var concurrencyAllowlist = []string{
+	"internal/exec",
+	"internal/kvnet",
+}
+
+// allowlistedFile reports whether a file sits on the concurrency
+// allowlist.
+func allowlistedFile(p *Package, f *File) bool {
+	for _, suffix := range concurrencyAllowlist {
+		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
+			return true
+		}
+	}
+	if p.Path == "internal/sim" || strings.HasSuffix(p.Path, "/internal/sim") {
+		return f != nil && filepath.Base(f.Name) == "shard.go"
+	}
+	return false
+}
+
+// syncImports are the primitive-concurrency packages banned outside the
+// allowlist.
+var syncImports = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+// shardSafetyRule enforces the sharded engine's isolation contract
+// (DESIGN.md §11): partition handlers run concurrently during a window,
+// so the deterministic core must stay free of raw concurrency and shared
+// mutable state. Four checks run per file over core packages outside the
+// allowlist:
+//
+//   - `go` statements: a goroutine inside handler code races the window
+//     barrier and makes event order scheduler-dependent;
+//   - raw channel operations (send, receive, close, make(chan), range
+//     over a channel): cross-partition communication must go through the
+//     ShardSet exchange, which orders messages deterministically;
+//   - sync / sync/atomic imports: locks and atomics are how shared-state
+//     bugs hide — partitioned state must be partitioned, not guarded;
+//   - `select` with more than one ready-capable case: when several
+//     communications are ready the runtime picks uniformly at random.
+//
+// A fifth check is transitive: writes to package-level variables in any
+// function reachable from partitioned handler code (sim.Handler and
+// sim.ArgHandler roots, not barrier globals — those run sequentially on
+// the coordinator and may touch shared state), reported with the call
+// chain. Goroutine launches in non-core code that handler code reaches
+// are flagged the same way.
+type shardSafetyRule struct{}
+
+func (shardSafetyRule) Name() string { return ruleNameShardSafety }
+
+func (shardSafetyRule) Doc() string {
+	return "no goroutines, channel ops, sync primitives, or multi-ready selects in the deterministic core outside internal/exec, internal/kvnet, and sim's shard runner; no package-level writes reachable from partitioned handlers"
+}
+
+func (shardSafetyRule) Check(a *Analysis, rep *Reporter) {
+	for _, pkg := range a.Pkgs {
+		if !pkg.Core() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Test || allowlistedFile(pkg, f) {
+				continue
+			}
+			checkFileConcurrency(pkg, f, rep)
+		}
+	}
+
+	// Transitive checks from partitioned handler roots only.
+	kinds := []string{rootHandler, rootArgHandler}
+	a.forEachReachable(kinds, func(n *Node, e *reachEntry) {
+		if n.allowlisted() {
+			return
+		}
+		for _, eff := range n.effects {
+			switch eff.kind {
+			case effGlobalWrite:
+				rep.ReportChain(eff.pos, e.Chain(a.Fset),
+					"shared state: %s is reachable from partitioned handler code; partition the state or move the write to a barrier global", eff.desc)
+			case effGoStmt:
+				if n.pkg != nil && !n.pkg.Core() {
+					rep.ReportChain(eff.pos, e.Chain(a.Fset),
+						"goroutine launch reachable from partitioned handler code (in %s); handler work must stay on the partition's event loop", n.name)
+				}
+			}
+		}
+	})
+}
+
+func init() { register(shardSafetyRule{}) }
+
+// checkFileConcurrency runs the per-file shard-safety scans.
+func checkFileConcurrency(pkg *Package, f *File, rep *Reporter) {
+	for _, spec := range f.Ast.Imports {
+		if path := importPathOf(spec); syncImports[path] {
+			rep.Report(spec.Pos(), "concurrency primitive: import of %s outside the allowlist (internal/exec, internal/kvnet, sim's shard runner); partitioned state needs no locks", path)
+		}
+	}
+	// Channel operations that appear as a select communication clause are
+	// subsumed by the select check (a single-case select blocks like the
+	// raw op it wraps but is how "receive or default" is spelled).
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			rep.Report(v.Pos(), "goroutine: go statement in the deterministic core; only internal/exec, internal/kvnet, and sim's shard runner may spawn")
+		case *ast.SelectStmt:
+			ready := 0
+			for _, clause := range v.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					ready++
+					inSelect[cc.Comm] = true
+				}
+			}
+			if ready > 1 {
+				rep.Report(v.Pos(), "nondeterministic select: %d ready-capable cases; the runtime picks uniformly at random when several are ready", ready)
+			}
+		case *ast.SendStmt:
+			if !inSelect[v] {
+				rep.Report(v.Pos(), "raw channel send in the deterministic core; route cross-partition messages through the ShardSet exchange")
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && !receiveInComm(inSelect, v) {
+				rep.Report(v.Pos(), "raw channel receive in the deterministic core; route cross-partition messages through the ShardSet exchange")
+			}
+		case *ast.RangeStmt:
+			if pkg.isChanType(v.X) {
+				rep.Report(v.Pos(), "range over a channel in the deterministic core; route cross-partition messages through the ShardSet exchange")
+			}
+		case *ast.CallExpr:
+			switch fn := v.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "close" && len(v.Args) == 1 && pkg.isChanType(v.Args[0]) {
+					rep.Report(v.Pos(), "close of a channel in the deterministic core; channels belong to the allowlisted concurrency layers")
+				}
+				if fn.Name == "make" && len(v.Args) >= 1 {
+					if _, ok := v.Args[0].(*ast.ChanType); ok {
+						rep.Report(v.Pos(), "make(chan) in the deterministic core; channels belong to the allowlisted concurrency layers")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiveInComm reports whether a receive expression is (part of) a
+// select communication clause: either the clause statement itself is the
+// receive's ExprStmt/assignment, which inSelect tracks by that statement
+// node — so check the expression's enclosing statements via position.
+func receiveInComm(inSelect map[ast.Node]bool, recv *ast.UnaryExpr) bool {
+	for stmt := range inSelect {
+		if stmt.Pos() <= recv.Pos() && recv.End() <= stmt.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanType reports whether the expression's type is (or underlies) a
+// channel. Without type info the check stays quiet.
+func (p *Package) isChanType(e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -19,21 +19,23 @@ func (waiverRule) Doc() string {
 	return "every //lint: directive must name existing rules and keep suppressing something"
 }
 
-func (waiverRule) Check(pkg *Package, report ReportFunc) {
+func (waiverRule) Check(a *Analysis, rep *Reporter) {
 	known := make([]string, 0, len(registry)+1)
 	for _, r := range Rules() {
 		known = append(known, r.Name())
 	}
 	known = append(known, waiverAliasSorted)
-	for _, f := range pkg.Files {
-		for _, d := range f.Directives {
-			if len(d.names) == 0 {
-				report(d.pos, "empty //lint: directive; name the rule(s) to waive (known: %s)", strings.Join(known, ", "))
-				continue
-			}
-			for _, n := range d.names {
-				if !KnownRule(n) {
-					report(d.pos, "unknown rule %q in //lint: directive (known: %s)", n, strings.Join(known, ", "))
+	for _, pkg := range a.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Directives {
+				if len(d.names) == 0 {
+					rep.Report(d.pos, "empty //lint: directive; name the rule(s) to waive (known: %s)", strings.Join(known, ", "))
+					continue
+				}
+				for _, n := range d.names {
+					if !KnownRule(n) {
+						rep.Report(d.pos, "unknown rule %q in //lint: directive (known: %s)", n, strings.Join(known, ", "))
+					}
 				}
 			}
 		}

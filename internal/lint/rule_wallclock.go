@@ -24,51 +24,76 @@ var wallClockBanned = map[string]bool{
 	"NewTicker": true,
 }
 
-// wallClockRule forbids wall-clock reads in the sim core. The core must be
+// wallClockRule forbids wall-clock reads in the sim core — and, since v2,
+// anywhere reachable from a scheduled handler. The core must be
 // bit-deterministic: the same seed has to produce the same event sequence
 // on every run, which a single time.Now can silently break (C3-style
 // selectors are feedback loops; wall-clock jitter feeds straight into
-// replica choice). kvnet, cmd/*, examples, and *_test.go timing are
-// allowed to touch real time.
+// replica choice). The direct scan covers core packages; the call graph
+// extends the ban to helpers in non-core packages that handler code
+// reaches, reporting the full call chain. kvnet, cmd/*, examples, and
+// *_test.go timing that no handler reaches stay free to touch real time.
 type wallClockRule struct{}
 
 func (wallClockRule) Name() string { return ruleNameWallClock }
 
 func (wallClockRule) Doc() string {
-	return "no time.Now/Since/Until/Sleep/After/Tick/Timer in the sim core; use the sim.Engine clock"
+	return "no time.Now/Since/Until/Sleep/After/Tick/Timer in the sim core or on any handler path; use the sim.Engine clock"
 }
 
-func (wallClockRule) Check(pkg *Package, report ReportFunc) {
-	if !pkg.Core() {
-		return
-	}
-	for _, f := range pkg.Files {
-		if f.Test {
+func (wallClockRule) Check(a *Analysis, rep *Reporter) {
+	for _, pkg := range a.Pkgs {
+		if !pkg.Core() {
 			continue
 		}
-		for _, spec := range f.Ast.Imports {
-			if spec.Name != nil && spec.Name.Name == "." && importPathOf(spec) == "time" {
-				report(spec.Pos(), "dot-import of time hides wall-clock calls; import it by name (or not at all in the sim core)")
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
 			}
+			for _, spec := range f.Ast.Imports {
+				if spec.Name != nil && spec.Name.Name == "." && importPathOf(spec) == "time" {
+					rep.Report(spec.Pos(), "dot-import of time hides wall-clock calls; import it by name (or not at all in the sim core)")
+				}
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallClockBanned[sel.Sel.Name] {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pkg.isPackageRef(f, id, "time") {
+					rep.Report(sel.Pos(), "wall clock: time.%s is forbidden in the sim core; derive time from the sim.Engine clock", sel.Sel.Name)
+				}
+				return true
+			})
 		}
-		ast.Inspect(f.Ast, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || !wallClockBanned[sel.Sel.Name] {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			if pkg.isPackageRef(f, id, "time") {
-				report(sel.Pos(), "wall clock: time.%s is forbidden in the sim core; derive time from the sim.Engine clock", sel.Sel.Name)
-			}
-			return true
-		})
 	}
+	reportReachableEffects(a, rep, effWallclock,
+		"wall clock on a handler path: %s in %s; derive time from the sim.Engine clock")
 }
 
 func init() { register(wallClockRule{}) }
+
+// reportReachableEffects emits one chained finding per effect of the
+// given kind inside functions reachable from any handler root, skipping
+// core packages (the direct per-file scans already cover those positions)
+// and the concurrency allowlist. The format receives the effect
+// description and the containing function's name.
+func reportReachableEffects(a *Analysis, rep *Reporter, kind effectKind, format string) {
+	a.forEachReachable(nil, func(n *Node, e *reachEntry) {
+		if n.pkg == nil || n.pkg.Core() || n.allowlisted() {
+			return
+		}
+		for _, eff := range n.effects {
+			if eff.kind == kind {
+				rep.ReportChain(eff.pos, e.Chain(a.Fset), format, eff.desc, n.name)
+			}
+		}
+	})
+}
 
 // importPathOf unquotes an import spec's path.
 func importPathOf(spec *ast.ImportSpec) string {

@@ -1,0 +1,93 @@
+// Shard-safety fixtures: fabric is a core package outside the
+// concurrency allowlist, so every goroutine, channel op, sync import,
+// and multi-ready select below is a direct finding; the package-level
+// write is transitive (reported because a scheduled handler reaches it).
+package fabric
+
+import (
+	"sync" // want:shardsafety
+
+	"fixture/internal/sim"
+	"fixture/util"
+)
+
+// opsDone is the shared state the transitive global-write check guards.
+var opsDone int
+
+// Worker exercises the direct channel checks.
+type Worker struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// NewWorker allocates the channel.
+func NewWorker() *Worker {
+	return &Worker{ch: make(chan int, 4)} // want:shardsafety
+}
+
+// Spawn launches the drain loop: the goroutine-in-handler case (Arm
+// registers it as a handler root below).
+func (w *Worker) Spawn() {
+	go w.loop() // want:shardsafety
+}
+
+func (w *Worker) loop() {
+	for v := range w.ch { // want:shardsafety
+		_ = v
+	}
+}
+
+// Push is a raw channel send.
+func (w *Worker) Push(v int) {
+	w.ch <- v // want:shardsafety
+}
+
+// Pop is a raw channel receive.
+func (w *Worker) Pop() int {
+	return <-w.ch // want:shardsafety
+}
+
+// TryBoth has two ready-capable cases: the runtime picks at random.
+func (w *Worker) TryBoth(a, b chan int) int {
+	select { // want:shardsafety
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// TryOne is a single comm case plus default — the "receive or bail"
+// idiom — and is not a select finding (the receive inside the clause is
+// subsumed, not double-reported).
+func (w *Worker) TryOne(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}
+
+// Arm schedules Spawn as an event handler.
+func (w *Worker) Arm(eng *sim.Engine) {
+	eng.Schedule(1, w.Spawn)
+}
+
+// Counter schedules bump, making the package-level write below reachable
+// from partitioned handler code.
+func Counter(eng *sim.Engine) {
+	eng.Schedule(1, bump)
+}
+
+func bump() {
+	opsDone++ // want:shardsafety
+	util.Background()
+}
+
+// Sequential was fixed long ago; its directive suppresses nothing and is
+// reported stale.
+func Sequential() int {
+	//lint:shardsafety fixed long ago; want:waiver
+	return 1
+}

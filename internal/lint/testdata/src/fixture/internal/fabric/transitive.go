@@ -1,0 +1,32 @@
+// Pipeline wires the transitive-chain fixture: a scheduled ArgHandler
+// reaches util's ambient effects three calls away (root literal →
+// stageOne → util.StepTwo → util.StepThree). The findings anchor in
+// util/deep.go with the full chain; nothing in this file is reported.
+package fabric
+
+import (
+	"fixture/internal/sim"
+	"fixture/util"
+)
+
+// Pipeline owns a stored handler in the repo's closure-free idiom.
+type Pipeline struct {
+	eng *sim.Engine
+	fn  sim.ArgHandler
+	n   int
+}
+
+// NewPipeline builds the pipeline and registers its handler root.
+func NewPipeline(eng *sim.Engine) *Pipeline {
+	p := &Pipeline{eng: eng}
+	p.fn = func(arg any) { p.stageOne(arg.(int)) }
+	return p
+}
+
+// Start schedules the first event. Boxing an int here is legal: Start is
+// setup code no handler reaches, so the allocation happens once per run,
+// not once per event.
+func (p *Pipeline) Start() { p.eng.ScheduleArg(1, p.fn, 0) }
+
+// stageOne is hop one of the chain.
+func (p *Pipeline) stageOne(n int) { p.n = util.StepTwo(n) }

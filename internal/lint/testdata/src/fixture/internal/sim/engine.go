@@ -1,0 +1,33 @@
+package sim
+
+// Handler is a scheduled closure, mirroring the real engine's surface.
+type Handler func()
+
+// ArgHandler is a scheduled function plus one boxed argument.
+type ArgHandler func(arg any)
+
+// Engine is a miniature of the real arena scheduler: just enough surface
+// for the fixtures to register handler roots with the call-graph builder.
+type Engine struct {
+	handlers []Handler
+	argFns   []ArgHandler
+	args     []any
+}
+
+// NewEngine builds an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Schedule registers a Handler after a delay.
+func (e *Engine) Schedule(delay int, fn Handler) { e.handlers = append(e.handlers, fn) }
+
+// MustSchedule is Schedule with the real engine's panic contract.
+func (e *Engine) MustSchedule(delay int, fn Handler) { e.Schedule(delay, fn) }
+
+// ScheduleArg registers an ArgHandler and its argument after a delay.
+func (e *Engine) ScheduleArg(delay int, fn ArgHandler, arg any) {
+	e.argFns = append(e.argFns, fn)
+	e.args = append(e.args, arg)
+}
+
+// MustScheduleArg is ScheduleArg with the panic contract.
+func (e *Engine) MustScheduleArg(delay int, fn ArgHandler, arg any) { e.ScheduleArg(delay, fn, arg) }

@@ -1,0 +1,9 @@
+package sim
+
+import "os"
+
+// DebugLevel reads the environment inside the core: a direct getenv
+// finding (configuration must arrive through explicit parameters).
+func DebugLevel() string {
+	return os.Getenv("FIXTURE_DEBUG") // want:getenv
+}

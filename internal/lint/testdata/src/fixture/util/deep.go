@@ -1,0 +1,41 @@
+package util
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// weights is iterated by StepThree; the order leak there is what the
+// transitive maporder check reports.
+var weights = map[string]int{"a": 1, "b": 2}
+
+// StepTwo is hop two of the fixture chain (fabric.Pipeline → stageOne →
+// StepTwo → StepThree); it has no effects of its own.
+func StepTwo(n int) int { return StepThree(n) }
+
+// StepThree sits outside the core, so nothing here is a direct finding —
+// every report below exists only because a scheduled handler reaches this
+// function, and each carries the root-to-sink call chain.
+func StepThree(n int) int {
+	time.Sleep(time.Millisecond)         // want:wallclock
+	if os.Getenv("FIXTURE_MODE") != "" { // want:getenv
+		n++
+	}
+	n += int(rand.Int63()) // want:globalrand
+	total := 0
+	for _, v := range weights { // want:maporder
+		total += v
+	}
+	return n + total
+}
+
+// Background spawns a goroutine outside the core: flagged only because
+// partitioned handler code reaches it (fabric.bump calls it).
+func Background() {
+	done := make(chan struct{})
+	go func() { // want:shardsafety
+		close(done)
+	}()
+	<-done
+}

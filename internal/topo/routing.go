@@ -241,7 +241,10 @@ func (t *Topology) bfs(x, y NodeID) ([]NodeID, error) {
 		cur := queue[0]
 		queue = queue[1:]
 		if cur == y {
-			var path []NodeID
+			// Fat-tree shortest paths span at most 7 nodes
+			// (host-ToR-agg-core-agg-ToR-host); 8 avoids regrowth on the
+			// hot relaunch path without overcommitting.
+			path := make([]NodeID, 0, 8)
 			for n := y; ; n = prev[n] {
 				path = append(path, n)
 				if n == x {
@@ -304,7 +307,7 @@ func reversePath(p []NodeID) []NodeID {
 
 // intersectSorted intersects two ascending NodeID slices.
 func intersectSorted(a, b []NodeID) []NodeID {
-	var out []NodeID
+	out := make([]NodeID, 0, min(len(a), len(b)))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -8,7 +8,10 @@
 # The race pass is the gate for internal/exec and the RunRepeated/RunSweep
 # facade: any unsynchronized shared state a parallel sweep touches shows
 # up here, not in production. Tier-3 adds the static determinism and
-# simulation-hygiene analyzers of internal/lint (DESIGN.md §7).
+# simulation-hygiene analyzers of internal/lint (DESIGN.md §7 and §12):
+# the full-rule run plus a smoke of the CLI contract (-rules filtering,
+# SARIF output, documented exit codes). The lint binary is built rather
+# than `go run` so exit code 2 reaches the shell unmangled.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -41,8 +44,23 @@ if [ "$tier" = "tier2" ] || [ "$tier" = "tier3" ]; then
 fi
 
 if [ "$tier" = "tier3" ]; then
+	lintbin=$(mktemp -d)/netrs-lint
+	trap 'rm -rf "$(dirname "$lintbin")"' EXIT
+	go build -o "$lintbin" ./cmd/netrs-lint
+
 	echo "== netrs-lint ./..."
-	go run ./cmd/netrs-lint ./...
+	"$lintbin" ./...
+
+	echo "== netrs-lint smoke (-rules, -sarif, exit codes)"
+	"$lintbin" -list-rules >/dev/null
+	"$lintbin" -rules shardsafety,hotalloc ./...
+	"$lintbin" -sarif ./... >/dev/null
+	code=0
+	"$lintbin" -rules bogusrule ./... 2>/dev/null || code=$?
+	if [ "$code" -ne 2 ]; then
+		echo "netrs-lint: unknown rule exited $code, want 2" >&2
+		exit 1
+	fi
 fi
 
 echo "== OK ($tier)"
