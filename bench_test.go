@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -328,6 +329,46 @@ func BenchmarkScaleFatTree(b *testing.B) {
 			b.ReportMetric(sum.MeanMs, "mean_ms")
 			b.ReportMetric(sum.P99Ms, "p99_ms")
 		})
+	}
+}
+
+// BenchmarkShardScaling is the shards × GOMAXPROCS matrix at the paper's
+// 16-ary scale: every cell runs the identical NetRS-ILP experiment (the
+// engines are bit-identical at any shard count), so ns/op isolates how the
+// sharded engine's wall time responds to worker parallelism. Each cell
+// reports its coordinates (shards, gomaxprocs) plus runtime.NumCPU() —
+// the machine fact that decides whether a crossover is demonstrable: with
+// procs ≥ 4 real cores, shards=4 must beat shards=1; on fewer cores the
+// barrier overhead has no parallelism to pay for it, which is exactly
+// what the recorded num_cpu documents.
+func BenchmarkShardScaling(b *testing.B) {
+	c := scaleCase{k: 16, servers: 100, clients: 500, generators: 200}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, shards := range []int{1, 2, 4} {
+		for _, procs := range []int{1, 2, 4} {
+			shards, procs := shards, procs
+			b.Run(fmt.Sprintf("k=%d/shards=%d/procs=%d", c.k, shards, procs), func(b *testing.B) {
+				runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				var sum Summary
+				for i := 0; i < b.N; i++ {
+					cfg := c.config()
+					cfg.Shards = shards
+					cfg.Seed = uint64(i + 1)
+					res, err := Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum.Count += res.Summary.Count
+					sum.MeanMs += res.Summary.MeanMs / float64(b.N)
+				}
+				b.ReportMetric(sum.MeanMs, "mean_ms")
+				b.ReportMetric(float64(shards), "shards")
+				b.ReportMetric(float64(procs), "gomaxprocs")
+				b.ReportMetric(float64(runtime.NumCPU()), "num_cpu")
+			})
+		}
 	}
 }
 

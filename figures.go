@@ -170,7 +170,7 @@ func RunSweepWith(base Config, sw Sweep, seeds []uint64, progress func(x string,
 	// sequential trial order matches the old nested loops exactly.
 	nSeeds := len(seeds)
 	done := make([]bool, len(cells)*nSeeds)
-	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, base.Shards)}
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, base.EffectiveShards())}
 	if progress != nil {
 		pool.Progress = func(t int) {
 			if t%nSeeds == 0 {
@@ -394,7 +394,7 @@ func RunResilience(base Config, crashAt, recoverAt float64, bucket Time, opts Ru
 		return out, fmt.Errorf("netrs: resilience bucket %v: want positive", bucket)
 	}
 	schemes := Schemes()
-	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, base.Shards)}
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, base.EffectiveShards())}
 	results, err := exec.Run(opts.Context, pool, len(schemes), func(_ context.Context, i int) (Result, error) {
 		cfg := base
 		cfg.Scheme = schemes[i]
@@ -485,7 +485,7 @@ func RunAdapt(base Config, shiftAt float64, interval, bucket Time, opts RunOptio
 	}
 	out.Fraction = cfg.DemandShiftFraction
 	arms := []Time{0, interval}
-	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, cfg.Shards)}
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, cfg.EffectiveShards())}
 	results, err := exec.Run(opts.Context, pool, len(arms), func(_ context.Context, i int) (Result, error) {
 		c := cfg
 		c.ControllerInterval = arms[i]

@@ -24,7 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"netrs/internal/kv"
 	"netrs/internal/sim"
@@ -113,12 +113,15 @@ type Clock interface {
 	Now() sim.Time
 }
 
-// serverState is the per-server view of one C3 instance.
+// serverState is the per-server view of one C3 instance. The EWMAs are
+// embedded by value: every RSNode keeps three per server, and a sharded
+// run keeps a full selector per partition, so the pointer indirection
+// would triple the allocation count of selector construction.
 type serverState struct {
 	outstanding int
-	respTime    *stats.EWMA // R̄, ns
-	svcTime     *stats.EWMA // S̄, ns
-	queueSize   *stats.EWMA // q̄
+	respTime    stats.EWMA // R̄, ns
+	svcTime     stats.EWMA // S̄, ns
+	queueSize   stats.EWMA // q̄
 
 	// Rate control.
 	rate        float64 // allowance per interval
@@ -139,10 +142,32 @@ type Selector struct {
 	clock   Clock
 	servers map[int]*serverState
 
+	// arena is the current allocation block for server states. States are
+	// carved out of fixed-capacity blocks — a block is abandoned to the
+	// map's pointers once full — so a fleet of selectors (one per client,
+	// times two when a sharded run replays its pilot) costs one heap
+	// object per stateArenaBlock states instead of one per state. Blocks
+	// never grow in place, so the handed-out pointers stay valid.
+	arena []serverState
+
+	// rank is the reusable scratch Rank and Pick sort into; servers are
+	// ranked on every request, so the ordering must not allocate.
+	rank []scoredServer
+
 	picks     uint64
 	delayed   uint64
 	decreases uint64
 }
+
+// scoredServer pairs a candidate with its Ψ score for sorting without a
+// side map.
+type scoredServer struct {
+	server int
+	score  float64
+}
+
+// stateArenaBlock is how many server states one allocation block holds.
+const stateArenaBlock = 64
 
 // NewSelector returns a C3 instance bound to the engine's clock.
 func NewSelector(cfg Config, eng *sim.Engine) (*Selector, error) {
@@ -160,22 +185,30 @@ func NewSelectorWithClock(cfg Config, clock Clock) (*Selector, error) {
 	if clock == nil {
 		return nil, fmt.Errorf("nil clock: %w", ErrInvalidParam)
 	}
-	return &Selector{cfg: cfg, clock: clock, servers: make(map[int]*serverState)}, nil
+	// The servers map is created lazily in state(): a hyperscale run
+	// constructs thousands of selectors (one per client, twice when a
+	// sharded run replays its pilot), many of which see few servers.
+	return &Selector{cfg: cfg, clock: clock}, nil
 }
 
 func (s *Selector) state(server int) *serverState {
 	st, ok := s.servers[server]
 	if !ok {
-		respTime, _ := stats.NewEWMA(s.cfg.Alpha)
-		svcTime, _ := stats.NewEWMA(s.cfg.Alpha)
-		queueSize, _ := stats.NewEWMA(s.cfg.Alpha)
-		st = &serverState{
-			respTime:  respTime,
-			svcTime:   svcTime,
-			queueSize: queueSize,
+		if s.servers == nil {
+			s.servers = make(map[int]*serverState)
+		}
+		if len(s.arena) == cap(s.arena) {
+			s.arena = make([]serverState, 0, stateArenaBlock)
+		}
+		ewma, _ := stats.MakeEWMA(s.cfg.Alpha) // alpha validated at construction
+		s.arena = append(s.arena, serverState{
+			respTime:  ewma,
+			svcTime:   ewma,
+			queueSize: ewma,
 			rate:      s.cfg.InitialRate,
 			wMax:      s.cfg.InitialRate,
-		}
+		})
+		st = &s.arena[len(s.arena)-1]
 		s.servers[server] = st
 	}
 	return st
@@ -191,28 +224,42 @@ func (s *Selector) Score(server int) float64 {
 	return rBar - sBar + math.Pow(qHat, s.cfg.Exponent)*sBar
 }
 
-// Rank orders the candidate servers by ascending Ψ, breaking ties by
-// server ID for determinism. The input is not modified.
-func (s *Selector) Rank(candidates []int) []int {
-	out := make([]int, len(candidates))
-	copy(out, candidates)
-	scores := make(map[int]float64, len(out))
-	for _, c := range out {
-		scores[c] = s.Score(c)
+// rankInto scores and stably sorts the candidates into the selector's
+// reusable scratch. The returned slice is valid until the next ranking
+// call; callers that hand an ordering to the outside copy it out.
+func (s *Selector) rankInto(candidates []int) []scoredServer {
+	r := s.rank[:0]
+	for _, c := range candidates {
+		r = append(r, scoredServer{server: c, score: s.Score(c)})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
+	slices.SortStableFunc(r, func(a, b scoredServer) int {
 		// Ordered comparisons only: ==/!= on scores is banned in the core,
 		// and this way NaN scores fall through to the ID tie-break instead
 		// of making the ordering intransitive.
-		si, sj := scores[out[i]], scores[out[j]]
 		switch {
-		case si < sj:
-			return true
-		case sj < si:
-			return false
+		case a.score < b.score:
+			return -1
+		case b.score < a.score:
+			return 1
+		case a.server < b.server:
+			return -1
+		case b.server < a.server:
+			return 1
 		}
-		return out[i] < out[j]
+		return 0
 	})
+	s.rank = r
+	return r
+}
+
+// Rank orders the candidate servers by ascending Ψ, breaking ties by
+// server ID for determinism. The input is not modified.
+func (s *Selector) Rank(candidates []int) []int {
+	r := s.rankInto(candidates)
+	out := make([]int, len(r))
+	for i, sc := range r {
+		out[i] = sc.server
+	}
 	return out
 }
 
@@ -226,14 +273,15 @@ func (s *Selector) Pick(candidates []int) (int, sim.Time, error) {
 		return 0, 0, fmt.Errorf("empty candidate set: %w", ErrInvalidParam)
 	}
 	s.picks++
-	ranked := s.Rank(candidates)
+	ranked := s.rankInto(candidates)
 	if !s.cfg.RateControl {
-		s.reserve(ranked[0], false)
-		return ranked[0], 0, nil
+		s.reserve(ranked[0].server, false)
+		return ranked[0].server, 0, nil
 	}
 	best := -1
 	var bestDelay sim.Time
-	for _, c := range ranked {
+	for _, sc := range ranked {
+		c := sc.server
 		d := s.sendDelay(c)
 		if d == 0 {
 			s.reserve(c, false)

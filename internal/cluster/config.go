@@ -223,6 +223,17 @@ type Config struct {
 	Shards int
 }
 
+// EffectiveShards is the normalized Shards knob: zero (unset) and one
+// both mean the sequential single-engine path, so every dispatch site —
+// the runner selection here, the trial-worker division in the facade —
+// asks this one method instead of re-deciding what "unset" means.
+func (c Config) EffectiveShards() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	return c.Shards
+}
+
 // DefaultConfig returns the paper's experimental defaults, except that
 // Requests defaults to 100000 rather than 6 million so a single run fits
 // in seconds; scale it up (or set NETRS_REQUESTS for the benches) to
@@ -317,7 +328,7 @@ func (c Config) validate() error {
 	if err := faults.ValidateEvents(c.Faults); err != nil {
 		return fmt.Errorf("fault schedule: %w", err)
 	}
-	if c.Shards > 1 {
+	if c.EffectiveShards() > 1 {
 		// The sharded runner reproduces the sequential event order exactly
 		// for the supported feature set; features whose bookkeeping is
 		// inherently cross-partition-sequential stay on the single-engine

@@ -1,0 +1,54 @@
+package cluster
+
+import "testing"
+
+// TestEffectiveShards pins the single normalization point for the Shards
+// knob: zero (unset) and one both mean the sequential engine, anything
+// above passes through. Every dispatch site — Run's runner selection,
+// validate's feature gate, the facade's trial-worker division — asks
+// EffectiveShards, so this is the one table that defines "-shards 0".
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct{ shards, want int }{
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{4, 4},
+		{16, 16},
+	}
+	for _, tc := range cases {
+		c := Config{Shards: tc.shards}
+		if got := c.EffectiveShards(); got != tc.want {
+			t.Errorf("Config{Shards: %d}.EffectiveShards() = %d, want %d", tc.shards, got, tc.want)
+		}
+	}
+}
+
+// TestShardsZeroAndOneAgree checks the dispatch symmetry end to end:
+// -shards 0 (unset) and -shards 1 run the identical sequential path and
+// produce the identical result.
+func TestShardsZeroAndOneAgree(t *testing.T) {
+	base := DefaultConfig()
+	base.FatTreeK = 4
+	base.Servers = 8
+	base.Clients = 8
+	base.Generators = 8
+	base.Requests = 400
+	base.Scheme = SchemeNetRSToR
+
+	c0 := base
+	c0.Shards = 0
+	c1 := base
+	c1.Shards = 1
+	r0, err := Run(c0)
+	if err != nil {
+		t.Fatalf("Run(shards=0): %v", err)
+	}
+	r1, err := Run(c1)
+	if err != nil {
+		t.Fatalf("Run(shards=1): %v", err)
+	}
+	if r0.Summary != r1.Summary || r0.Completed != r1.Completed {
+		t.Errorf("shards=0 and shards=1 disagree: %+v (completed %d) vs %+v (completed %d)",
+			r0.Summary, r0.Completed, r1.Summary, r1.Completed)
+	}
+}

@@ -122,6 +122,10 @@ type pending struct {
 	// packetIDs lists the in-flight packets (primary plus duplicates) so
 	// cancellation can reach the losers.
 	packetIDs []uint64
+	// refs counts live packetCtx records pointing at this pending. Only
+	// the sharded runner maintains it, to recycle the record once the
+	// last context dies; the sequential runner leaves it zero.
+	refs int
 }
 
 // packetCtx ties an in-flight packet (primary or duplicate) to its logical
@@ -207,7 +211,7 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	if cfg.Shards > 1 {
+	if cfg.EffectiveShards() > 1 {
 		return runSharded(cfg)
 	}
 	r := &runner{
@@ -229,9 +233,15 @@ func (r *runner) setup() error {
 	cfg := r.cfg
 	root := sim.NewRNG(cfg.Seed)
 
+	// Topology and ring may be preset by a sharded run's pilot: both are
+	// read-only after construction and deterministic in cfg, so sharing
+	// them skips rebuilding the largest construction-time structures
+	// without any observable difference.
 	var err error
-	if r.ft, err = topo.NewFatTree(cfg.FatTreeK); err != nil {
-		return err
+	if r.ft == nil {
+		if r.ft, err = topo.NewFatTree(cfg.FatTreeK); err != nil {
+			return err
+		}
 	}
 	deployment, err := workload.Deploy(r.ft, cfg.Servers, cfg.Clients, root.Stream(1))
 	if err != nil {
@@ -239,8 +249,10 @@ func (r *runner) setup() error {
 	}
 	r.serverHostOf = deployment.ServerHosts
 
-	if r.ring, err = kv.NewRing(cfg.Servers, cfg.Replication, cfg.VNodes, cfg.Seed); err != nil {
-		return err
+	if r.ring == nil {
+		if r.ring, err = kv.NewRing(cfg.Servers, cfg.Replication, cfg.VNodes, cfg.Seed); err != nil {
+			return err
+		}
 	}
 	if r.ring.Groups() >= 1<<24 {
 		return fmt.Errorf("%d replica groups exceed the 24-bit RGID space: %w", r.ring.Groups(), ErrInvalidParam)

@@ -66,10 +66,68 @@ type shardState struct {
 	degraded  uint64
 	lastDone  sim.Time
 
+	// ctxFree recycles packetCtx records within the partition: a context
+	// is dead the moment its pid leaves pendings and its launch event has
+	// fired, so the steady-state request flow allocates no new ones.
+	ctxFree []*packetCtx
+	// pendFree recycles pending records. A pending is dead once its
+	// refcount of live contexts drops to zero: every reference to it goes
+	// through a packetCtx, and a context only dies after its launch event
+	// has fired and its pid has left pendings.
+	pendFree []*pending
+
 	// launchFn mirrors runner.launchPickFn, bound to this partition.
 	launchFn sim.ArgHandler
-	// arriveFn delivers a pre-generated arrival (the argument is its index).
+	// arriveFn delivers a pre-generated arrival (the argument is a
+	// *timedRequest pointing into the arrivals slice).
 	arriveFn sim.ArgHandler
+}
+
+// newCtx takes a packetCtx off the partition's free list, or allocates
+// one when the list is dry, and initializes it to v.
+func (st *shardState) newCtx(v packetCtx) *packetCtx {
+	if n := len(st.ctxFree); n > 0 {
+		ctx := st.ctxFree[n-1]
+		st.ctxFree = st.ctxFree[:n-1]
+		*ctx = v
+		return ctx
+	}
+	ctx := new(packetCtx)
+	*ctx = v
+	return ctx
+}
+
+// freeCtx returns a dead context to the free list, zeroed so a stale
+// reader trips over zero values instead of a previous request's state.
+func (st *shardState) freeCtx(ctx *packetCtx) {
+	*ctx = packetCtx{}
+	st.ctxFree = append(st.ctxFree, ctx)
+}
+
+// newPending takes a pending off the partition's free list, or allocates
+// one when the list is dry, and initializes it to v. The recycled record
+// keeps its packetIDs capacity so re-registration never grows a slab.
+func (st *shardState) newPending(v pending) *pending {
+	if n := len(st.pendFree); n > 0 {
+		p := st.pendFree[n-1]
+		st.pendFree = st.pendFree[:n-1]
+		ids := p.packetIDs
+		*p = v
+		p.packetIDs = ids
+		return p
+	}
+	p := new(pending)
+	*p = v
+	return p
+}
+
+// freePending returns a dead pending to the free list, zeroed (modulo the
+// packetIDs slab) so stale readers see zero values, not old state.
+func (st *shardState) freePending(p *pending) {
+	ids := p.packetIDs[:0]
+	*p = pending{}
+	p.packetIDs = ids
+	st.pendFree = append(st.pendFree, p)
 }
 
 // shardedRunner holds one pod-parallel experiment's live state.
@@ -129,14 +187,14 @@ func (r *shardedRunner) setup() error {
 	if r.ft, err = topo.NewFatTree(cfg.FatTreeK); err != nil {
 		return err
 	}
-	if r.set, err = sim.NewShardSet(r.ft.PodPartitions(), cfg.Shards, cfg.Fabric.LinkLatency); err != nil {
+	if r.set, err = sim.NewShardSet(r.ft.PodPartitions(), cfg.EffectiveShards(), cfg.Fabric.LinkLatency); err != nil {
 		return err
 	}
 	for p := 0; p < r.set.Partitions(); p++ {
 		part := p
 		st := &shardState{pendings: make(map[uint64]*packetCtx)}
 		st.launchFn = func(arg any) { r.launchPick(part, arg.(*packetCtx)) }
-		st.arriveFn = func(arg any) { r.onArrival(arg.(int)) }
+		st.arriveFn = func(arg any) { r.onArrival(arg.(*timedRequest)) }
 		r.parts = append(r.parts, st)
 	}
 
@@ -224,9 +282,12 @@ func (r *shardedRunner) setup() error {
 	if len(r.arrivals) != r.total {
 		return fmt.Errorf("pre-generated %d arrivals, want %d: %w", len(r.arrivals), r.total, ErrInvalidParam)
 	}
-	for i, a := range r.arrivals {
+	// The arrival index is passed as a pointer into the arrivals slice —
+	// boxing the bare int would cost one allocation per arrival.
+	for i := range r.arrivals {
+		a := &r.arrivals[i]
 		part := r.clientPart[a.req.Client]
-		if _, err := r.set.Engine(part).ScheduleArgAt(a.at, r.parts[part].arriveFn, i); err != nil {
+		if _, err := r.set.Engine(part).ScheduleArgAt(a.at, r.parts[part].arriveFn, a); err != nil {
 			return err
 		}
 	}
@@ -352,7 +413,7 @@ func (r *shardedRunner) execute() (Result, error) {
 	// (the sequential run performs both inside the completion's handler,
 	// i.e. after that instant's partition events).
 	if m := r.ilpDeployCount(); m >= 1 {
-		t1, tm, err := runPilot(cfg, m)
+		t1, tm, err := runPilot(cfg, m, r.ft, r.ring)
 		if err != nil {
 			return Result{}, err
 		}
@@ -458,7 +519,7 @@ func (r *shardedRunner) ilpDeployCount() int {
 // runPilot replays the experiment on the sequential engine up to the
 // stop-th completion with the deployment suppressed, returning the
 // instants of the first and stop-th completions.
-func runPilot(cfg Config, stop int) (t1, tm sim.Time, err error) {
+func runPilot(cfg Config, stop int, ft *topo.Topology, ring *kv.Ring) (t1, tm sim.Time, err error) {
 	p := &runner{
 		cfg:       cfg,
 		eng:       sim.NewEngine(),
@@ -466,6 +527,11 @@ func runPilot(cfg Config, stop int) (t1, tm sim.Time, err error) {
 		tickets:   make(map[uint64]kv.Ticket),
 		netrs:     true,
 		pilotStop: stop,
+		// Share the sharded run's read-only topology and ring rather than
+		// rebuilding them — construction is deterministic in cfg, so the
+		// pilot is bit-identical either way.
+		ft:   ft,
+		ring: ring,
 	}
 	p.launchPickFn = func(arg any) { p.launchPick(arg.(*packetCtx)) }
 	if err := p.setup(); err != nil {
@@ -488,8 +554,8 @@ func runPilot(cfg Config, stop int) (t1, tm sim.Time, err error) {
 
 // onArrival is the workload sink: one logical read request, executing in
 // the issuing client's partition.
-func (r *shardedRunner) onArrival(idx int) {
-	req := r.arrivals[idx].req
+func (r *shardedRunner) onArrival(a *timedRequest) {
+	req := a.req
 	c := r.clients[req.Client]
 	part := r.clientPart[req.Client]
 	rgid := r.ring.GroupOfKey(req.Key)
@@ -497,14 +563,14 @@ func (r *shardedRunner) onArrival(idx int) {
 	if err != nil {
 		return
 	}
-	p := &pending{
+	p := r.parts[part].newPending(pending{
 		logicalIdx: req.Index,
 		client:     c,
 		rgid:       rgid,
 		replicas:   replicas,
 		created:    r.set.Engine(part).Now(),
 		primary:    -1,
-	}
+	})
 	// The sequential runner allocates exactly one packet ID per arrival,
 	// at the arrival's instant, so IDs follow arrival order there; the
 	// pre-generated index reproduces that sequence without a shared
@@ -524,8 +590,9 @@ func (r *shardedRunner) sendClientPick(part int, p *pending, candidates []int, p
 	if err != nil {
 		return
 	}
-	ctx := &packetCtx{p: p, pid: pid, server: server}
+	ctx := st.newCtx(packetCtx{p: p, pid: pid, server: server})
 	st.pendings[pid] = ctx
+	p.refs++
 	p.packetIDs = append(p.packetIDs, pid)
 	if delay > 0 {
 		r.set.Engine(part).MustScheduleArg(delay, st.launchFn, ctx)
@@ -540,6 +607,11 @@ func (r *shardedRunner) launchPick(part int, ctx *packetCtx) {
 	p := ctx.p
 	if p.done {
 		delete(st.pendings, ctx.pid)
+		st.freeCtx(ctx)
+		p.refs--
+		if p.refs == 0 {
+			st.freePending(p)
+		}
 		return
 	}
 	ctx.sentAt = r.set.Engine(part).Now()
@@ -551,6 +623,11 @@ func (r *shardedRunner) launchPick(part int, ctx *packetCtx) {
 	pkt.CreatedAt = p.created
 	if err := r.net.SendDirect(pkt, p.client.host); err != nil {
 		delete(st.pendings, ctx.pid)
+		st.freeCtx(ctx)
+		p.refs--
+		if p.refs == 0 {
+			st.freePending(p)
+		}
 	}
 }
 
@@ -559,7 +636,9 @@ func (r *shardedRunner) sendNetRS(part int, p *pending, pid uint64) {
 	c := p.client
 	ranked := c.sel.Rank(p.replicas)
 	backup := ranked[0]
-	st.pendings[pid] = &packetCtx{p: p, pid: pid, server: -1, sentAt: r.set.Engine(part).Now()}
+	ctx := st.newCtx(packetCtx{p: p, pid: pid, server: -1, sentAt: r.set.Engine(part).Now()})
+	st.pendings[pid] = ctx
+	p.refs++
 	p.packetIDs = append(p.packetIDs, pid)
 	pkt := r.net.NewPacketIn(part)
 	pkt.ReqID = pid
@@ -570,6 +649,11 @@ func (r *shardedRunner) sendNetRS(part int, p *pending, pid uint64) {
 	pkt.CreatedAt = p.created
 	if err := r.net.SendNetRSRequest(pkt, c.host); err != nil {
 		delete(st.pendings, pid)
+		st.freeCtx(ctx)
+		p.refs--
+		if p.refs == 0 {
+			st.freePending(p)
+		}
 	}
 }
 
@@ -619,12 +703,18 @@ func (r *shardedRunner) clientHandler(c *client, part int) fabric.HostHandler {
 		}
 		delete(st.pendings, pkt.ReqID)
 		now := eng.Now()
-		c.sel.OnResponse(pkt.Server, now-ctx.sentAt, pkt.Status)
+		sentAt := ctx.sentAt
+		p := ctx.p
+		st.freeCtx(ctx) // off the map and launched: dead from here on
+		p.refs--
+		c.sel.OnResponse(pkt.Server, now-sentAt, pkt.Status)
 		if pkt.RID == wire.DegradedRID {
 			st.degraded++
 		}
-		p := ctx.p
 		if p.done {
+			if p.refs == 0 {
+				st.freePending(p)
+			}
 			return
 		}
 		p.done = true
@@ -634,6 +724,9 @@ func (r *shardedRunner) clientHandler(c *client, part int) fabric.HostHandler {
 		}
 		st.completed++
 		st.lastDone = now
+		if p.refs == 0 {
+			st.freePending(p)
+		}
 	}
 }
 

@@ -154,6 +154,136 @@ func TestShardedNetworkMatchesSingle(t *testing.T) {
 	}
 }
 
+// TestShardedPacketPoolReuse pins the packet free list through the
+// exchange: pool-built packets that cross partition boundaries are
+// reclaimed into the free list of the partition they land in, so a second
+// identical burst draws every packet from a free list and the pool's
+// total population does not grow. The client's round-2 requests are
+// recycled round-1 responses (released in the client's partition) and
+// vice versa at the server.
+func TestShardedPacketPoolReuse(t *testing.T) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewDefaultConfig()
+	set, err := sim.NewShardSet(ft.PodPartitions(), 1, cfg.LinkLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewShardedNetwork(set, ft, cfg, func(_ uint16, _ *sim.Engine) (Selector, error) {
+		return &spySelector{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := ft.Hosts()
+	client := hosts[0]
+	server := hosts[len(hosts)-1]
+	clientPart := net.PartitionOf(client)
+	serverPart := net.PartitionOf(server)
+	if clientPart == serverPart {
+		t.Fatalf("client and server share partition %d; the flow must cross the exchange", clientPart)
+	}
+	coreOp, err := net.Operator(ft.Cores()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range net.OperatorsSorted() {
+		op.SetDatabases(
+			func(rgid uint32) ([]int, error) { return []int{0}, nil },
+			func(int) (topo.NodeID, error) { return server, nil },
+		)
+	}
+	tor, err := ft.ToROfRack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torOp, err := net.Operator(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torOp.Rules().BindHost(client, 0)
+	torOp.Rules().SetRSNode(0, coreOp.ID())
+
+	delivered := 0
+	if err := net.AttachHost(server, func(p *Packet) {
+		resp := net.NewPacketIn(serverPart)
+		resp.ReqID = p.ReqID
+		resp.Magic = wire.InverseTransform(p.Magic)
+		resp.RID = p.RID
+		resp.RGID = p.RGID
+		resp.Dst = p.Src
+		resp.Server = p.Server
+		if err := net.SendResponse(resp, server); err != nil {
+			t.Errorf("send response: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachHost(client, func(p *Packet) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+
+	const requests = 16
+	nextID := uint64(0)
+	burst := func(round int) {
+		t.Helper()
+		clientEng := net.EngineOf(client)
+		for i := 0; i < requests; i++ {
+			clientEng.MustScheduleArg(sim.Time(i)*50*sim.Microsecond, func(any) {
+				nextID++
+				req := net.NewPacketIn(clientPart)
+				req.ReqID = nextID
+				req.RGID = 1
+				req.Dst = topo.InvalidNode
+				req.Backup = server
+				if err := net.SendNetRSRequest(req, client); err != nil {
+					t.Errorf("send request: %v", err)
+				}
+			}, nil)
+		}
+		if err := set.Run(sim.Second*sim.Time(round+1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	poolSizes := func() []int {
+		sizes := make([]int, len(net.pktFree))
+		for p := range net.pktFree {
+			sizes[p] = len(net.pktFree[p])
+		}
+		return sizes
+	}
+
+	burst(0)
+	if delivered != requests {
+		t.Fatalf("round 1 delivered %d, want %d", delivered, requests)
+	}
+	high := poolSizes()
+	total := 0
+	for p, n := range high {
+		total += n
+		if (p == clientPart || p == serverPart) && n == 0 {
+			t.Errorf("partition %d free list empty after round 1; cross-partition packets were not reclaimed there", p)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no packets pooled after round 1")
+	}
+
+	burst(1)
+	if delivered != 2*requests {
+		t.Fatalf("round 2 delivered %d total, want %d", delivered, 2*requests)
+	}
+	for p, n := range poolSizes() {
+		if n != high[p] {
+			t.Errorf("partition %d free list %d -> %d across identical bursts; round 2 must reuse round 1's packets", p, high[p], n)
+		}
+	}
+}
+
 func TestShardedNetworkValidation(t *testing.T) {
 	ft, err := topo.NewFatTree(4)
 	if err != nil {

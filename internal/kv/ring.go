@@ -9,7 +9,9 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 )
 
 // ErrInvalidParam reports a construction parameter outside its domain.
@@ -23,13 +25,17 @@ var ErrInvalidParam = errors.New("kv: invalid parameter")
 // (§IV-A): the NetRS selector looks replica candidates up by RGID in its
 // local database rather than parsing a variable replica list.
 type Ring struct {
-	servers  int
-	rf       int
-	points   []ringPoint // sorted by position
-	groups   [][]int     // group id -> replica server ids
-	groupOf  []int       // point index -> group id
-	groupIDs map[string]int
+	servers int
+	rf      int
+	points  []ringPoint // sorted by position
+	groups  [][]int     // group id -> replica server ids
+	groupOf []int       // point index -> group id
 }
+
+// memberArenaBlock is how many server IDs one replica-group arena block
+// holds: group member lists are carved out of shared blocks so a ring
+// costs O(groups/block) allocations instead of one per group.
+const memberArenaBlock = 4096
 
 type ringPoint struct {
 	pos    uint64
@@ -57,35 +63,88 @@ func NewRing(servers, rf, vnodes int, seed uint64) (*Ring, error) {
 		return r.points[i].server < r.points[j].server
 	})
 
-	// Enumerate the distinct replica groups, one per ring segment.
+	// Enumerate the distinct replica groups, one per ring segment. A ring
+	// is built per run — twice per sharded run, which replays a pilot —
+	// over servers×vnodes points, and at hyperscale most segments carry a
+	// distinct group, so this loop must not allocate per point or per
+	// group: the walk reuses one scratch slice, member lists are carved
+	// from shared arena blocks, and the dedup key is a comparable
+	// fixed-size array (a map insert allocates nothing beyond buckets).
+	// Every member list has exactly rf entries, so the zero-padded array
+	// key collides exactly when the ordered lists are equal and group IDs
+	// are assigned in the same first-encounter order as ever.
 	r.groupOf = make([]int, len(r.points))
-	r.groupIDs = make(map[string]int)
+	scratch := make([]int, 0, rf)
+	var arena []int
+	carve := func(src []int) []int {
+		if len(arena)+len(src) > cap(arena) {
+			n := memberArenaBlock
+			if len(src) > n {
+				n = len(src)
+			}
+			arena = make([]int, 0, n)
+		}
+		start := len(arena)
+		arena = append(arena, src...)
+		return arena[start:len(arena):len(arena)]
+	}
+	if rf <= 8 && servers <= math.MaxInt32 {
+		ids := make(map[[8]int32]int)
+		for i := range r.points {
+			scratch = r.walk(scratch[:0], i)
+			var key [8]int32
+			for j, m := range scratch {
+				key[j] = int32(m)
+			}
+			id, ok := ids[key]
+			if !ok {
+				id = len(r.groups)
+				r.groups = append(r.groups, carve(scratch))
+				ids[key] = id
+			}
+			r.groupOf[i] = id
+		}
+		return r, nil
+	}
+	// rf > 8 (far beyond the paper's 3): string keys, same enumeration.
+	ids := make(map[string]int)
+	keyBuf := make([]byte, 0, 16*rf)
 	for i := range r.points {
-		members := r.walk(i)
-		key := fmt.Sprint(members)
-		id, ok := r.groupIDs[key]
+		scratch = r.walk(scratch[:0], i)
+		keyBuf = keyBuf[:0]
+		for _, m := range scratch {
+			keyBuf = strconv.AppendInt(keyBuf, int64(m), 10)
+			keyBuf = append(keyBuf, ',')
+		}
+		id, ok := ids[string(keyBuf)]
 		if !ok {
 			id = len(r.groups)
-			r.groups = append(r.groups, members)
-			r.groupIDs[key] = id
+			r.groups = append(r.groups, carve(scratch))
+			ids[string(keyBuf)] = id
 		}
 		r.groupOf[i] = id
 	}
 	return r, nil
 }
 
-// walk collects rf distinct servers clockwise from point index i.
-func (r *Ring) walk(i int) []int {
-	members := make([]int, 0, r.rf)
-	seen := make(map[int]bool, r.rf)
-	for j := 0; len(members) < r.rf; j++ {
+// walk collects rf distinct servers clockwise from point index i into the
+// scratch slice. rf is small (3 in the paper), so duplicate detection is a
+// linear scan.
+func (r *Ring) walk(scratch []int, i int) []int {
+	for j := 0; len(scratch) < r.rf; j++ {
 		s := r.points[(i+j)%len(r.points)].server
-		if !seen[s] {
-			seen[s] = true
-			members = append(members, s)
+		dup := false
+		for _, m := range scratch {
+			if m == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			scratch = append(scratch, s)
 		}
 	}
-	return members
+	return scratch
 }
 
 // Servers returns the number of servers on the ring.

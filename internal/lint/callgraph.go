@@ -68,6 +68,11 @@ const (
 	rootHandler    = "handler"    // sim.Handler (Schedule/ScheduleAt/MustSchedule)
 	rootArgHandler = "arghandler" // sim.ArgHandler (ScheduleArg family, Send)
 	rootGlobal     = "global"     // ShardSet.ScheduleGlobal barrier events
+	// rootExchange marks the sharded coordinator's exchange drain: it runs
+	// once per window over every buffered cross-partition message, so its
+	// reach is hot-path even though no Schedule call names it. The builder
+	// marks (*ShardSet).drain in the sim package directly.
+	rootExchange = "exchange"
 )
 
 // Node is one function in the call graph: a declared function/method or a
@@ -118,6 +123,13 @@ func (n *Node) allowlisted() bool {
 		return false
 	}
 	return allowlistedFile(n.pkg, n.file)
+}
+
+// pkgAllowlisted is the package-granular variant: true only for the
+// fully-allowlisted packages, not for sim's shard.go, which hotalloc
+// still covers through the exchange root.
+func (n *Node) pkgAllowlisted() bool {
+	return n.pkg != nil && allowlistedPackage(n.pkg)
 }
 
 // dynSite is a call through a func-typed expression, resolved against the
@@ -306,9 +318,31 @@ func (g *Graph) walkFuncDecl(p *Package, f *File, d *ast.FuncDecl) {
 	}
 	n := g.nodeForObj(obj)
 	n.pkg, n.file = p, f
+	if isExchangeRoot(obj) {
+		n.markRoot(rootExchange)
+	}
 	if d.Body != nil {
 		g.walkBody(p, f, n, d.Body)
 	}
+}
+
+// isExchangeRoot reports whether a declared function is the sharded
+// engine's exchange drain, (*ShardSet).drain in the sim package: the
+// per-window entry point of the cross-partition message path.
+func isExchangeRoot(obj *types.Func) bool {
+	if obj.Name() != "drain" || obj.Pkg() == nil || !simPackagePath(obj.Pkg().Path()) {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "ShardSet"
 }
 
 // walkGenDecl scans package-level var initializers: function literals

@@ -21,20 +21,28 @@ const ruleNameHotAlloc = "hotalloc"
 //     (`var x []T`): the growth doublings allocate on every hot
 //     invocation — preallocate with make([]T, 0, n).
 //
-// Cold code — constructors, per-run setup, anything no ArgHandler
-// reaches — may use all three patterns freely.
+// Two root kinds feed the reachability set: ArgHandler roots (event
+// bodies) and the exchange root (*ShardSet).drain, which moves every
+// cross-partition message once per window. The exchange lives in sim's
+// shard.go — on the concurrency allowlist — so the skip below is
+// package-granular (exec, kvnet), not file-granular: an allocation
+// regression on the exchange path is a lint error, not a profile
+// surprise.
+//
+// Cold code — constructors, per-run setup, anything no root reaches —
+// may use all three patterns freely.
 type hotAllocRule struct{}
 
 func (hotAllocRule) Name() string { return ruleNameHotAlloc }
 
 func (hotAllocRule) Doc() string {
-	return "no per-event allocation on ArgHandler-reachable paths: store handlers once and use ScheduleArg, pass pooled pointers (no interface boxing), preallocate appended slices"
+	return "no per-event allocation on ArgHandler- or exchange-reachable paths: store handlers once and use ScheduleArg, pass pooled pointers (no interface boxing), preallocate appended slices"
 }
 
 func (hotAllocRule) Check(a *Analysis, rep *Reporter) {
-	kinds := []string{rootArgHandler}
+	kinds := []string{rootArgHandler, rootExchange}
 	a.forEachReachable(kinds, func(n *Node, e *reachEntry) {
-		if n.allowlisted() {
+		if n.pkgAllowlisted() {
 			return
 		}
 		for _, eff := range n.effects {

@@ -23,13 +23,25 @@ var concurrencyAllowlist = []string{
 	"internal/kvnet",
 }
 
-// allowlistedFile reports whether a file sits on the concurrency
-// allowlist.
-func allowlistedFile(p *Package, f *File) bool {
+// allowlistedPackage reports whether a whole package is on the
+// concurrency allowlist (internal/exec, internal/kvnet). hotalloc uses
+// this narrower predicate: those packages are off the simulated hot path
+// entirely, while sim's shard.go — allowlisted for concurrency — still
+// carries the per-window exchange and must stay allocation-clean.
+func allowlistedPackage(p *Package) bool {
 	for _, suffix := range concurrencyAllowlist {
 		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
 			return true
 		}
+	}
+	return false
+}
+
+// allowlistedFile reports whether a file sits on the concurrency
+// allowlist.
+func allowlistedFile(p *Package, f *File) bool {
+	if allowlistedPackage(p) {
+		return true
 	}
 	if p.Path == "internal/sim" || strings.HasSuffix(p.Path, "/internal/sim") {
 		return f != nil && filepath.Base(f.Name) == "shard.go"

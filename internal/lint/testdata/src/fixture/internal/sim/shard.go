@@ -1,0 +1,34 @@
+package sim
+
+// ShardSet mirrors the real sharded coordinator just enough to exercise
+// the exchange root: this file is named shard.go, so it sits on the
+// concurrency allowlist (shardsafety ignores its sync import), yet
+// hotalloc must still reach drain — (*ShardSet).drain is marked as an
+// exchange root by the call-graph builder, and the hotalloc skip is
+// package-granular.
+
+import "sync"
+
+// ShardSet buffers cross-partition deliveries and drains them once per
+// window.
+type ShardSet struct {
+	mu   sync.Mutex // legal here: shard.go is concurrency-allowlisted
+	eng  *Engine
+	fns  []ArgHandler
+	args []any
+}
+
+// drain flushes the buffered messages into the engine. The bare append
+// inside the loop is the planted hotalloc violation: drain is reachable
+// from no Schedule call, so only the exchange root can expose it.
+func (s *ShardSet) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var delivered []any
+	for i, fn := range s.fns {
+		delivered = append(delivered, s.args[i]) // want:hotalloc
+		s.eng.ScheduleArg(0, fn, s.args[i])
+	}
+	s.fns, s.args = s.fns[:0], s.args[:0]
+	_ = delivered
+}

@@ -14,17 +14,41 @@ package sim
 // cross-partition interaction must take at least L of simulated time (in
 // the fat-tree, the inter-switch link latency — the only links that cross a
 // pod boundary are aggregation↔core hops). The coordinator repeatedly
-// computes the earliest pending event time tNext across all partitions,
-// lets every partition execute events in the window [start, tNext+L) in
-// parallel, and exchanges cross-partition messages at the barrier. A
-// message sent at time t carries timestamp ≥ t+L ≥ tNext+L, so it can never
-// arrive inside the window that produced it.
+// computes per-partition window ends and lets every partition execute its
+// events strictly before its end in parallel, exchanging cross-partition
+// messages at the barrier between windows.
 //
-// Cross-partition messages travel through per-(src,dst) append-only
+// # Window fusion
+//
+// Partition p's window end is min(minOther(p)+L, next(p)+2L), where
+// minOther(p) is the earliest pending event time in any *other* partition
+// and next(p) is p's own. The first term is the direct bound: a message
+// into p sent by partition q at time t carries timestamp ≥ t+L ≥
+// minOther(p)+L. The second is the echo bound: p's own earliest event can
+// send a message that a neighbor executes and answers, landing back in p
+// no earlier than next(p)+2L — without it a partition running far ahead
+// of a quiet fabric could outrun its own replies. Every longer influence
+// chain is rooted at some partition's pending event and pays one hop of L
+// per partition crossed, so these two terms cover all of them. Compared
+// to a uniform end of tNext+L this fuses windows: partitions ahead of the
+// global minimum run long stretches without barriers, empty partitions
+// are skipped entirely, and a lone active partition steps 2L per window
+// toward the next global barrier with no worker handoff. Fusion changes
+// how executed events are grouped into windows, never their per-partition
+// order, and the exchange's deterministic merge keeps delivery order a
+// pure function of message timestamps and source coordinates — results
+// are identical to the unfused schedule except for the order of exact
+// cross-partition timestamp ties, which is intentionally unspecified (see
+// the exchange ordering rule below and DESIGN.md §11).
+//
+// Cross-partition messages travel through per-(src,dst) append-only slab
 // buffers, written only by the sending partition's worker during a window
-// and drained only by the coordinator at barriers. The drain schedules each
-// destination's messages in (time, source shard, source buffer position)
-// order, which is deterministic regardless of worker interleaving.
+// and drained only by the coordinator at barriers. Slabs are recycled like
+// the event arena: the drain poisons consumed entries and re-slices to
+// length zero keeping capacity, so the steady-state exchange allocates
+// nothing. The drain schedules each destination's messages in (time,
+// source shard, source buffer position) order, which is deterministic
+// regardless of worker interleaving.
 //
 // Global events (at, fn) run at barriers between windows, sequentially on
 // the coordinator, and may touch any partition's state. An exclusive global
@@ -34,13 +58,19 @@ package sim
 // samplers, controller epochs, plan deployments — that in the sequential
 // engine are ordinary events but in the sharded engine must observe a
 // consistent cross-partition cut.
+//
+// Execution uses a pool of persistent workers spawned once per Run:
+// between windows the workers park on per-worker wake channels, and each
+// window is one epoch — the coordinator publishes the window bounds, wakes
+// as many workers as there are active partitions, and waits for the last
+// worker to signal the barrier. Windows with at most one active partition
+// run inline on the coordinator with no wakeup at all.
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
-	"sync"
+	"slices"
 	"sync/atomic"
 )
 
@@ -77,23 +107,44 @@ type ShardSet struct {
 	lookahead Time
 	workers   int
 
-	// xbuf[src][dst] is the (src→dst) message buffer. During a window only
+	// xbuf[src][dst] is the (src→dst) message slab. During a window only
 	// src's worker appends; between windows only the coordinator reads.
-	xbuf [][][]xmsg
+	// xtotal[src] counts src's buffered messages across all destinations
+	// (same ownership), so an empty exchange is detected in O(N).
+	xbuf   [][][]xmsg
+	xtotal []int
 
 	globals []globalEvent
 	gseq    uint64
 
 	// running guards Send/ScheduleGlobal misuse from within windows.
 	inWindow atomic.Bool
+
+	// Window-loop scratch, written by the coordinator between windows and
+	// read by workers during one (the wake send publishes them). nexts[p]
+	// is p's earliest pending event, ends[p] its window end; merged is the
+	// drain's reusable merge buffer.
+	nexts  []Time
+	ends   []Time
+	merged []xmsg
+
+	// Persistent worker pool, live only inside a Run call with workers>1:
+	// claim is the shared partition-claim cursor, wake[w] delivers worker
+	// w's epoch start, remaining counts workers still inside the window,
+	// and done carries the last worker's barrier signal. A nil wake slice
+	// means no pool (sequential mode) and runWindows executes inline.
+	claim     atomic.Int64
+	remaining atomic.Int64
+	wake      []chan struct{}
+	done      chan struct{}
 }
 
 // NewShardSet builds n partition engines synchronized with the given
 // lookahead. workers bounds concurrent window execution: 1 executes
 // partitions inline on the calling goroutine (no goroutines at all), which
 // is the deterministic reference mode; higher counts run partitions on that
-// many goroutines. The logical execution is identical for every worker
-// count.
+// many persistent worker goroutines. The logical execution is identical
+// for every worker count.
 func NewShardSet(n int, workers int, lookahead Time) (*ShardSet, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: %d partitions", n)
@@ -111,6 +162,9 @@ func NewShardSet(n int, workers int, lookahead Time) (*ShardSet, error) {
 		engines:   make([]*Engine, n),
 		lookahead: lookahead,
 		workers:   workers,
+		xtotal:    make([]int, n),
+		nexts:     make([]Time, n),
+		ends:      make([]Time, n),
 	}
 	for i := range s.engines {
 		s.engines[i] = NewEngine()
@@ -151,6 +205,7 @@ func (s *ShardSet) Send(src, dst int, at Time, fn ArgHandler, arg any) error {
 		return ErrNilHandler
 	}
 	s.xbuf[src][dst] = append(s.xbuf[src][dst], xmsg{at: at, fn: fn, arg: arg})
+	s.xtotal[src]++
 	return nil
 }
 
@@ -206,47 +261,106 @@ func (s *ShardSet) nextGlobal() int {
 	return best
 }
 
+// maxTime is the sentinel for "no pending work".
+const maxTime = Time(math.MaxInt64)
+
+// satAdd adds two nonnegative times, saturating at maxTime so window
+// bounds computed from the sentinel stay ordered.
+func satAdd(a, b Time) Time {
+	if c := a + b; c >= a {
+		return c
+	}
+	return maxTime
+}
+
 // Run drives the window loop until afterWindow reports completion, the
 // agenda (partition events and globals) drains, or the earliest pending
 // work exceeds deadline (ErrDeadline — the watchdog). afterWindow, if
-// non-nil, runs at every barrier with the window's end; returning true
-// stops the run (the cluster layer uses it for its exact completion-count
-// stop). Globals run one per barrier, earliest first.
+// non-nil, runs at every barrier with the window's horizon — the instant
+// every partition has executed strictly past; returning true stops the run
+// (the cluster layer uses it for its exact completion-count stop). Globals
+// run one per barrier, earliest first.
+//
+// Each iteration computes the two smallest pending event times m1 ≤ m2
+// across partitions, then bounds partition p's window by minOther(p)+L
+// (m2 when p alone holds m1, else m1 — see the fusion note in the package
+// comment), by the earliest global's barrier, and — when no global is
+// pending — by deadline+1, so self-re-arming timers cannot fuse past the
+// watchdog. A global runs at the barrier exactly when no partition event
+// can precede it (barrier ≤ m1+L), the same cut the unfused schedule used.
 func (s *ShardSet) Run(deadline Time, afterWindow func(end Time) bool) error {
+	if s.workers > 1 && len(s.engines) > 1 {
+		s.startWorkers()
+		defer s.stopWorkers()
+	}
 	for {
 		if err := s.drain(); err != nil {
 			return err
 		}
-		tNext := Time(math.MaxInt64)
-		have := false
-		for _, e := range s.engines {
-			if at, ok := e.NextEventAt(); ok && at < tNext {
-				tNext, have = at, true
+		m1, m2 := maxTime, maxTime
+		atM1 := 0
+		for i, e := range s.engines {
+			at, ok := e.NextEventAt()
+			if !ok {
+				at = maxTime
+			}
+			s.nexts[i] = at
+			switch {
+			case at < m1:
+				m2 = m1
+				m1 = at
+				atM1 = 1
+			case at == m1:
+				if at != maxTime {
+					atM1++
+					m2 = at
+				}
+			case at < m2:
+				m2 = at
 			}
 		}
 		gi := s.nextGlobal()
-		if !have && gi < 0 {
+		if m1 == maxTime && gi < 0 {
 			return nil // fully drained
 		}
-		barrier := Time(math.MaxInt64)
+		barrier := maxTime
 		if gi >= 0 {
 			barrier = s.globals[gi].barrierOf()
 		}
-		var end Time
-		switch {
-		case have && tNext+s.lookahead < barrier:
-			end = tNext + s.lookahead
-		default:
-			end = barrier
-		}
-		if start := min64(tNext, barrier); start > deadline {
+		if start := min64(m1, barrier); start > deadline {
 			return fmt.Errorf("%w: next work at %v, deadline %v", ErrDeadline, start, deadline)
 		}
-		s.runWindow(end)
+		hardCap := barrier
+		if barrier == maxTime {
+			hardCap = satAdd(deadline, 1)
+		}
+		active := 0
+		horizon := hardCap
+		for i := range s.engines {
+			minOther := m1
+			if atM1 == 1 && s.nexts[i] == m1 {
+				minOther = m2
+			}
+			// Two influence bounds (see the fusion note above): a pending
+			// event in another partition reaches i after one hop (minOther
+			// + L), and i's own earliest event can echo back through a
+			// neighbor after two (next + 2L). Chains rooted elsewhere pay
+			// two hops from minOther and are covered by the first bound.
+			end := min64(satAdd(minOther, s.lookahead), satAdd(s.nexts[i], 2*s.lookahead))
+			end = min64(end, hardCap)
+			s.ends[i] = end
+			if s.nexts[i] < end {
+				active++
+			}
+			if end < horizon {
+				horizon = end
+			}
+		}
+		s.runWindows(active)
 		if err := s.drain(); err != nil {
 			return err
 		}
-		if gi >= 0 && end == barrier {
+		if gi >= 0 && barrier <= satAdd(m1, s.lookahead) {
 			g := s.globals[gi]
 			// Remove before running so a re-arm appended by fn is fresh.
 			s.globals = append(s.globals[:gi], s.globals[gi+1:]...)
@@ -255,7 +369,7 @@ func (s *ShardSet) Run(deadline Time, afterWindow func(end Time) bool) error {
 			}
 			g.fn()
 		}
-		if afterWindow != nil && afterWindow(end) {
+		if afterWindow != nil && afterWindow(horizon) {
 			return nil
 		}
 	}
@@ -268,36 +382,80 @@ func min64(a, b Time) Time {
 	return b
 }
 
-// runWindow executes every partition's events in [·, end). With one worker
-// the partitions run inline in index order; otherwise workers claim
-// partitions from an atomic counter. Either way each partition's execution
-// is self-contained (cross-partition effects only enter buffers), so the
-// interleaving cannot influence results.
-func (s *ShardSet) runWindow(end Time) {
+// runWindows executes every partition's events strictly before its window
+// end. Partitions with nothing to do before their end are skipped. With no
+// worker pool, or at most one active partition, the coordinator runs the
+// window inline — no wakeup, no barrier handshake; otherwise it wakes
+// min(workers, active) persistent workers, which claim partitions from the
+// shared cursor, and waits for the last one to release the epoch barrier.
+// Either way each partition's execution is self-contained (cross-partition
+// effects only enter buffers), so the interleaving cannot influence
+// results.
+func (s *ShardSet) runWindows(active int) {
 	s.inWindow.Store(true)
 	defer s.inWindow.Store(false)
-	if s.workers <= 1 || len(s.engines) == 1 {
-		for _, e := range s.engines {
-			e.RunBefore(end)
+	if s.wake == nil || active <= 1 {
+		for i, e := range s.engines {
+			if s.nexts[i] < s.ends[i] {
+				e.RunBefore(s.ends[i])
+			}
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(s.workers)
-	for w := 0; w < s.workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(s.engines) {
-					return
-				}
-				s.engines[i].RunBefore(end)
-			}
-		}()
+	w := s.workers
+	if active < w {
+		w = active
 	}
-	wg.Wait()
+	s.claim.Store(0)
+	s.remaining.Store(int64(w))
+	for i := 0; i < w; i++ {
+		s.wake[i] <- struct{}{}
+	}
+	<-s.done
+}
+
+// startWorkers spawns the persistent worker pool. Workers park on their
+// wake channels between windows and exit when stopWorkers closes them.
+// Fresh channels per Run keep a re-entered Run independent of a previous
+// call's (already exited) pool.
+func (s *ShardSet) startWorkers() {
+	s.wake = make([]chan struct{}, s.workers)
+	s.done = make(chan struct{}, 1)
+	for w := 0; w < s.workers; w++ {
+		s.wake[w] = make(chan struct{}, 1)
+		go s.worker(s.wake[w])
+	}
+}
+
+// stopWorkers shuts the pool down and restores inline window execution.
+func (s *ShardSet) stopWorkers() {
+	for _, ch := range s.wake {
+		close(ch)
+	}
+	s.wake = nil
+}
+
+// worker is one persistent window worker. Each wakeup is one epoch: claim
+// partitions from the shared cursor, run the active ones to their window
+// ends, and release the barrier when the last worker finishes. The bounds
+// in nexts/ends are written by the coordinator before the wake send, which
+// orders them; the decrement of remaining orders each worker's engine
+// writes before the coordinator's next read.
+func (s *ShardSet) worker(wake <-chan struct{}) {
+	for range wake {
+		for {
+			i := int(s.claim.Add(1)) - 1
+			if i >= len(s.engines) {
+				break
+			}
+			if s.nexts[i] < s.ends[i] {
+				s.engines[i].RunBefore(s.ends[i])
+			}
+		}
+		if s.remaining.Add(-1) == 0 {
+			s.done <- struct{}{}
+		}
+	}
 }
 
 // drain moves every buffered cross-partition message into its destination
@@ -306,27 +464,61 @@ func (s *ShardSet) runWindow(end Time) {
 // source order and stable-sorting by timestamp leaves equal-time messages
 // in (source, position) order. Scheduling order fixes the engine's FIFO
 // tie-break, making the merged order independent of worker scheduling.
+//
+// The merge scratch and the slabs are reused across windows: consumed
+// entries are cleared (poisoned) so no handler or payload reference
+// outlives its delivery, then the slices are cut back to length zero
+// keeping capacity. Past the high-water mark the exchange allocates
+// nothing.
 func (s *ShardSet) drain() error {
+	pending := 0
+	for _, c := range s.xtotal {
+		pending += c
+	}
+	if pending == 0 {
+		return nil
+	}
 	n := len(s.engines)
-	var merged []xmsg
 	for dst := 0; dst < n; dst++ {
-		merged = merged[:0]
+		merged := s.merged[:0]
 		for src := 0; src < n; src++ {
+			if s.xtotal[src] == 0 {
+				continue
+			}
 			if buf := s.xbuf[src][dst]; len(buf) > 0 {
 				merged = append(merged, buf...)
+				clear(buf)
 				s.xbuf[src][dst] = buf[:0]
 			}
 		}
 		if len(merged) == 0 {
 			continue
 		}
-		sort.SliceStable(merged, func(a, b int) bool { return merged[a].at < merged[b].at })
+		slices.SortStableFunc(merged, func(a, b xmsg) int {
+			switch {
+			case a.at < b.at:
+				return -1
+			case a.at > b.at:
+				return 1
+			}
+			return 0
+		})
 		eng := s.engines[dst]
-		for _, m := range merged {
-			if _, err := eng.ScheduleArgAt(m.at, m.fn, m.arg); err != nil {
-				return fmt.Errorf("sim: exchange delivery to shard %d: %w", dst, err)
+		var err error
+		for i := range merged {
+			if _, serr := eng.ScheduleArgAt(merged[i].at, merged[i].fn, merged[i].arg); serr != nil {
+				err = fmt.Errorf("sim: exchange delivery to shard %d: %w", dst, serr)
+				break
 			}
 		}
+		clear(merged)
+		s.merged = merged[:0]
+		if err != nil {
+			return err
+		}
+	}
+	for i := range s.xtotal {
+		s.xtotal[i] = 0
 	}
 	return nil
 }

@@ -18,10 +18,21 @@ type EWMA struct {
 // alpha weights recent observations more heavily. The first observation
 // initializes the average directly.
 func NewEWMA(alpha float64) (*EWMA, error) {
-	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
-		return nil, fmt.Errorf("stats: ewma alpha %v out of (0, 1]", alpha)
+	e, err := MakeEWMA(alpha)
+	if err != nil {
+		return nil, err
 	}
-	return &EWMA{alpha: alpha}, nil
+	return &e, nil
+}
+
+// MakeEWMA is NewEWMA returning a value instead of a pointer, for callers
+// that embed the average in a larger per-server record (C3 keeps three per
+// server across every RSNode, so the indirection is worth avoiding).
+func MakeEWMA(alpha float64) (EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return EWMA{}, fmt.Errorf("stats: ewma alpha %v out of (0, 1]", alpha)
+	}
+	return EWMA{alpha: alpha}, nil
 }
 
 // Observe folds one observation into the average.

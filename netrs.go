@@ -154,7 +154,7 @@ func RunRepeatedWith(cfg Config, seeds []uint64, opts RunOptions) ([]Result, Sum
 	if len(seeds) == 0 {
 		return nil, Summary{}, fmt.Errorf("netrs: no seeds given")
 	}
-	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, cfg.Shards)}
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, cfg.EffectiveShards())}
 	results, err := exec.Run(opts.Context, pool, len(seeds), func(_ context.Context, i int) (Result, error) {
 		c := cfg
 		c.Seed = seeds[i]
@@ -182,7 +182,9 @@ func RunRepeatedWith(cfg Config, seeds []uint64, opts RunOptions) ([]Result, Sum
 // intra-run workers: an automatic (zero) trial count is divided by the
 // shard count, so the two levels multiply to roughly GOMAXPROCS instead
 // of oversubscribing the machine. Explicit counts are honored unchanged —
-// parallelism never affects results at either level.
+// parallelism never affects results at either level. shards is the
+// normalized Config.EffectiveShards value, so unset (0) and 1 have
+// already collapsed to the same sequential meaning.
 func trialWorkers(parallelism, shards int) int {
 	if parallelism != 0 || shards <= 1 {
 		return parallelism

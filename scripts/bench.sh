@@ -1,11 +1,12 @@
 #!/bin/sh
 # Benchmark runner with a tracked JSON baseline.
 #
-#   ./scripts/bench.sh                 # run + distill into BENCH_PR6.json
+#   ./scripts/bench.sh                 # run + distill into BENCH_PR8.json
 #   BENCH_COUNT=10 ./scripts/bench.sh  # more samples
 #   BENCH_OUT=/tmp/b.json ./scripts/bench.sh
+#   BENCH_CPUPROFILE=/tmp/scale.cpu ./scripts/bench.sh  # profile the scale cells
 #
-# Three benchmark families are measured:
+# Four benchmark families are measured:
 #
 #   1. the engine microbenchmarks (internal/sim, -bench Engine): the
 #      schedule→execute hot path, the closure-free ScheduleArg variant,
@@ -17,24 +18,36 @@
 #      and 32-ary (8192-host) fat-trees, each sequential and on the
 #      sharded engine (shards=1 vs shards=4 at identical results), so the
 #      baseline records both that the 8192-host topology runs and how the
-#      sharded engine's wall time compares to sequential on this machine.
+#      sharded engine's wall time compares to sequential on this machine;
+#   4. the shard-scaling matrix (-bench ShardScaling): shards × GOMAXPROCS
+#      at the 16-ary scale, every cell reporting its shards/gomaxprocs
+#      coordinates and runtime.NumCPU().
+#
+# The distilled JSON carries a "machine" block (num_cpu, gomaxprocs) —
+# the facts that decide whether a sharded-vs-sequential wall-clock
+# comparison in this baseline is meaningful: on a single-core runner
+# shards=4 pays barrier overhead with no parallelism to buy it back.
 #
 # Each benchmark runs BENCH_COUNT (default 5) times; the distilled JSON
 # records per-benchmark mean and p99 for every metric go test reports
 # (ns/op, B/op, allocs/op, and the figure statistics mean_ms/p99_ms/…).
 # With count ≤ 100 samples, p99 is simply the maximum sample.
 #
-# The committed BENCH_PR6.json is the current baseline (BENCH_PR3.json is
-# the pre-sharding one); regenerate and diff when touching the hot path.
+# The committed BENCH_PR8.json is the current baseline (BENCH_PR3.json is
+# pre-sharding, BENCH_PR6.json pre-fusion); regenerate and diff when
+# touching the hot path.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR6.json}"
+out="${BENCH_OUT:-BENCH_PR8.json}"
 count="${BENCH_COUNT:-5}"
 engine_pat="${BENCH_ENGINE_PATTERN:-Engine}"
 fig_pat="${BENCH_FIG_PATTERN:-Fig4NumClients/x=300/NetRS-ILP\$}"
 scale_pat="${BENCH_SCALE_PATTERN:-ScaleFatTree}"
 scale_count="${BENCH_SCALE_COUNT:-3}"
+shard_pat="${BENCH_SHARD_PATTERN:-ShardScaling}"
+shard_count="${BENCH_SHARD_COUNT:-2}"
+cpuprofile="${BENCH_CPUPROFILE:-}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -46,9 +59,22 @@ echo "== end-to-end figure cell: go test -bench $fig_pat -benchtime 1x -benchmem
 go test -run '^$' -bench "$fig_pat" -benchtime 1x -benchmem -count "$count" . | tee -a "$raw"
 
 echo "== hyperscale cells: go test -bench $scale_pat -benchtime 1x -benchmem -count $scale_count ."
-go test -run '^$' -bench "$scale_pat" -benchtime 1x -benchmem -count "$scale_count" . | tee -a "$raw"
+if [ -n "$cpuprofile" ]; then
+	go test -run '^$' -bench "$scale_pat" -benchtime 1x -benchmem -count "$scale_count" \
+		-cpuprofile "$cpuprofile" . | tee -a "$raw"
+	echo "wrote CPU profile: $cpuprofile"
+else
+	go test -run '^$' -bench "$scale_pat" -benchtime 1x -benchmem -count "$scale_count" . | tee -a "$raw"
+fi
 
-awk -v go_version="$(go version | awk '{print $3}')" -v count="$count" '
+echo "== shard-scaling matrix: go test -bench $shard_pat -benchtime 1x -count $shard_count ."
+go test -run '^$' -bench "$shard_pat" -benchtime 1x -count "$shard_count" . | tee -a "$raw"
+
+num_cpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+gomaxprocs="${GOMAXPROCS:-$num_cpu}"
+
+awk -v go_version="$(go version | awk '{print $3}')" -v count="$count" \
+	-v num_cpu="$num_cpu" -v gomaxprocs="$gomaxprocs" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -75,7 +101,8 @@ END {
 	printf "  \"tool\": \"scripts/bench.sh\",\n"
 	printf "  \"go\": \"%s\",\n", go_version
 	printf "  \"count\": %d,\n", count
-	printf "  \"note\": \"p99 is the maximum of count samples\",\n"
+	printf "  \"machine\": {\"num_cpu\": %d, \"gomaxprocs\": %d},\n", num_cpu, gomaxprocs
+	printf "  \"note\": \"p99 is the maximum of count samples; sharded-vs-sequential wall comparisons need machine.num_cpu >= shards\",\n"
 	printf "  \"benchmarks\": [\n"
 	for (n = 1; n <= names; n++) {
 		name = order[n]
