@@ -21,6 +21,11 @@
 // rates. The accelerator is slowed to 150 µs per selection so placement
 // capacity binds at simulation scale. It uses the first seed of -seeds.
 //
+// -fig matrix runs the selector × scenario conformance matrix: every
+// replica-selection algorithm of -selectors at the RSNodes against every
+// stress scenario of -scenarios (built-in names or JSON scenario files),
+// merged across -seeds into one four-panel comparison table.
+//
 // The paper runs 6 M requests per point on a 1024-host fat-tree; that is
 // hours of simulation per figure. -requests and -scale trade statistical
 // depth for wall-clock time while preserving the comparisons' shape.
@@ -35,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,13 +83,15 @@ func scaledConfig(scale string) (netrs.Config, error) {
 
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-figs", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience, adapt")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience, adapt, matrix")
 	requests := fs.Int("requests", 50000, "measured requests per point (paper: 6000000; env NETRS_REQUESTS overrides)")
 	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated deployment seeds (paper repeats 3×)")
 	scale := fs.String("scale", "medium", "cluster scale: paper, medium, small")
 	chart := fs.Bool("chart", false, "also draw bar charts for the Avg and 99th panels")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	parallel := fs.Int("parallel", 0, "concurrent trials: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default)")
+	selectorsFlag := fs.String("selectors", "c3,tars,lor,p2c", "-fig matrix: comma-separated replica-selection algorithms")
+	scenariosFlag := fs.String("scenarios", "steady,diurnal,flash-crowd,slow-rack,heterogeneous", "-fig matrix: comma-separated scenario names or JSON files")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -129,6 +137,9 @@ func run(args []string) (retErr error) {
 	}
 	if *fig == "adapt" {
 		return runAdapt(base, seeds, *parallel)
+	}
+	if *fig == "matrix" {
+		return runMatrix(base, seeds, *selectorsFlag, *scenariosFlag, *parallel, *quiet)
 	}
 
 	var sweeps []netrs.Sweep
@@ -179,6 +190,47 @@ func run(args []string) (retErr error) {
 			res.MaxReduction("Avg."), res.MaxReduction("99th Percentile"))
 	}
 	return nil
+}
+
+// runMatrix evaluates the selector × scenario conformance matrix: every
+// algorithm named by -selectors runs at the RSNodes against every
+// scenario named by -scenarios (built-in names or JSON files), merged
+// across -seeds, and renders the four-panel comparison table.
+func runMatrix(base netrs.Config, seeds []uint64, selectorsArg, scenariosArg string, parallel int, quiet bool) error {
+	selectors := splitList(selectorsArg)
+	var scenarios []netrs.Scenario
+	for _, name := range splitList(scenariosArg) {
+		scn, err := netrs.ResolveScenario(name)
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, scn)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "[matrix] %d selectors × %d scenarios × %d seeds\n",
+			len(selectors), len(scenarios), len(seeds))
+	}
+	res, err := netrs.RunMatrix(base, selectors, scenarios, seeds, netrs.RunOptions{Parallelism: parallel})
+	if err != nil {
+		if len(res.Cells) > 0 {
+			fmt.Println(res.Table())
+			fmt.Fprintf(os.Stderr, "netrs-figs: matrix incomplete: %d cells finished\n", len(res.Cells))
+		}
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(arg string) []string {
+	var out []string
+	for _, part := range strings.Split(arg, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // runAdapt evaluates the controller-epoch adaptation experiment on the

@@ -63,6 +63,32 @@ func TestParallelFlag(t *testing.T) {
 	}
 }
 
+func TestRunMatrixSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 4 small simulations")
+	}
+	err := run([]string{
+		"-fig", "matrix", "-requests", "400", "-seeds", "1", "-scale", "small", "-quiet",
+		"-selectors", "tars,lor", "-scenarios", "steady,flash-crowd",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMatrixBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "matrix", "-scale", "small", "-selectors", "bogus"},
+		{"-fig", "matrix", "-scale", "small", "-scenarios", "bogus"},
+		{"-fig", "matrix", "-scale", "small", "-selectors", ""},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
 func TestEnvParallelOverride(t *testing.T) {
 	t.Setenv("NETRS_PARALLEL", "zero")
 	if err := run([]string{"-fig", "4", "-scale", "small", "-quiet"}); err == nil {

@@ -10,6 +10,9 @@
 //	netrs-sim -scheme CliRS -clients 700 -json
 //	netrs-sim -scheme NetRS-ILP -seeds 1,2,3 -parallel 3
 //	netrs-sim -topo scale32 -shards 4 -requests 20000
+//	netrs-sim -scheme NetRS-ToR -scenario flash-crowd
+//	netrs-sim -list-selectors
+//	netrs-sim -list-scenarios
 package main
 
 import (
@@ -60,6 +63,9 @@ func run(args []string) (retErr error) {
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
 	configPath := fs.String("config", "", "load the experiment from a JSON config file (flags are ignored)")
 	faultsPath := fs.String("faults", "", "load a JSON fault schedule (typed crash/recovery/slowdown/link events executed on the sim timeline; enables the resilience timeline)")
+	scenarioArg := fs.String("scenario", "", "built-in scenario name or JSON scenario file (see -list-scenarios)")
+	listSelectors := fs.Bool("list-selectors", false, "print the registered replica-selection algorithms, one per line, and exit")
+	listScenarios := fs.Bool("list-scenarios", false, "print the built-in scenario names, one per line, and exit")
 	saveConfig := fs.String("save-config", "", "write the effective config to a JSON file and exit")
 	tracePath := fs.String("trace", "", "write per-request latencies (ms, one per line) to this CSV file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -67,6 +73,21 @@ func run(args []string) (retErr error) {
 
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listSelectors || *listScenarios {
+		// Discovery flags mirror `netrs-lint -list-rules`: print the sorted
+		// catalog and exit successfully, ignoring the experiment flags.
+		if *listSelectors {
+			for _, name := range netrs.SelectorNames() {
+				fmt.Println(name)
+			}
+		}
+		if *listScenarios {
+			for _, name := range netrs.ScenarioNames() {
+				fmt.Println(name)
+			}
+		}
+		return nil
 	}
 	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -97,6 +118,9 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		if err := applyFaults(&cfg, *faultsPath); err != nil {
+			return err
+		}
+		if err := applyScenario(&cfg, *scenarioArg); err != nil {
 			return err
 		}
 		return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
@@ -131,6 +155,9 @@ func run(args []string) (retErr error) {
 	}
 	cfg.Scheme = s
 	if err := applyFaults(&cfg, *faultsPath); err != nil {
+		return err
+	}
+	if err := applyScenario(&cfg, *scenarioArg); err != nil {
 		return err
 	}
 
@@ -193,6 +220,20 @@ func applyFaults(cfg *netrs.Config, path string) error {
 	}
 	cfg.Faults = append(cfg.Faults, sched.Events...)
 	cfg.TimelineBucket = sched.BucketWidth(50 * sim.Millisecond)
+	return nil
+}
+
+// applyScenario resolves a -scenario argument (built-in name or JSON
+// scenario file) into the config.
+func applyScenario(cfg *netrs.Config, arg string) error {
+	if arg == "" {
+		return nil
+	}
+	scn, err := netrs.ResolveScenario(arg)
+	if err != nil {
+		return err
+	}
+	cfg.Scenario = scn
 	return nil
 }
 

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"io"
+	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -94,5 +98,96 @@ func TestRunConfigRoundTrip(t *testing.T) {
 	}
 	if err := run([]string{"-config", "/does/not/exist.json"}); err == nil {
 		t.Fatal("missing config accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return string(out)
+}
+
+func TestListSelectors(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-list-selectors"}) })
+	lines := strings.Fields(out)
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("-list-selectors output not sorted:\n%s", out)
+	}
+	want := map[string]bool{"c3": false, "tars": false, "lor": false, "p2c": false}
+	for _, l := range lines {
+		if _, ok := want[l]; ok {
+			want[l] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("selector %q missing from -list-selectors:\n%s", name, out)
+		}
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-list-scenarios"}) })
+	lines := strings.Fields(out)
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("-list-scenarios output not sorted:\n%s", out)
+	}
+	want := map[string]bool{"steady": false, "diurnal": false, "flash-crowd": false, "slow-rack": false, "heterogeneous": false}
+	for _, l := range lines {
+		if _, ok := want[l]; ok {
+			want[l] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("scenario %q missing from -list-scenarios:\n%s", name, out)
+		}
+	}
+}
+
+func TestListFlagsStableAcrossRuns(t *testing.T) {
+	a := captureStdout(t, func() error { return run([]string{"-list-selectors", "-list-scenarios"}) })
+	b := captureStdout(t, func() error { return run([]string{"-list-selectors", "-list-scenarios"}) })
+	if a != b {
+		t.Fatalf("discovery output unstable:\n%q\nvs\n%q", a, b)
+	}
+}
+
+func TestRunScenarioFlag(t *testing.T) {
+	for _, scn := range []string{"steady", "flash-crowd", "heterogeneous"} {
+		if err := run(tinyArgs("-scheme", "NetRS-ToR", "-scenario", scn)); err != nil {
+			t.Fatalf("-scenario %s: %v", scn, err)
+		}
+	}
+	if err := run(tinyArgs("-scenario", "bogus")); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scn.json")
+	body := `{"name":"mix","diurnal":{"cycles":2,"amplitude":0.3},"slowRacks":[{"rack":0,"extraMs":0.2}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyArgs("-scheme", "NetRS-ToR", "-scenario", path)); err != nil {
+		t.Fatal(err)
 	}
 }

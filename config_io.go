@@ -53,6 +53,10 @@ type configJSON struct {
 	ControllerIntervalMs float64 `json:"controllerIntervalMs,omitempty"`
 	DemandShiftAt        float64 `json:"demandShiftAt,omitempty"`
 	DemandShiftFraction  float64 `json:"demandShiftFraction,omitempty"`
+
+	// Scenario embeds the declared stress scenario (internal/scenario's
+	// own JSON schema, also accepted standalone by `netrs-sim -scenario`).
+	Scenario *Scenario `json:"scenario,omitempty"`
 }
 
 // MarshalConfig serializes a Config to indented JSON.
@@ -94,6 +98,10 @@ func MarshalConfig(cfg Config) ([]byte, error) {
 		ControllerIntervalMs:   cfg.ControllerInterval.Float64Ms(),
 		DemandShiftAt:          cfg.DemandShiftAt,
 		DemandShiftFraction:    cfg.DemandShiftFraction,
+	}
+	if !cfg.Scenario.Empty() || cfg.Scenario.Name != "" {
+		scn := cfg.Scenario
+		j.Scenario = &scn
 	}
 	return json.MarshalIndent(j, "", "  ")
 }
@@ -145,6 +153,12 @@ func UnmarshalConfig(data []byte) (Config, error) {
 	cfg.ControllerInterval = Time(j.ControllerIntervalMs * float64(Millisecond))
 	cfg.DemandShiftAt = j.DemandShiftAt
 	cfg.DemandShiftFraction = j.DemandShiftFraction
+	if j.Scenario != nil {
+		if err := j.Scenario.Validate(); err != nil {
+			return Config{}, err
+		}
+		cfg.Scenario = *j.Scenario
+	}
 	return cfg, nil
 }
 

@@ -23,6 +23,11 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 		{Kind: FaultRSNodeCrash, AtMs: 400, RSNode: FaultTargetBusiest, DurationMs: 300},
 		{Kind: FaultServerSlowdown, AtFraction: 0.25, Server: 3, Multiplier: 4},
 	}
+	scn, err := ScenarioByName("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Scenario = scn
 
 	data, err := MarshalConfig(in)
 	if err != nil {

@@ -599,3 +599,168 @@ func (r ResilienceResult) Table() string {
 	}
 	return b.String()
 }
+
+// MatrixCell is one (selector, scenario) measurement of the conformance
+// matrix.
+type MatrixCell struct {
+	Selector string
+	Scenario string
+	// Merged is the seed-averaged summary.
+	Merged Summary
+	// Runs are the per-seed results.
+	Runs []Result
+}
+
+// MatrixResult is a fully evaluated selector × scenario matrix.
+type MatrixResult struct {
+	Scheme    Scheme
+	Selectors []string
+	Scenarios []string
+	Cells     []MatrixCell
+}
+
+// RunMatrix evaluates the selector × scenario conformance matrix: every
+// selection algorithm runs at the RSNodes (Config.OperatorAlgorithm)
+// against every scenario, once per seed, each trial fanned independently
+// across the worker pool. Selectors act in-network, so the base scheme
+// must be a NetRS scheme; anything else silently promotes to NetRS-ToR
+// (under CliRS the operator algorithm is never consulted). On failure it
+// cancels the outstanding trials and returns the error together with the
+// partial MatrixResult holding every cell whose trials all completed.
+func RunMatrix(base Config, selectors []string, scenarios []Scenario, seeds []uint64, opts RunOptions) (MatrixResult, error) {
+	out := MatrixResult{}
+	if len(selectors) == 0 || len(scenarios) == 0 {
+		return out, fmt.Errorf("netrs: matrix needs at least one selector and one scenario")
+	}
+	if len(seeds) == 0 {
+		return out, fmt.Errorf("netrs: no seeds given")
+	}
+	known := SelectorNames()
+	for _, sel := range selectors {
+		found := false
+		for _, k := range known {
+			if k == sel {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return out, fmt.Errorf("netrs: unknown selector %q (have %v)", sel, known)
+		}
+	}
+	scheme := base.Scheme
+	if scheme != SchemeNetRSToR && scheme != SchemeNetRSILP {
+		scheme = SchemeNetRSToR
+	}
+	out.Scheme = scheme
+	out.Selectors = append([]string(nil), selectors...)
+	for _, scn := range scenarios {
+		out.Scenarios = append(out.Scenarios, scn.Label())
+	}
+
+	type cellDef struct {
+		selector string
+		scn      Scenario
+	}
+	cells := make([]cellDef, 0, len(selectors)*len(scenarios))
+	for _, scn := range scenarios {
+		for _, sel := range selectors {
+			cells = append(cells, cellDef{sel, scn})
+		}
+	}
+
+	// Trial t runs cell t/len(seeds) with seed t%len(seeds), like the
+	// figure sweeps.
+	nSeeds := len(seeds)
+	done := make([]bool, len(cells)*nSeeds)
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, base.EffectiveShards())}
+	results, runErr := exec.Run(opts.Context, pool, len(done), func(_ context.Context, t int) (Result, error) {
+		c := cells[t/nSeeds]
+		cfg := base
+		cfg.Scheme = scheme
+		cfg.OperatorAlgorithm = c.selector
+		cfg.Scenario = c.scn
+		cfg.Seed = seeds[t%nSeeds]
+		res, err := Run(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("matrix %s × %s: seed %d: %w", c.selector, c.scn.Label(), cfg.Seed, err)
+		}
+		// Completion flags are published by the executor's final wait.
+		done[t] = true
+		return res, nil
+	})
+	if runErr != nil {
+		runErr = unwrapTrial(runErr)
+	}
+
+	// Assemble, in definition order, every cell whose trials all finished.
+	for ci, c := range cells {
+		complete := true
+		for s := 0; s < nSeeds; s++ {
+			if !done[ci*nSeeds+s] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		runs := append([]Result(nil), results[ci*nSeeds:(ci+1)*nSeeds]...)
+		summaries := make([]Summary, nSeeds)
+		for i, res := range runs {
+			summaries[i] = res.Summary
+		}
+		merged, err := stats.MergeSummaries(summaries)
+		if err != nil {
+			if runErr == nil {
+				runErr = fmt.Errorf("matrix %s × %s: %w", c.selector, c.scn.Label(), err)
+			}
+			continue
+		}
+		out.Cells = append(out.Cells, MatrixCell{
+			Selector: c.selector,
+			Scenario: c.scn.Label(),
+			Merged:   merged,
+			Runs:     runs,
+		})
+	}
+	return out, runErr
+}
+
+// Lookup returns the merged summary of one (selector, scenario) cell.
+func (r MatrixResult) Lookup(selector, scenario string) (Summary, bool) {
+	for _, c := range r.Cells {
+		if c.Selector == selector && c.Scenario == scenario {
+			return c.Merged, true
+		}
+	}
+	return Summary{}, false
+}
+
+// Table renders the matrix as the four panels of the figure sweeps (Avg,
+// 95th, 99th, 99.9th), selectors as columns and scenarios as rows, all in
+// milliseconds.
+func (r MatrixResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MATRIX — replica selector × scenario under %s\n", r.Scheme)
+	for _, m := range panelMetrics() {
+		fmt.Fprintf(&b, "\n[%s] latency (ms)\n", m.name)
+		fmt.Fprintf(&b, "%-16s", "Scenario")
+		for _, sel := range r.Selectors {
+			fmt.Fprintf(&b, "%12s", sel)
+		}
+		b.WriteByte('\n')
+		for _, scn := range r.Scenarios {
+			fmt.Fprintf(&b, "%-16s", scn)
+			for _, sel := range r.Selectors {
+				if sum, ok := r.Lookup(sel, scn); ok {
+					fmt.Fprintf(&b, "%12.3f", m.get(sum))
+				} else {
+					fmt.Fprintf(&b, "%12s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package netrs
+
+// Golden digests for the selector × scenario matrix. These pin the
+// bit-exact Result stream of a small cell set spanning both NetRS schemes,
+// every non-default selector the matrix figure sweeps (tars, lor, p2c),
+// and all four non-trivial built-in scenarios — at every Parallelism level
+// AND every shard count. A drift in the Tars estimator, a scenario hook
+// that perturbs a pre-scenario RNG draw, or a sharded-runner divergence
+// all show up here as a digest mismatch.
+//
+// The constants were captured at the introduction of the scenario library
+// and the Tars selector; they must never change without a deliberate,
+// documented semantic change to the simulation itself.
+
+import "testing"
+
+// goldenMatrixCells is the pinned cell set. Scenarios here are all
+// shard-safe (no fault events, no trace replay) so every cell can also be
+// checked under the sharded engine.
+var goldenMatrixCells = []struct {
+	scheme   Scheme
+	selector string
+	scenario string
+	digest   uint64
+}{
+	{SchemeNetRSToR, "tars", "diurnal", 0x23d331226e5c465e},
+	{SchemeNetRSToR, "tars", "flash-crowd", 0x47d7089ae8294595},
+	{SchemeNetRSToR, "tars", "slow-rack", 0x1228802b599af362},
+	{SchemeNetRSToR, "tars", "heterogeneous", 0xafeeb0ab4a5f49bc},
+	{SchemeNetRSToR, "lor", "flash-crowd", 0x3dca3551163c3692},
+	{SchemeNetRSToR, "p2c", "heterogeneous", 0xc6d1cd4d09f0d1d4},
+	{SchemeNetRSILP, "tars", "flash-crowd", 0xf1b5f3fdded0951c},
+	{SchemeNetRSILP, "lor", "heterogeneous", 0xbfe61aa6cae091b5},
+}
+
+func goldenMatrixConfig(scheme Scheme, selector, scenario string, t *testing.T) Config {
+	t.Helper()
+	cfg := goldenConfig(scheme)
+	cfg.OperatorAlgorithm = selector
+	scn, err := ScenarioByName(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scenario = scn
+	return cfg
+}
+
+// TestGoldenMatrixDigest proves every pinned matrix cell is bit-identical
+// across Parallelism 1, 2, auto and Shards 1, 2, 4.
+func TestGoldenMatrixDigest(t *testing.T) {
+	seeds := []uint64{1, 2}
+	for _, cell := range goldenMatrixCells {
+		cell := cell
+		t.Run(cell.scheme.String()+"/"+cell.selector+"/"+cell.scenario, func(t *testing.T) {
+			t.Parallel()
+			for _, par := range []int{1, 2, 0} {
+				cfg := goldenMatrixConfig(cell.scheme, cell.selector, cell.scenario, t)
+				results, merged, err := RunRepeatedWith(cfg, seeds, RunOptions{Parallelism: par})
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if got := resultDigest(results, merged); got != cell.digest {
+					t.Errorf("parallelism %d: digest = %#016x, want %#016x", par, got, cell.digest)
+				}
+			}
+			for _, shards := range []int{2, 4} {
+				cfg := goldenMatrixConfig(cell.scheme, cell.selector, cell.scenario, t)
+				cfg.Shards = shards
+				results, merged, err := RunRepeatedWith(cfg, seeds, RunOptions{Parallelism: 1})
+				if err != nil {
+					t.Fatalf("shards %d: %v", shards, err)
+				}
+				if got := resultDigest(results, merged); got != cell.digest {
+					t.Errorf("shards %d: digest = %#016x, want %#016x", shards, got, cell.digest)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenMatrixDigestSensitivity guards the pinned set: two different
+// cells must not hash identically, or a selector that ignores its inputs
+// would pass the matrix unnoticed.
+func TestGoldenMatrixDigestSensitivity(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, cell := range goldenMatrixCells {
+		name := cell.scheme.String() + "/" + cell.selector + "/" + cell.scenario
+		if prev, dup := seen[cell.digest]; dup {
+			t.Errorf("cells %s and %s share digest %#016x", prev, name, cell.digest)
+		}
+		seen[cell.digest] = name
+	}
+}

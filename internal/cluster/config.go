@@ -13,6 +13,7 @@ import (
 	"netrs/internal/fabric"
 	"netrs/internal/faults"
 	"netrs/internal/placement"
+	"netrs/internal/scenario"
 	"netrs/internal/sim"
 )
 
@@ -209,6 +210,15 @@ type Config struct {
 	// the trace length and WarmupFraction applies to it.
 	ReplayTracePath string
 
+	// Scenario declares the run's composite stress scenario — diurnal
+	// arrival-rate curve, flash-crowd key spike, persistently slow racks,
+	// heterogeneous server speed classes, trace replay, extra fault
+	// events — compiled at setup into hooks on the workload source, the
+	// fabric, the servers, and the fault scheduler. The zero value is the
+	// steady baseline, bit-identical to a scenario-free run. See
+	// internal/scenario for the JSON schema behind `netrs-sim -scenario`.
+	Scenario scenario.Scenario
+
 	// Shards, when above one, runs the experiment on the pod-parallel
 	// sharded engine: the fat-tree's pods (plus one control partition for
 	// the core switches and the controller) become conservative-PDES
@@ -328,6 +338,15 @@ func (c Config) validate() error {
 	if err := faults.ValidateEvents(c.Faults); err != nil {
 		return fmt.Errorf("fault schedule: %w", err)
 	}
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if c.Scenario.ReplayTracePath != "" && c.ReplayTracePath != "" {
+		return fmt.Errorf("scenario trace replay conflicts with ReplayTracePath: %w", ErrInvalidParam)
+	}
+	if c.ReplayTracePath != "" && c.Scenario.ShapesWorkload() {
+		return fmt.Errorf("scenario workload shaping needs the synthetic source, not trace replay: %w", ErrInvalidParam)
+	}
 	if c.EffectiveShards() > 1 {
 		// The sharded runner reproduces the sequential event order exactly
 		// for the supported feature set; features whose bookkeeping is
@@ -346,6 +365,8 @@ func (c Config) validate() error {
 			return fmt.Errorf("shards: fault injection needs the single-engine runner: %w", ErrInvalidParam)
 		case c.StatsSampleCap > 0:
 			return fmt.Errorf("shards: bounded stats need the single-engine runner: %w", ErrInvalidParam)
+		case !c.Scenario.ShardSafe():
+			return fmt.Errorf("shards: scenario faults/trace replay need the single-engine runner: %w", ErrInvalidParam)
 		}
 	}
 	return nil

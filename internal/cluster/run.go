@@ -276,9 +276,13 @@ func (r *runner) setup() error {
 	// Workload rate, needed both for the source and to size the C3 rate
 	// limiters at their steady-state operating point. A replayed trace
 	// supplies its own empirical rate.
+	tracePath := cfg.ReplayTracePath
+	if tracePath == "" {
+		tracePath = cfg.Scenario.ReplayTracePath
+	}
 	var traceEntries []workload.TraceEntry
-	if cfg.ReplayTracePath != "" {
-		f, err := os.Open(cfg.ReplayTracePath)
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
 		if err != nil {
 			return fmt.Errorf("open trace: %w", err)
 		}
@@ -313,6 +317,12 @@ func (r *runner) setup() error {
 	// operators (its packets are non-NetRS and are simply forwarded).
 	factory := r.operatorSelectorFactory(root, rate)
 	if r.net, err = fabric.NewNetwork(r.eng, r.ft, cfg.Fabric, factory); err != nil {
+		return err
+	}
+
+	// Scenario statics (heterogeneous server classes, persistently slow
+	// racks) install before the clock starts: no RNG, no events.
+	if err := applyScenarioStatics(cfg.Scenario, r.servers, r.ft, r.net); err != nil {
 		return err
 	}
 
@@ -359,6 +369,8 @@ func (r *runner) setup() error {
 			Total:         r.total,
 			ShiftAt:       cfg.DemandShiftAt,
 			ShiftFraction: cfg.DemandShiftFraction,
+			Modulation:    cfg.Scenario.RateModulation(),
+			Spike:         cfg.Scenario.KeySpike(),
 		}
 		if r.source, err = workload.NewSource(srcCfg, r.eng, root.Stream(3), r.onArrival); err != nil {
 			return err
@@ -379,6 +391,10 @@ func (r *runner) setup() error {
 	// it fires at the identical completion count the bespoke injection
 	// path used.
 	events := cfg.Faults
+	if len(cfg.Scenario.Faults) > 0 {
+		// Copy before appending: cfg.Faults may alias a caller's slice.
+		events = append(append([]faults.Event(nil), events...), cfg.Scenario.Faults...)
+	}
 	if cfg.FailRSNodeAt > 0 {
 		legacy := faults.Event{Kind: faults.KindRSNodeCrash, AtFraction: cfg.FailRSNodeAt, RSNode: faults.TargetBusiest}
 		events = append([]faults.Event{legacy}, events...)
@@ -1001,17 +1017,7 @@ func (r *runner) RestartServer(server int) error {
 // SetRackLinkDelay spikes (or with extra ≤ 0 clears) every fabric edge
 // incident to the rack's ToR switch — a localized congestion event.
 func (r *runner) SetRackLinkDelay(rack int, extra sim.Time) error {
-	tor, err := r.ft.ToROfRack(rack)
-	if err != nil {
-		return err
-	}
-	// Neighbors is sorted, so the edge set updates in deterministic order.
-	for _, nb := range r.ft.Neighbors(tor) {
-		if err := r.net.SetLinkExtra(tor, nb, extra); err != nil {
-			return err
-		}
-	}
-	return nil
+	return setRackLinkDelay(r.ft, r.net, rack, extra)
 }
 
 // normalizeRates scales per-group tier rates in place so their total

@@ -239,6 +239,13 @@ func (r *shardedRunner) setup() error {
 		return err
 	}
 
+	// Scenario statics, the identical calls (and order) the sequential
+	// runner makes: SetSlowdown before the clock starts and link extras on
+	// ToR-incident (intra-pod) edges are both shard-transparent.
+	if err := applyScenarioStatics(cfg.Scenario, r.servers, r.ft, r.net); err != nil {
+		return err
+	}
+
 	// Host handlers.
 	for sid, host := range r.serverHostOf {
 		if err := r.net.AttachHost(host, r.serverHandler(sid)); err != nil {
@@ -275,6 +282,10 @@ func (r *shardedRunner) setup() error {
 		Total:         r.total,
 		ShiftAt:       cfg.DemandShiftAt,
 		ShiftFraction: cfg.DemandShiftFraction,
+		// The scenario's workload shaping lives inside the source, so the
+		// pre-generation pass replays it bit-exactly at any shard count.
+		Modulation: cfg.Scenario.RateModulation(),
+		Spike:      cfg.Scenario.KeySpike(),
 	}
 	if r.arrivals, err = pregenerate(srcCfg, root.Stream(3)); err != nil {
 		return err

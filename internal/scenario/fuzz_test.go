@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioRoundTrip mirrors the wire codec's round-trip fuzz targets:
+// any input Parse accepts must re-marshal to a scenario Parse accepts
+// again, and the second decode must equal the first (encode∘decode is a
+// fixed point past the first trip).
+func FuzzScenarioRoundTrip(f *testing.F) {
+	for _, s := range Builtins() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"slowRacks":[{"rack":3,"extraMs":1.5}],"heterogeneous":[{"fraction":0.5,"multiplier":4}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"server-crash","atMs":10,"server":2}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario fails to marshal: %v (%+v)", err, s)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded scenario fails to parse: %v\nencoded: %s", err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip not a fixed point:\nfirst  %+v\nsecond %+v", s, s2)
+		}
+	})
+}

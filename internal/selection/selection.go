@@ -3,9 +3,9 @@
 // (CliRS), a ToR operator (NetRS-ToR), or an ILP-placed operator
 // (NetRS-ILP) — together with the baseline algorithms the literature
 // compares against (§VI): random, round-robin, least-outstanding-requests,
-// the power of two choices, and a Cassandra-style dynamic snitch. The C3
-// algorithm itself lives in package c3; Adapter bridges it into the same
-// interface.
+// the power of two choices, a Cassandra-style dynamic snitch, and the
+// timeliness-aware Tars. The C3 algorithm itself lives in package c3;
+// Adapter bridges it into the same interface.
 package selection
 
 import (
@@ -57,13 +57,14 @@ const (
 	AlgoLeastOutstanding = "lor"
 	AlgoTwoChoices       = "p2c"
 	AlgoDynamicSnitch    = "snitch"
+	AlgoTars             = "tars"
 )
 
 // Algorithms lists every algorithm New understands.
 func Algorithms() []string {
 	return []string{
 		AlgoC3, AlgoC3NoRate, AlgoRandom, AlgoRoundRobin,
-		AlgoLeastOutstanding, AlgoTwoChoices, AlgoDynamicSnitch,
+		AlgoLeastOutstanding, AlgoTwoChoices, AlgoDynamicSnitch, AlgoTars,
 	}
 }
 
@@ -101,6 +102,8 @@ func New(name string, eng *sim.Engine, rng *sim.RNG) (Selector, error) {
 		return NewTwoChoices(rng), nil
 	case AlgoDynamicSnitch:
 		return NewDynamicSnitch()
+	case AlgoTars:
+		return NewTars()
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q: %w", name, ErrInvalidParam)
 	}

@@ -9,6 +9,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"netrs/internal/dist"
 	"netrs/internal/sim"
@@ -97,6 +98,87 @@ type SourceConfig struct {
 	// ShiftFraction is the fraction of demand that relocates at the shift
 	// (1 moves the hot set entirely). Required in (0,1] when ShiftAt > 0.
 	ShiftFraction float64
+	// Modulation, when non-nil, shapes the aggregate arrival rate over the
+	// run (scenario diurnal curves). Each generator still draws exactly the
+	// interarrival sequence an unmodulated run draws — the drawn gap is
+	// divided by the instantaneous rate factor afterwards — so enabling
+	// modulation consumes no extra RNG and perturbs no other stream.
+	Modulation *RateModulation
+	// Spike, when non-nil, redirects a share of the requests emitted inside
+	// a window to one hot key (scenario flash crowds). The base Zipf draw
+	// still happens for every request; the redirect coin comes from the
+	// dedicated stream 5, so the base key and client sequences stay
+	// bit-identical to a spike-free run.
+	Spike *KeySpike
+}
+
+// RateModulation is a periodic piecewise-linear (triangle) wave over the
+// run's emission progress, used for diurnal-style load curves. The wave
+// starts at the trough: with Phase 0 the rate ramps from (1−Amplitude)·A
+// up to (1+Amplitude)·A and back, Cycles times over the run. A triangle
+// wave needs only Floor, Abs, multiply, and add, so — unlike a sinusoid —
+// its values are bit-reproducible on every platform.
+type RateModulation struct {
+	// Cycles is the number of full waves over the run's emissions (> 0).
+	Cycles float64
+	// Amplitude is the peak rate deviation as a fraction of the base rate,
+	// in [0, 1): the instantaneous rate swings between (1−A)·A₀ and
+	// (1+A)·A₀.
+	Amplitude float64
+	// Phase offsets the wave's start position as a cycle fraction in [0, 1).
+	Phase float64
+}
+
+func (m *RateModulation) validate() error {
+	if m.Cycles <= 0 {
+		return fmt.Errorf("modulation cycles %v: %w", m.Cycles, ErrInvalidParam)
+	}
+	if m.Amplitude < 0 || m.Amplitude >= 1 {
+		return fmt.Errorf("modulation amplitude %v outside [0, 1): %w", m.Amplitude, ErrInvalidParam)
+	}
+	if m.Phase < 0 || m.Phase >= 1 {
+		return fmt.Errorf("modulation phase %v outside [0, 1): %w", m.Phase, ErrInvalidParam)
+	}
+	return nil
+}
+
+// factor returns the instantaneous rate multiplier at emission progress
+// frac in [0, 1].
+func (m *RateModulation) factor(frac float64) float64 {
+	pos := m.Cycles*frac + m.Phase
+	pos -= math.Floor(pos)
+	return 1 + m.Amplitude*(1-4*math.Abs(pos-0.5))
+}
+
+// KeySpike is a flash-crowd window: between emission fractions At and
+// At+Duration, each emitted request redirects to Key with probability
+// Share.
+type KeySpike struct {
+	// At is the window start as an emission fraction in [0, 1).
+	At float64
+	// Duration is the window length as an emission fraction (> 0, with
+	// At+Duration ≤ 1).
+	Duration float64
+	// Share is the per-request redirect probability in (0, 1].
+	Share float64
+	// Key is the spiked key (< Keys).
+	Key uint64
+}
+
+func (k *KeySpike) validate(keys uint64) error {
+	if k.At < 0 || k.At >= 1 {
+		return fmt.Errorf("spike at %v outside [0, 1): %w", k.At, ErrInvalidParam)
+	}
+	if k.Duration <= 0 || k.At+k.Duration > 1 {
+		return fmt.Errorf("spike window [%v, %v) outside (0, 1]: %w", k.At, k.At+k.Duration, ErrInvalidParam)
+	}
+	if k.Share <= 0 || k.Share > 1 {
+		return fmt.Errorf("spike share %v outside (0, 1]: %w", k.Share, ErrInvalidParam)
+	}
+	if k.Key >= keys {
+		return fmt.Errorf("spike key %d outside key space %d: %w", k.Key, keys, ErrInvalidParam)
+	}
+	return nil
 }
 
 func (c SourceConfig) validate() error {
@@ -118,6 +200,16 @@ func (c SourceConfig) validate() error {
 	if c.ShiftAt > 0 && (c.ShiftFraction <= 0 || c.ShiftFraction > 1) {
 		return fmt.Errorf("shift fraction %v: %w", c.ShiftFraction, ErrInvalidParam)
 	}
+	if c.Modulation != nil {
+		if err := c.Modulation.validate(); err != nil {
+			return err
+		}
+	}
+	if c.Spike != nil {
+		if err := c.Spike.validate(c.Keys); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -132,6 +224,12 @@ type Source struct {
 	// shiftIndex requests have been emitted; nil when ShiftAt is 0.
 	shifted    *dist.Alias
 	shiftIndex int
+	// spikeRNG draws the flash-crowd redirect coins (stream 5); nil when
+	// the source has no spike. spikeStart/spikeEnd bound the window in
+	// emission indices.
+	spikeRNG   *sim.RNG
+	spikeStart int
+	spikeEnd   int
 	procs      []*dist.Poisson
 	emitted    int
 	// tickFn is the shared arrival handler: one func value for every
@@ -194,6 +292,18 @@ func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Reques
 		}
 	}
 
+	if cfg.Spike != nil {
+		// Stream 5 is reserved for the redirect coins: a spike-free run
+		// never derives it, so the base draw sequences stay bit-identical
+		// outside (and even inside) the window.
+		s.spikeRNG = rng.Stream(5)
+		s.spikeStart = int(cfg.Spike.At * float64(cfg.Total))
+		s.spikeEnd = s.spikeStart + int(cfg.Spike.Duration*float64(cfg.Total))
+		if s.spikeEnd > cfg.Total {
+			s.spikeEnd = cfg.Total
+		}
+	}
+
 	perGen := cfg.RatePerSec / float64(cfg.Generators)
 	for g := 0; g < cfg.Generators; g++ {
 		proc, err := dist.NewPoisson(perGen, rng.Stream(uint64(100+g)))
@@ -208,8 +318,23 @@ func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Reques
 // Start schedules every generator's first arrival.
 func (s *Source) Start() {
 	for _, proc := range s.procs {
-		s.eng.MustScheduleArg(proc.NextInterarrival(), s.tickFn, proc)
+		s.eng.MustScheduleArg(s.nextGap(proc), s.tickFn, proc)
 	}
+}
+
+// nextGap draws proc's next interarrival and applies rate modulation. The
+// draw itself is unconditional and unchanged, so a modulated source
+// consumes exactly the stream positions an unmodulated one does.
+func (s *Source) nextGap(proc *dist.Poisson) sim.Time {
+	d := proc.NextInterarrival()
+	if m := s.cfg.Modulation; m != nil {
+		frac := float64(s.emitted) / float64(s.cfg.Total)
+		d = sim.Time(float64(d) / m.factor(frac))
+		if d < 1 {
+			d = 1 // arrivals stay strictly ordered under any factor
+		}
+	}
+	return d
 }
 
 func (s *Source) tick(proc *dist.Poisson) {
@@ -220,15 +345,21 @@ func (s *Source) tick(proc *dist.Poisson) {
 	if s.shifted != nil && s.emitted >= s.shiftIndex {
 		table = s.shifted
 	}
+	client := table.Draw()
+	key := s.zipf.Draw()
+	if s.spikeRNG != nil && s.emitted >= s.spikeStart && s.emitted < s.spikeEnd &&
+		s.spikeRNG.Float64() < s.cfg.Spike.Share {
+		key = s.cfg.Spike.Key
+	}
 	req := Request{
 		Index:  s.emitted,
-		Client: table.Draw(),
-		Key:    s.zipf.Draw(),
+		Client: client,
+		Key:    key,
 	}
 	s.emitted++
 	s.emit(req)
 	if s.emitted < s.cfg.Total {
-		s.eng.MustScheduleArg(proc.NextInterarrival(), s.tickFn, proc)
+		s.eng.MustScheduleArg(s.nextGap(proc), s.tickFn, proc)
 	}
 }
 

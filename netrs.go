@@ -33,10 +33,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 
 	"netrs/internal/cluster"
 	"netrs/internal/exec"
 	"netrs/internal/faults"
+	"netrs/internal/scenario"
+	"netrs/internal/selection"
 	"netrs/internal/sim"
 	"netrs/internal/stats"
 )
@@ -85,6 +88,44 @@ const (
 
 // LoadFaultSchedule reads and validates a JSON fault-schedule file.
 func LoadFaultSchedule(path string) (FaultSchedule, error) { return faults.LoadSchedule(path) }
+
+// Scenario declares a run's composite stress scenario (diurnal load
+// curve, flash-crowd key spike, slow racks, heterogeneous server speeds,
+// trace replay, extra fault events); see internal/scenario for section
+// semantics and the JSON schema behind `netrs-sim -scenario`.
+type Scenario = scenario.Scenario
+
+// ScenarioNames lists the built-in scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName resolves a built-in scenario.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// LoadScenario reads and validates a JSON scenario file.
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// ResolveScenario accepts either a built-in scenario name or a JSON
+// scenario file path — the contract of `netrs-sim -scenario` and
+// `netrs-figs -scenarios`.
+func ResolveScenario(nameOrPath string) (Scenario, error) {
+	if s, err := scenario.ByName(nameOrPath); err == nil {
+		return s, nil
+	}
+	s, err := scenario.Load(nameOrPath)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%q is neither a built-in scenario %v nor a readable scenario file: %w",
+			nameOrPath, ScenarioNames(), err)
+	}
+	return s, nil
+}
+
+// SelectorNames lists the registered replica-selection algorithms, sorted
+// — the names Config.OperatorAlgorithm and the matrix sweep accept.
+func SelectorNames() []string {
+	names := append([]string(nil), selection.Algorithms()...)
+	sort.Strings(names)
+	return names
+}
 
 // TimelineTable renders a timeline series as a fixed-width text table.
 func TimelineTable(buckets []TimelineBucket) string { return stats.TimelineTable(buckets) }

@@ -34,5 +34,7 @@ check_floor() {
 check_floor netrs/internal/fabric 80.0
 check_floor netrs/internal/cluster 80.3
 check_floor netrs/internal/workload 90.0
+check_floor netrs/internal/selection 90.0
+check_floor netrs/internal/scenario 95.0
 
 echo "== OK (cover)"
