@@ -26,6 +26,12 @@
 // stress scenario of -scenarios (built-in names or JSON scenario files),
 // merged across -seeds into one four-panel comparison table.
 //
+// -fig cache runs the in-network cache tier study: a Zipf-skew ×
+// cache-budget grid comparing NetCache (cache-only ToRs) and NetRS+Cache
+// (ToR cache over the replica selector) against the four cacheless
+// schemes, reporting latency, hit rate, and write-invalidation counts,
+// plus a flash-crowd scenario cell. -write-fraction sets the write mix.
+//
 // The paper runs 6 M requests per point on a 1024-host fat-tree; that is
 // hours of simulation per figure. -requests and -scale trade statistical
 // depth for wall-clock time while preserving the comparisons' shape.
@@ -83,7 +89,7 @@ func scaledConfig(scale string) (netrs.Config, error) {
 
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-figs", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience, adapt, matrix")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 4, 5, 6, 7, resilience, adapt, matrix, cache")
 	requests := fs.Int("requests", 50000, "measured requests per point (paper: 6000000; env NETRS_REQUESTS overrides)")
 	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated deployment seeds (paper repeats 3×)")
 	scale := fs.String("scale", "medium", "cluster scale: paper, medium, small")
@@ -91,6 +97,7 @@ func run(args []string) (retErr error) {
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	parallel := fs.Int("parallel", 0, "concurrent trials: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default)")
 	selectorsFlag := fs.String("selectors", "c3,tars,lor,p2c", "-fig matrix: comma-separated replica-selection algorithms")
+	writeFraction := fs.Float64("write-fraction", 0.05, "-fig cache: workload write mix feeding cache invalidations")
 	scenariosFlag := fs.String("scenarios", "steady,diurnal,flash-crowd,slow-rack,heterogeneous", "-fig matrix: comma-separated scenario names or JSON files")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -140,6 +147,9 @@ func run(args []string) (retErr error) {
 	}
 	if *fig == "matrix" {
 		return runMatrix(base, seeds, *selectorsFlag, *scenariosFlag, *parallel, *quiet)
+	}
+	if *fig == "cache" {
+		return runCache(base, seeds, *writeFraction, *parallel, *quiet)
 	}
 
 	var sweeps []netrs.Sweep
@@ -231,6 +241,38 @@ func splitList(arg string) []string {
 		}
 	}
 	return out
+}
+
+// runCache evaluates the in-network cache tier study: Zipf skew × cache
+// budget for NetCache and NetRS+Cache over the four cacheless baselines,
+// plus the flash-crowd scenario cells, and prints a per-theta verdict on
+// whether NetRS+Cache beats plain NetRS-ToR.
+func runCache(base netrs.Config, seeds []uint64, writeFraction float64, parallel int, quiet bool) error {
+	base.WriteFraction = writeFraction
+	thetas := []float64{0.90, 0.99, 1.10}
+	budgets := []int64{8 << 10, 64 << 10, 512 << 10}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "[cache] %d thetas × %d budgets × %d seeds (write fraction %.1f%%)\n",
+			len(thetas), len(budgets), len(seeds), 100*writeFraction)
+	}
+	res, err := netrs.RunCacheStudy(base, thetas, budgets, seeds, netrs.RunOptions{Parallelism: parallel})
+	if err != nil {
+		if len(res.Cells) > 0 {
+			fmt.Println(res.Table())
+			fmt.Fprintf(os.Stderr, "netrs-figs: cache study incomplete: %d cells finished\n", len(res.Cells))
+		}
+		return err
+	}
+	fmt.Println(res.Table())
+	for _, th := range res.Thetas {
+		if bud, ok := res.CacheWin(th); ok {
+			fmt.Printf("theta %s: NetRS+Cache beats NetRS-ToR on mean AND p99 from budget %s\n", th, bud)
+		} else {
+			fmt.Printf("theta %s: NetRS+Cache does NOT beat NetRS-ToR on both mean and p99\n", th)
+		}
+	}
+	fmt.Println()
+	return nil
 }
 
 // runAdapt evaluates the controller-epoch adaptation experiment on the

@@ -38,7 +38,7 @@ func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netrs-sim", flag.ContinueOnError)
 	def := netrs.DefaultConfig()
 
-	scheme := fs.String("scheme", "NetRS-ILP", "scheme: CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP")
+	scheme := fs.String("scheme", "NetRS-ILP", "scheme: CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP, NetCache, NetRS+Cache")
 	seed := fs.Uint64("seed", def.Seed, "random seed (deployment, workload, service times)")
 	seedsFlag := fs.String("seeds", "", "comma-separated seeds for repeated runs (overrides -seed; merged summary reported)")
 	trialPar := fs.Int("parallel", 0, "concurrent repeated runs: 0 = GOMAXPROCS, 1 = sequential (env NETRS_PARALLEL sets the default; not -parallelism, which is per-server capacity)")
@@ -60,6 +60,9 @@ func run(args []string) (retErr error) {
 	epochMs := fs.Float64("epoch-ms", 0, "controller epoch interval in ms: re-solve the RSP from windowed monitor rates (NetRS-ILP only; 0 disables)")
 	shiftAt := fs.Float64("shift-at", 0, "demand-shift position as a completion fraction (0 disables; requires -skew)")
 	shiftFraction := fs.Float64("shift-fraction", 0, "fraction of client demand relocated to the opposite racks at -shift-at")
+	writeFraction := fs.Float64("write-fraction", def.WriteFraction, "fraction of requests that are writes (writes invalidate the ToR caches)")
+	cacheBytes := fs.Int64("cache-bytes", def.CacheBytes, "ToR cache byte budget for NetCache / NetRS+Cache (0 disables the caches)")
+	cacheAdmitAfter := fs.Int("cache-admit-after", def.CacheAdmitAfter, "misses a key needs before the ToR cache admits it (0 = package default)")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
 	configPath := fs.String("config", "", "load the experiment from a JSON config file (flags are ignored)")
 	faultsPath := fs.String("faults", "", "load a JSON fault schedule (typed crash/recovery/slowdown/link events executed on the sim timeline; enables the resilience timeline)")
@@ -76,7 +79,11 @@ func run(args []string) (retErr error) {
 	}
 	if *listSelectors || *listScenarios {
 		// Discovery flags mirror `netrs-lint -list-rules`: print the sorted
-		// catalog and exit successfully, ignoring the experiment flags.
+		// catalog and exit successfully. Combining them with run flags is a
+		// usage error — the run flags would be silently ignored otherwise.
+		if err := rejectRunFlags(fs); err != nil {
+			return err
+		}
 		if *listSelectors {
 			for _, name := range netrs.SelectorNames() {
 				fmt.Println(name)
@@ -145,6 +152,9 @@ func run(args []string) (retErr error) {
 	cfg.ControllerInterval = sim.FromMs(*epochMs)
 	cfg.DemandShiftAt = *shiftAt
 	cfg.DemandShiftFraction = *shiftFraction
+	cfg.WriteFraction = *writeFraction
+	cfg.CacheBytes = *cacheBytes
+	cfg.CacheAdmitAfter = *cacheAdmitAfter
 	if err := applyTopoPreset(&cfg, *topoPreset, fs); err != nil {
 		return err
 	}
@@ -169,6 +179,25 @@ func run(args []string) (retErr error) {
 		return nil
 	}
 	return execute(cfg, seeds, *trialPar, *jsonOut, *tracePath)
+}
+
+// rejectRunFlags fails when a discovery flag (-list-selectors,
+// -list-scenarios) is combined with any run flag: the discovery paths
+// exit before the experiment executes, so a set run flag can only be a
+// mistake and must not be dropped silently.
+func rejectRunFlags(fs *flag.FlagSet) error {
+	conflict := ""
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "list-selectors", "list-scenarios":
+		default:
+			conflict = f.Name
+		}
+	})
+	if conflict != "" {
+		return fmt.Errorf("-list-selectors/-list-scenarios print a catalog and exit; drop the conflicting -%s", conflict)
+	}
+	return nil
 }
 
 // topoPresets maps -topo names to cluster-scale settings: the fat-tree
@@ -280,6 +309,10 @@ func execute(cfg netrs.Config, seeds []uint64, parallel int, jsonOut bool, trace
 	}
 	if res.RedundantSent > 0 {
 		fmt.Printf("redundant   %d duplicates\n", res.RedundantSent)
+	}
+	if res.CacheHits+res.CacheMisses > 0 {
+		fmt.Printf("cache       %.1f%% hit rate (%d hits, %d admissions, %d invalidations)\n",
+			100*res.CacheHitRate(), res.CacheHits, res.CacheAdmissions, res.CacheInvalidations)
 	}
 	if res.DegradedResponses > 0 {
 		fmt.Printf("drs         %d responses via degraded replica selection\n", res.DegradedResponses)

@@ -162,6 +162,47 @@ func TestListScenarios(t *testing.T) {
 	}
 }
 
+func TestListFlagsRejectRunFlags(t *testing.T) {
+	cases := [][]string{
+		{"-list-selectors", "-requests", "500"},
+		{"-list-selectors", "-scheme", "NetRS-ToR"},
+		{"-list-scenarios", "-seeds", "1,2"},
+		{"-list-scenarios", "-json"},
+		tinyArgs("-list-selectors"),
+		tinyArgs("-list-scenarios"),
+	}
+	for _, args := range cases {
+		err := run(args)
+		if err == nil {
+			t.Fatalf("%v: run flags alongside a discovery flag accepted", args)
+		}
+		if !strings.Contains(err.Error(), "print a catalog and exit") {
+			t.Fatalf("%v: want a usage error naming the conflict, got: %v", args, err)
+		}
+	}
+	// The two discovery flags combine with each other just fine.
+	if err := run([]string{"-list-selectors", "-list-scenarios"}); err != nil {
+		t.Fatalf("discovery flags alone rejected: %v", err)
+	}
+}
+
+func TestRunCacheSchemes(t *testing.T) {
+	for _, scheme := range []string{"NetCache", "NetRS+Cache"} {
+		out := captureStdout(t, func() error {
+			return run(tinyArgs("-scheme", scheme, "-cache-bytes", "65536", "-write-fraction", "0.05"))
+		})
+		if !strings.Contains(out, "cache") {
+			t.Fatalf("%s: no cache line in output:\n%s", scheme, out)
+		}
+	}
+	if err := run(tinyArgs("-scheme", "CliRS", "-cache-bytes", "65536")); err == nil {
+		t.Fatal("cache budget on a cacheless scheme accepted")
+	}
+	if err := run(tinyArgs("-scheme", "NetCache", "-write-fraction", "1.5")); err == nil {
+		t.Fatal("write fraction above 1 accepted")
+	}
+}
+
 func TestListFlagsStableAcrossRuns(t *testing.T) {
 	a := captureStdout(t, func() error { return run([]string{"-list-selectors", "-list-scenarios"}) })
 	b := captureStdout(t, func() error { return run([]string{"-list-selectors", "-list-scenarios"}) })

@@ -54,6 +54,14 @@ type configJSON struct {
 	DemandShiftAt        float64 `json:"demandShiftAt,omitempty"`
 	DemandShiftFraction  float64 `json:"demandShiftFraction,omitempty"`
 
+	// The in-network cache tier (NetCache / NetRS+Cache schemes) and the
+	// workload write mix feeding its invalidation traffic.
+	WriteFraction     float64 `json:"writeFraction,omitempty"`
+	CacheBytes        int64   `json:"cacheBytes,omitempty"`
+	CacheAdmitAfter   int     `json:"cacheAdmitAfter,omitempty"`
+	CacheItemMinBytes int64   `json:"cacheItemMinBytes,omitempty"`
+	CacheItemMaxBytes int64   `json:"cacheItemMaxBytes,omitempty"`
+
 	// Scenario embeds the declared stress scenario (internal/scenario's
 	// own JSON schema, also accepted standalone by `netrs-sim -scenario`).
 	Scenario *Scenario `json:"scenario,omitempty"`
@@ -98,6 +106,11 @@ func MarshalConfig(cfg Config) ([]byte, error) {
 		ControllerIntervalMs:   cfg.ControllerInterval.Float64Ms(),
 		DemandShiftAt:          cfg.DemandShiftAt,
 		DemandShiftFraction:    cfg.DemandShiftFraction,
+		WriteFraction:          cfg.WriteFraction,
+		CacheBytes:             cfg.CacheBytes,
+		CacheAdmitAfter:        cfg.CacheAdmitAfter,
+		CacheItemMinBytes:      cfg.CacheItemMinBytes,
+		CacheItemMaxBytes:      cfg.CacheItemMaxBytes,
 	}
 	if !cfg.Scenario.Empty() || cfg.Scenario.Name != "" {
 		scn := cfg.Scenario
@@ -153,6 +166,11 @@ func UnmarshalConfig(data []byte) (Config, error) {
 	cfg.ControllerInterval = Time(j.ControllerIntervalMs * float64(Millisecond))
 	cfg.DemandShiftAt = j.DemandShiftAt
 	cfg.DemandShiftFraction = j.DemandShiftFraction
+	cfg.WriteFraction = j.WriteFraction
+	cfg.CacheBytes = j.CacheBytes
+	cfg.CacheAdmitAfter = j.CacheAdmitAfter
+	cfg.CacheItemMinBytes = j.CacheItemMinBytes
+	cfg.CacheItemMaxBytes = j.CacheItemMaxBytes
 	if j.Scenario != nil {
 		if err := j.Scenario.Validate(); err != nil {
 			return Config{}, err

@@ -10,7 +10,7 @@ import (
 func TestConfigJSONRoundTrip(t *testing.T) {
 	in := DefaultConfig()
 	in.Seed = 42
-	in.Scheme = SchemeNetRSILP
+	in.Scheme = SchemeNetRSCache
 	in.DemandSkew = 0.8
 	in.OperatorAlgorithm = "lor"
 	in.FailRSNodeAt = 0.5
@@ -19,6 +19,11 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	in.ControllerInterval = 100 * Millisecond
 	in.DemandShiftAt = 0.45
 	in.DemandShiftFraction = 0.75
+	in.WriteFraction = 0.05
+	in.CacheBytes = 64 << 10
+	in.CacheAdmitAfter = 2
+	in.CacheItemMinBytes = 64
+	in.CacheItemMaxBytes = 1024
 	in.Faults = []FaultEvent{
 		{Kind: FaultRSNodeCrash, AtMs: 400, RSNode: FaultTargetBusiest, DurationMs: 300},
 		{Kind: FaultServerSlowdown, AtFraction: 0.25, Server: 3, Multiplier: 4},

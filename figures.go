@@ -737,6 +737,268 @@ func (r MatrixResult) Lookup(selector, scenario string) (Summary, bool) {
 	return Summary{}, false
 }
 
+// CacheCell is one (theta, budget, scheme) measurement of the cache
+// study. The four cacheless baselines carry Budget "-" and a zero
+// HitRate; the cache schemes aggregate their ToR-cache counters across
+// seeds.
+type CacheCell struct {
+	Theta  string
+	Budget string
+	Scheme Scheme
+	// Merged is the seed-averaged summary.
+	Merged Summary
+	// HitRate is hits/(hits+misses) over the ToR caches, summed across
+	// seeds before dividing.
+	HitRate float64
+	// Invalidations counts cache entries removed by write-invalidation
+	// messages, summed across seeds.
+	Invalidations uint64
+	// Runs are the per-seed results.
+	Runs []Result
+}
+
+// CacheStudyResult is a fully evaluated cache study: the Zipf-skew ×
+// cache-budget grid over every scheme, plus the flash-crowd scenario
+// cells run at the base skew and the largest budget.
+type CacheStudyResult struct {
+	// WriteFraction is the workload write mix the study ran under; writes
+	// bypass the caches and fan invalidations out to them.
+	WriteFraction float64
+	Thetas        []string
+	Budgets       []string
+	Cells         []CacheCell
+	// Flash holds the flash-crowd scenario comparison (NetRS-ToR,
+	// NetCache, NetRS+Cache).
+	Flash []CacheCell
+}
+
+// cacheThetaLabel and cacheBudgetLabel are the study's axis labels.
+func cacheThetaLabel(th float64) string { return fmt.Sprintf("%.2f", th) }
+
+func cacheBudgetLabel(b int64) string {
+	if b >= 1<<20 && b%(1<<20) == 0 {
+		return fmt.Sprintf("%dMiB", b>>20)
+	}
+	return fmt.Sprintf("%dKiB", b>>10)
+}
+
+// cacheHitRate aggregates hits/(hits+misses) across a cell's runs.
+func cacheHitRate(runs []Result) float64 {
+	var hits, lookups uint64
+	for _, res := range runs {
+		hits += res.CacheHits
+		lookups += res.CacheHits + res.CacheMisses
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// RunCacheStudy evaluates the in-network cache tier: every Zipf theta ×
+// every cache byte budget for the two cache schemes (NetCache,
+// NetRS+Cache), with the four cacheless schemes run once per theta as
+// baselines, everything merged across seeds. A final flash-crowd cell
+// re-runs NetRS-ToR, NetCache, and NetRS+Cache at the base config's skew
+// and the largest budget under the built-in flash-crowd scenario — the
+// hot-key spike is exactly the traffic a ToR cache should absorb. The
+// write mix comes from base.WriteFraction (writes invalidate). Every
+// (cell, seed) trial fans independently across the worker pool; on
+// failure the partial result holds every cell whose trials all completed.
+func RunCacheStudy(base Config, thetas []float64, budgets []int64, seeds []uint64, opts RunOptions) (CacheStudyResult, error) {
+	out := CacheStudyResult{WriteFraction: base.WriteFraction}
+	if len(thetas) == 0 || len(budgets) == 0 {
+		return out, fmt.Errorf("netrs: cache study needs at least one theta and one budget")
+	}
+	if len(seeds) == 0 {
+		return out, fmt.Errorf("netrs: no seeds given")
+	}
+	for _, th := range thetas {
+		out.Thetas = append(out.Thetas, cacheThetaLabel(th))
+	}
+	for _, bud := range budgets {
+		out.Budgets = append(out.Budgets, cacheBudgetLabel(bud))
+	}
+	flashScn, err := ScenarioByName("flash-crowd")
+	if err != nil {
+		return out, err
+	}
+
+	type cellDef struct {
+		theta  float64
+		budget int64 // 0 for the cacheless baselines
+		scheme Scheme
+		flash  bool
+	}
+	var cells []cellDef
+	for _, th := range thetas {
+		for _, s := range Schemes() {
+			cells = append(cells, cellDef{theta: th, scheme: s})
+		}
+		for _, bud := range budgets {
+			cells = append(cells, cellDef{theta: th, budget: bud, scheme: SchemeNetCache})
+			cells = append(cells, cellDef{theta: th, budget: bud, scheme: SchemeNetRSCache})
+		}
+	}
+	largest := budgets[len(budgets)-1]
+	for _, s := range []Scheme{SchemeNetRSToR, SchemeNetCache, SchemeNetRSCache} {
+		bud := largest
+		if s == SchemeNetRSToR {
+			bud = 0
+		}
+		cells = append(cells, cellDef{theta: base.ZipfTheta, budget: bud, scheme: s, flash: true})
+	}
+
+	// Trial t runs cell t/len(seeds) with seed t%len(seeds), like the
+	// figure sweeps.
+	nSeeds := len(seeds)
+	done := make([]bool, len(cells)*nSeeds)
+	pool := exec.Pool{Workers: trialWorkers(opts.Parallelism, base.EffectiveShards())}
+	results, runErr := exec.Run(opts.Context, pool, len(done), func(_ context.Context, t int) (Result, error) {
+		c := cells[t/nSeeds]
+		cfg := base
+		cfg.ZipfTheta = c.theta
+		cfg.Scheme = c.scheme
+		cfg.CacheBytes = c.budget
+		cfg.Seed = seeds[t%nSeeds]
+		if c.flash {
+			cfg.Scenario = flashScn
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("cache theta=%v budget=%d %s: seed %d: %w",
+				c.theta, c.budget, c.scheme, cfg.Seed, err)
+		}
+		// Completion flags are published by the executor's final wait.
+		done[t] = true
+		return res, nil
+	})
+	if runErr != nil {
+		runErr = unwrapTrial(runErr)
+	}
+
+	// Assemble, in definition order, every cell whose trials all finished.
+	for ci, c := range cells {
+		complete := true
+		for s := 0; s < nSeeds; s++ {
+			if !done[ci*nSeeds+s] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		runs := append([]Result(nil), results[ci*nSeeds:(ci+1)*nSeeds]...)
+		summaries := make([]Summary, nSeeds)
+		for i, res := range runs {
+			summaries[i] = res.Summary
+		}
+		merged, err := stats.MergeSummaries(summaries)
+		if err != nil {
+			if runErr == nil {
+				runErr = fmt.Errorf("cache theta=%v %s: %w", c.theta, c.scheme, err)
+			}
+			continue
+		}
+		var inval uint64
+		for _, res := range runs {
+			inval += res.CacheInvalidations
+		}
+		budget := "-"
+		if c.budget > 0 {
+			budget = cacheBudgetLabel(c.budget)
+		}
+		cell := CacheCell{
+			Theta:         cacheThetaLabel(c.theta),
+			Budget:        budget,
+			Scheme:        c.scheme,
+			Merged:        merged,
+			HitRate:       cacheHitRate(runs),
+			Invalidations: inval,
+			Runs:          runs,
+		}
+		if c.flash {
+			out.Flash = append(out.Flash, cell)
+		} else {
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, runErr
+}
+
+// Lookup returns one grid cell of the study (flash cells excluded). The
+// cacheless baselines carry budget "-".
+func (r CacheStudyResult) Lookup(theta, budget string, s Scheme) (CacheCell, bool) {
+	for _, c := range r.Cells {
+		if c.Theta == theta && c.Budget == budget && c.Scheme == s {
+			return c, true
+		}
+	}
+	return CacheCell{}, false
+}
+
+// CacheWin reports whether NetRS+Cache beats plain NetRS-ToR on BOTH
+// mean and p99 latency at a theta, and at which budget; it returns the
+// first (smallest) winning budget.
+func (r CacheStudyResult) CacheWin(theta string) (budget string, ok bool) {
+	base, found := r.Lookup(theta, "-", SchemeNetRSToR)
+	if !found {
+		return "", false
+	}
+	for _, bud := range r.Budgets {
+		c, found := r.Lookup(theta, bud, SchemeNetRSCache)
+		if !found {
+			continue
+		}
+		if c.Merged.MeanMs < base.Merged.MeanMs && c.Merged.P99Ms < base.Merged.P99Ms {
+			return bud, true
+		}
+	}
+	return "", false
+}
+
+// cacheRow renders one cell row of the cache study table.
+func cacheRow(b *strings.Builder, c CacheCell) {
+	hitRate := "-"
+	if c.Budget != "-" {
+		hitRate = fmt.Sprintf("%.3f", c.HitRate)
+	}
+	fmt.Fprintf(b, "%-14s%8s%10.3f%10.3f%10.3f%10.3f%9s%8d\n",
+		c.Scheme, c.Budget, c.Merged.MeanMs, c.Merged.P95Ms, c.Merged.P99Ms,
+		c.Merged.P999Ms, hitRate, c.Invalidations)
+}
+
+// Table renders the cache study: one panel per Zipf theta with the four
+// baselines above the budget-swept cache schemes, then the flash-crowd
+// panel.
+func (r CacheStudyResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CACHE — in-network hot-key cache tier at the ToR RSNodes (write fraction %.1f%%)\n",
+		100*r.WriteFraction)
+	header := func() {
+		fmt.Fprintf(&b, "%-14s%8s%10s%10s%10s%10s%9s%8s\n",
+			"Scheme", "Budget", "Mean", "P95", "P99", "P99.9", "HitRate", "Inval")
+	}
+	for _, th := range r.Thetas {
+		fmt.Fprintf(&b, "\n[zipf theta %s] latency (ms)\n", th)
+		header()
+		for _, c := range r.Cells {
+			if c.Theta == th {
+				cacheRow(&b, c)
+			}
+		}
+	}
+	if len(r.Flash) > 0 {
+		fmt.Fprintf(&b, "\n[flash-crowd scenario, theta %s] latency (ms)\n", r.Flash[0].Theta)
+		header()
+		for _, c := range r.Flash {
+			cacheRow(&b, c)
+		}
+	}
+	return b.String()
+}
+
 // Table renders the matrix as the four panels of the figure sweeps (Avg,
 // 95th, 99th, 99.9th), selectors as columns and scenarios as rows, all in
 // milliseconds.

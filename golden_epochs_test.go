@@ -82,6 +82,38 @@ func TestGoldenEpochDigest(t *testing.T) {
 	}
 }
 
+// TestAdaptEpochsPlaceCleanly regression-tests the epoch-placement
+// failure once visible in the adapt figure as "controller epoch at
+// <t> ms: heuristic cannot place 1 groups (keeping plan)": the greedy
+// placement heuristic could corner itself on the shifted traffic matrix
+// and give up instead of repairing its warm start. The fix (warm-start
+// repair in the epoch re-solve) must keep every epoch of both arms
+// error-free under the exact mutations `netrs-figs -fig adapt` applies —
+// host-level traffic groups, 0.9 skew, a 150 µs accelerator — at reduced
+// scale.
+func TestAdaptEpochsPlaceCleanly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Requests = 12000
+	cfg.DemandSkew = 0.9
+	cfg.Fabric.AccelService = 150 * Microsecond
+	cfg.RackLevelGroups = false
+	res, err := RunAdapt(cfg, 0.45, 50*Millisecond, 50*Millisecond, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []struct {
+		name string
+		res  Result
+	}{{"static", res.Static}, {"epochs", res.Epochs}} {
+		if len(arm.res.Errors) != 0 {
+			t.Errorf("%s arm finished with errors: %q", arm.name, arm.res.Errors)
+		}
+	}
+	if len(res.Epochs.Epochs) == 0 {
+		t.Fatal("epochs arm recorded no controller epochs; the error check would be vacuous")
+	}
+}
+
 // TestAdaptExperimentShape asserts the adaptation experiment's qualitative
 // claim at test scale: after the demand shift relocates the hot racks, the
 // static plan's overloaded RSNode drives latency up and keeps it there,

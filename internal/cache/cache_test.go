@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+)
+
+// fixed builds a cache with uniform 100-byte items so capacity arithmetic
+// in tests is exact, admitting on the first response.
+func fixed(t *testing.T, budget int64) *Cache {
+	t.Helper()
+	c, err := New(Config{Budget: budget, AdmitAfter: 1, MinItem: 100, MaxItem: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// missAdmit drives a key through one miss and its admission.
+func missAdmit(t *testing.T, c *Cache, key uint64) {
+	t.Helper()
+	if c.Lookup(key) {
+		t.Fatalf("key %d unexpectedly resident", key)
+	}
+	if !c.Admit(key) {
+		t.Fatalf("key %d not admitted", key)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Budget: -1},
+		{Budget: 10, AdmitAfter: -1},
+		{Budget: 10, MinItem: -5},
+		{Budget: 10, MaxItem: -5},
+		{Budget: 10, MinItem: 200, MaxItem: 100},
+	} {
+		if _, err := New(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("New(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c, err := New(Config{Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.admitAfter != DefaultAdmitAfter || c.minItem != DefaultMinItem || c.span != DefaultMaxItem-DefaultMinItem+1 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	for _, key := range []uint64{0, 1, 42, 1 << 60} {
+		if s := c.ItemSize(key); s < DefaultMinItem || s > DefaultMaxItem {
+			t.Fatalf("ItemSize(%d) = %d outside defaults", key, s)
+		}
+		if c.ItemSize(key) != c.ItemSize(key) {
+			t.Fatal("item size not deterministic")
+		}
+	}
+}
+
+func TestDisabledCacheIsInert(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("zero-budget cache reports enabled")
+	}
+	for i := uint64(0); i < 10; i++ {
+		if c.Lookup(i) {
+			t.Fatal("disabled cache hit")
+		}
+		if c.Admit(i) {
+			t.Fatal("disabled cache admitted")
+		}
+		if c.Invalidate(i) {
+			t.Fatal("disabled cache invalidated")
+		}
+	}
+	if s := c.Stats(); s.Misses != 10 || s.Hits != 0 || s.Admissions != 0 {
+		t.Fatalf("disabled stats = %+v", s)
+	}
+	if c.Len() != 0 || c.Used() != 0 || c.Budget() != 0 {
+		t.Fatal("disabled cache holds state")
+	}
+}
+
+func TestAdmissionGate(t *testing.T) {
+	c, err := New(Config{Budget: 1000, AdmitAfter: 3, MinItem: 100, MaxItem: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two misses: still below the gate.
+	c.Lookup(7)
+	c.Lookup(7)
+	if c.Admit(7) {
+		t.Fatal("admitted below the frequency gate")
+	}
+	c.Lookup(7)
+	if !c.Admit(7) {
+		t.Fatal("not admitted at the gate")
+	}
+	if !c.Lookup(7) {
+		t.Fatal("admitted key misses")
+	}
+	// Re-admitting a resident key is a no-op.
+	if c.Admit(7) {
+		t.Fatal("resident key re-admitted")
+	}
+	if s := c.Stats(); s.Admissions != 1 || s.Hits != 1 || s.Misses != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := fixed(t, 300) // room for exactly 3 items
+	for _, k := range []uint64{1, 2, 3} {
+		missAdmit(t, c, k)
+	}
+	if c.Len() != 3 || c.Used() != 300 {
+		t.Fatalf("len=%d used=%d", c.Len(), c.Used())
+	}
+	// Refresh 1 so 2 becomes the LRU tail, then admit 4.
+	if !c.Lookup(1) {
+		t.Fatal("1 missing")
+	}
+	missAdmit(t, c, 4)
+	if c.Lookup(2) {
+		t.Fatal("2 should have been evicted as LRU")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if !c.Lookup(k) {
+			t.Fatalf("%d evicted unexpectedly", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d", s.Evictions)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := fixed(t, 300)
+	missAdmit(t, c, 1)
+	missAdmit(t, c, 2)
+	if !c.Invalidate(1) {
+		t.Fatal("resident key not invalidated")
+	}
+	if c.Invalidate(1) {
+		t.Fatal("absent key invalidated")
+	}
+	if c.Lookup(1) {
+		t.Fatal("invalidated key still hits")
+	}
+	if !c.Lookup(2) {
+		t.Fatal("unrelated key lost")
+	}
+	if c.Used() != 100 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d after invalidate", c.Used(), c.Len())
+	}
+	if s := c.Stats(); s.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", s.Invalidations)
+	}
+	// The invalidated key's doorkeeper count survives, so it re-enters
+	// after one more miss/response pass.
+	missAdmit(t, c, 1)
+	if !c.Lookup(1) {
+		t.Fatal("key not re-admitted after invalidation")
+	}
+}
+
+func TestOversizedItemNeverAdmitted(t *testing.T) {
+	c, err := New(Config{Budget: 50, AdmitAfter: 1, MinItem: 100, MaxItem: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup(9)
+	if c.Admit(9) {
+		t.Fatal("item larger than the whole budget admitted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache holds an oversized item")
+	}
+}
+
+func TestVariableSizesRespectBudget(t *testing.T) {
+	c, err := New(Config{Budget: 4096, AdmitAfter: 1, MinItem: 64, MaxItem: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		c.Lookup(k)
+		c.Admit(k)
+		if c.Used() > c.Budget() {
+			t.Fatalf("used %d exceeds budget %d", c.Used(), c.Budget())
+		}
+	}
+	// Residency must account every resident item's exact size.
+	var sum int64
+	for k := uint64(0); k < 200; k++ {
+		if e, ok := c.entries[k]; ok {
+			if e.size != c.ItemSize(k) {
+				t.Fatalf("entry size %d, ItemSize %d", e.size, c.ItemSize(k))
+			}
+			sum += e.size
+		}
+	}
+	if sum != c.Used() {
+		t.Fatalf("summed sizes %d, Used() %d", sum, c.Used())
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+}
+
+func TestMoveToFrontMiddleAndTail(t *testing.T) {
+	c := fixed(t, 400)
+	for _, k := range []uint64{1, 2, 3, 4} {
+		missAdmit(t, c, k)
+	}
+	// LRU order (old → new): 1 2 3 4. Touch the tail (1) and a middle
+	// entry (3), then force two evictions: 2 and 4 must go.
+	c.Lookup(1)
+	c.Lookup(3)
+	missAdmit(t, c, 5)
+	missAdmit(t, c, 6)
+	if c.Lookup(2) || c.Lookup(4) {
+		t.Fatal("refreshed order not honored by eviction")
+	}
+	for _, k := range []uint64{1, 3, 5, 6} {
+		if !c.Lookup(k) {
+			t.Fatalf("%d evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestEntryRecycling(t *testing.T) {
+	c := fixed(t, 100)
+	missAdmit(t, c, 1)
+	c.Lookup(2)
+	c.Admit(2) // evicts 1, recycles its entry
+	if c.free != nil {
+		t.Fatal("free list should be drained by the recycled admit")
+	}
+	if !c.Lookup(2) || c.Lookup(1) {
+		t.Fatal("recycled entry corrupted residency")
+	}
+}
+
+func TestDoorkeeperResetBoundsMemory(t *testing.T) {
+	c, err := New(Config{Budget: 100, AdmitAfter: 2, MinItem: 100, MaxItem: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.seenCap != 1024 {
+		t.Fatalf("seenCap = %d, want the 1024 floor", c.seenCap)
+	}
+	for k := uint64(0); k < 5000; k++ {
+		c.Lookup(k)
+		if len(c.seen) > c.seenCap {
+			t.Fatalf("doorkeeper grew to %d past cap %d", len(c.seen), c.seenCap)
+		}
+	}
+}
+
+func TestStatsAreDeterministic(t *testing.T) {
+	run := func() Stats {
+		c, err := New(Config{Budget: 2048, AdmitAfter: 2, MinItem: 64, MaxItem: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			key := uint64(i*i) % 97
+			if !c.Lookup(key) {
+				c.Admit(key)
+			}
+			if i%17 == 0 {
+				c.Invalidate(key)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stats diverged: %+v vs %+v", a, b)
+	}
+	if a.Hits == 0 || a.Misses == 0 || a.Admissions == 0 || a.Invalidations == 0 {
+		t.Fatalf("workload failed to exercise all paths: %+v", a)
+	}
+}

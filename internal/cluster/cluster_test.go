@@ -55,7 +55,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.FluctuationInterval = -1 },
 		func(c *Config) { c.FluctuationRange = 0.5 },
 		func(c *Config) { c.VNodes = 0 },
-		func(c *Config) { c.ZipfTheta = 1.2 },
+		func(c *Config) { c.ZipfTheta = 1.3 },
 		func(c *Config) { c.Clients = 0 },
 		func(c *Config) { c.DemandSkew = 1.5 },
 		func(c *Config) { c.Utilization = 0 },
@@ -65,6 +65,12 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.AccelMaxUtilization = 0 },
 		func(c *Config) { c.ExtraHopBudgetFraction = -1 },
 		func(c *Config) { c.Scheme = SchemeCliRSR95; c.RedundantPercentile = 1.5 },
+		func(c *Config) { c.WriteFraction = 1 },
+		func(c *Config) { c.WriteFraction = -0.1 },
+		func(c *Config) { c.Scheme = SchemeNetCache; c.CacheBytes = -1 },
+		func(c *Config) { c.Scheme = SchemeNetRSCache; c.CacheBytes = 1 << 20; c.CacheAdmitAfter = -1 },
+		func(c *Config) { c.Scheme = SchemeNetRSCache; c.CacheBytes = 1 << 20; c.CacheItemMinBytes = -1 },
+		func(c *Config) { c.CacheBytes = 1 << 20 }, // cache budget without a cache scheme
 	}
 	for i, mod := range mods {
 		cfg := DefaultConfig()

@@ -1,7 +1,8 @@
 // Package cluster assembles full NetRS experiments: it builds the
 // fat-tree fabric, the consistent-hash ring, the fluctuating replica
 // servers, the client population, and the open-loop workload, wires one of
-// the paper's four schemes (CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP), runs
+// the paper's four schemes (CliRS, CliRS-R95, NetRS-ToR, NetRS-ILP) or a
+// cache tier extension (NetCache, NetRS+Cache), runs
 // the discrete-event simulation, and reports the latency distribution —
 // the machinery behind every figure of §V.
 package cluster
@@ -10,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"netrs/internal/dist"
 	"netrs/internal/fabric"
 	"netrs/internal/faults"
 	"netrs/internal/placement"
@@ -23,7 +25,7 @@ var ErrInvalidParam = errors.New("cluster: invalid parameter")
 // Scheme selects the replica-selection deployment under test (§V-A).
 type Scheme int
 
-// The four schemes of the evaluation.
+// The four schemes of the evaluation, plus the cache tier extensions.
 const (
 	// SchemeCliRS: every client is an RSNode running C3 — the
 	// conventional deployment of Cassandra/Dynamo-style stores.
@@ -38,6 +40,13 @@ const (
 	// SchemeNetRSILP: NetRS with the RSP computed by the controller's
 	// ILP placement.
 	SchemeNetRSILP
+	// SchemeNetCache: the in-network cache tier alone — each rack's ToR
+	// answers hot-key hits from its cache and sends misses to the replica
+	// group's fixed primary, with no replica selection anywhere.
+	SchemeNetCache
+	// SchemeNetRSCache: NetRS-ToR composed with the cache tier — the ToR
+	// RSNode answers hits locally and runs its selector on misses.
+	SchemeNetRSCache
 )
 
 // String names the scheme as the paper does.
@@ -51,19 +60,31 @@ func (s Scheme) String() string {
 		return "NetRS-ToR"
 	case SchemeNetRSILP:
 		return "NetRS-ILP"
+	case SchemeNetCache:
+		return "NetCache"
+	case SchemeNetRSCache:
+		return "NetRS+Cache"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
 }
 
-// Schemes lists all four in the paper's presentation order.
+// Schemes lists the paper's four schemes in presentation order. The cache
+// tier's two schemes are deliberately not here: sweeps and goldens that
+// iterate Schemes() predate them and stay byte-identical.
 func Schemes() []Scheme {
 	return []Scheme{SchemeCliRS, SchemeCliRSR95, SchemeNetRSToR, SchemeNetRSILP}
 }
 
+// AllSchemes lists every scheme, the four of Schemes() plus the cache
+// tier's NetCache and NetRS+Cache.
+func AllSchemes() []Scheme {
+	return append(Schemes(), SchemeNetCache, SchemeNetRSCache)
+}
+
 // ParseScheme resolves a scheme name (case-sensitive, as printed).
 func ParseScheme(name string) (Scheme, error) {
-	for _, s := range Schemes() {
+	for _, s := range AllSchemes() {
 		if s.String() == name {
 			return s, nil
 		}
@@ -124,6 +145,25 @@ type Config struct {
 	// shaping at the RSNodes.
 	Scheme      Scheme
 	RateControl bool
+
+	// WriteFraction is the share of requests that are updates. Writes
+	// always travel to a replica server; with a cache scheme, a committed
+	// write fans out invalidation messages to every ToR cache. Zero (the
+	// default) keeps the workload read-only and the RNG streams
+	// bit-identical to the pre-write layout.
+	WriteFraction float64
+
+	// CacheBytes is the per-ToR hot-key cache budget for the cache
+	// schemes (NetCache, NetRS+Cache). Zero leaves every cache disabled —
+	// NetRS+Cache then behaves bit-identically to NetRS-ToR.
+	CacheBytes int64
+	// CacheAdmitAfter is the cache's frequency-gated admission threshold
+	// (misses before a response may admit); zero means the package
+	// default. CacheItemMinBytes/CacheItemMaxBytes bound the
+	// deterministic per-key item sizes; zeros mean the defaults.
+	CacheAdmitAfter   int
+	CacheItemMinBytes int64
+	CacheItemMaxBytes int64
 
 	// OperatorAlgorithm selects the replica-selection algorithm NetRS
 	// RSNodes run; empty means C3 (the paper's choice). Any name from
@@ -233,6 +273,12 @@ type Config struct {
 	Shards int
 }
 
+// IsCacheScheme reports whether the scheme deploys the ToR hot-key cache
+// tier.
+func (c Config) IsCacheScheme() bool {
+	return c.Scheme == SchemeNetCache || c.Scheme == SchemeNetRSCache
+}
+
 // EffectiveShards is the normalized Shards knob: zero (unset) and one
 // both mean the sequential single-engine path, so every dispatch site —
 // the runner selection here, the trial-worker division in the facade —
@@ -293,8 +339,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("fluctuation range %v: %w", c.FluctuationRange, ErrInvalidParam)
 	case c.VNodes < 1 || c.Keys < 2:
 		return fmt.Errorf("vnodes=%d keys=%d: %w", c.VNodes, c.Keys, ErrInvalidParam)
-	case c.ZipfTheta <= 0 || c.ZipfTheta >= 1:
-		return fmt.Errorf("zipf theta %v: %w", c.ZipfTheta, ErrInvalidParam)
+	case c.ZipfTheta <= 0 || c.ZipfTheta > dist.MaxTheta:
+		return fmt.Errorf("zipf theta %v outside (0, %v]: %w", c.ZipfTheta, dist.MaxTheta, ErrInvalidParam)
 	case c.Clients < 1 || c.Generators < 1:
 		return fmt.Errorf("clients=%d generators=%d: %w", c.Clients, c.Generators, ErrInvalidParam)
 	case c.DemandSkew < 0 || c.DemandSkew > 1:
@@ -305,8 +351,19 @@ func (c Config) validate() error {
 		return fmt.Errorf("requests %d: %w", c.Requests, ErrInvalidParam)
 	case c.WarmupFraction < 0 || c.WarmupFraction > 1:
 		return fmt.Errorf("warmup fraction %v: %w", c.WarmupFraction, ErrInvalidParam)
-	case c.Scheme < SchemeCliRS || c.Scheme > SchemeNetRSILP:
+	case c.Scheme < SchemeCliRS || c.Scheme > SchemeNetRSCache:
 		return fmt.Errorf("scheme %d: %w", int(c.Scheme), ErrInvalidParam)
+	case c.WriteFraction < 0 || c.WriteFraction >= 1:
+		return fmt.Errorf("write fraction %v outside [0, 1): %w", c.WriteFraction, ErrInvalidParam)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("cache bytes %d: %w", c.CacheBytes, ErrInvalidParam)
+	case c.CacheAdmitAfter < 0:
+		return fmt.Errorf("cache admit-after %d: %w", c.CacheAdmitAfter, ErrInvalidParam)
+	case c.CacheItemMinBytes < 0 || c.CacheItemMaxBytes < 0:
+		return fmt.Errorf("cache item sizes [%d, %d]: %w", c.CacheItemMinBytes, c.CacheItemMaxBytes, ErrInvalidParam)
+	case c.CacheBytes > 0 && !c.IsCacheScheme():
+		return fmt.Errorf("cache bytes %d need scheme NetCache or NetRS+Cache, got %s: %w",
+			c.CacheBytes, c.Scheme, ErrInvalidParam)
 	case c.AccelMaxUtilization <= 0 || c.AccelMaxUtilization > 1:
 		return fmt.Errorf("accel utilization cap %v: %w", c.AccelMaxUtilization, ErrInvalidParam)
 	case c.ExtraHopBudgetFraction < 0:

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"netrs/internal/c3"
+	"netrs/internal/cache"
 	"netrs/internal/fabric"
 	"netrs/internal/faults"
 	"netrs/internal/kv"
@@ -78,6 +79,25 @@ type Result struct {
 	// Epochs is the per-epoch plan history when Config.ControllerInterval
 	// is positive: one record per periodic controller re-solve.
 	Epochs []EpochRecord `json:"epochs,omitempty"`
+	// Cache counters, summed over every ToR cache (cache schemes only).
+	// CacheHits answered in the switch; CacheMisses consulted the cache
+	// and went on to a replica; CacheInvalidations are keys dropped by
+	// write coherence messages.
+	CacheHits          uint64 `json:"cacheHits,omitempty"`
+	CacheMisses        uint64 `json:"cacheMisses,omitempty"`
+	CacheAdmissions    uint64 `json:"cacheAdmissions,omitempty"`
+	CacheEvictions     uint64 `json:"cacheEvictions,omitempty"`
+	CacheInvalidations uint64 `json:"cacheInvalidations,omitempty"`
+}
+
+// CacheHitRate is the fraction of cache-consulted requests answered in
+// the network, 0 when the run never consulted a cache.
+func (r Result) CacheHitRate() float64 {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
 }
 
 // EpochRecord summarizes one controller epoch — one firing of the periodic
@@ -115,6 +135,8 @@ type pending struct {
 	client     *client
 	rgid       int
 	replicas   []int
+	key        uint64
+	write      bool
 	created    sim.Time
 	done       bool
 	primary    int
@@ -168,6 +190,11 @@ type runner struct {
 	plan    placement.Plan
 	hasPlan bool
 
+	// invalidationToRs lists the ToR switches holding an enabled cache,
+	// in topology order — the write-coherence fan-out targets. Empty
+	// unless a cache scheme runs with a positive budget.
+	invalidationToRs []topo.NodeID
+
 	injector     *faults.Injector
 	timeline     *stats.Timeline
 	errs         []string
@@ -219,7 +246,7 @@ func Run(cfg Config) (Result, error) {
 		eng:      sim.NewEngine(),
 		pendings: make(map[uint64]*packetCtx),
 		tickets:  make(map[uint64]kv.Ticket),
-		netrs:    cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP,
+		netrs:    cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP || cfg.Scheme == SchemeNetRSCache,
 	}
 	r.launchPickFn = func(arg any) { r.launchPick(arg.(*packetCtx)) }
 	r.redundantFn = func(arg any) { r.fireRedundant(arg.(*pending)) }
@@ -369,6 +396,7 @@ func (r *runner) setup() error {
 			Total:         r.total,
 			ShiftAt:       cfg.DemandShiftAt,
 			ShiftFraction: cfg.DemandShiftFraction,
+			WriteFraction: cfg.WriteFraction,
 			Modulation:    cfg.Scenario.RateModulation(),
 			Spike:         cfg.Scenario.KeySpike(),
 		}
@@ -411,7 +439,71 @@ func (r *runner) setup() error {
 			return err
 		}
 	}
+
+	// The cache tier. NetCache resolves misses through the group database
+	// directly (no selection control plane); both cache schemes attach one
+	// cache per ToR operator.
+	if cfg.Scheme == SchemeNetCache {
+		installOperatorDBs(r.net, r.ring, r.serverHostOf)
+	}
+	if cfg.IsCacheScheme() {
+		tors, err := enableCaches(cfg, r.net)
+		if err != nil {
+			return err
+		}
+		r.invalidationToRs = tors
+	}
 	return nil
+}
+
+// installOperatorDBs installs the ring-backed replica-group database and
+// server locator directly on every operator — the NetCache resolution
+// path, which needs no controller.
+func installOperatorDBs(net *fabric.Network, ring *kv.Ring, serverHostOf []topo.NodeID) {
+	db := func(rgid uint32) ([]int, error) { return ring.Replicas(int(rgid)) }
+	loc := func(server int) (topo.NodeID, error) {
+		if server < 0 || server >= len(serverHostOf) {
+			return topo.InvalidNode, fmt.Errorf("server %d: %w", server, ErrInvalidParam)
+		}
+		return serverHostOf[server], nil
+	}
+	for _, op := range net.OperatorsSorted() {
+		op.SetDatabases(db, loc)
+	}
+}
+
+// enableCaches attaches one hot-key cache to every ToR operator in the
+// scheme's mode and returns the invalidation fan-out targets in topology
+// order. A zero budget still attaches (inert) caches — NetCache needs the
+// pipeline either way — but yields no fan-out targets, so disabled runs
+// carry no coherence traffic.
+func enableCaches(cfg Config, net *fabric.Network) ([]topo.NodeID, error) {
+	mode := fabric.CacheModeStandalone
+	if cfg.Scheme == SchemeNetRSCache {
+		mode = fabric.CacheModeSelector
+	}
+	var tors []topo.NodeID
+	for _, op := range net.OperatorsSorted() {
+		if op.Tier() != topo.TierToR {
+			continue
+		}
+		c, err := cache.New(cache.Config{
+			Budget:     cfg.CacheBytes,
+			AdmitAfter: cfg.CacheAdmitAfter,
+			MinItem:    cfg.CacheItemMinBytes,
+			MaxItem:    cfg.CacheItemMaxBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := op.EnableCache(c, mode); err != nil {
+			return nil, err
+		}
+		if cfg.CacheBytes > 0 {
+			tors = append(tors, op.Switch())
+		}
+	}
+	return tors, nil
 }
 
 // operatorSelectorFactory builds the per-operator replica-selection state.
@@ -604,6 +696,12 @@ func (r *runner) execute() (Result, error) {
 		res.RSNodes = len(r.plan.RSNodes)
 		res.DegradedGroups = len(r.plan.Degraded)
 		res.PlanMethod = r.plan.Method
+	} else if r.cfg.Scheme == SchemeNetCache {
+		for _, op := range r.net.OperatorsSorted() {
+			if op.Cache() != nil {
+				res.RSNodes++
+			}
+		}
 	} else {
 		res.RSNodes = r.cfg.Clients
 	}
@@ -625,8 +723,23 @@ func (r *runner) execute() (Result, error) {
 			res.MaxAccelUtilization = u
 		}
 		res.OperatorSelections += op.Stats().Selections
+		collectCacheStats(op, &res)
 	}
 	return res, nil
+}
+
+// collectCacheStats folds one operator's cache counters into the result.
+func collectCacheStats(op *fabric.Operator, res *Result) {
+	cc := op.Cache()
+	if cc == nil {
+		return
+	}
+	s := cc.Stats()
+	res.CacheHits += s.Hits
+	res.CacheMisses += s.Misses
+	res.CacheAdmissions += s.Admissions
+	res.CacheEvictions += s.Evictions
+	res.CacheInvalidations += s.Invalidations
 }
 
 // onArrival is the workload sink: one logical read request.
@@ -642,10 +755,12 @@ func (r *runner) onArrival(req workload.Request) {
 		client:     c,
 		rgid:       rgid,
 		replicas:   replicas,
+		key:        req.Key,
+		write:      req.Write,
 		created:    r.eng.Now(),
 		primary:    -1,
 	}
-	if r.netrs {
+	if r.netrs || r.cfg.Scheme == SchemeNetCache {
 		r.sendNetRS(p)
 		return
 	}
@@ -756,6 +871,8 @@ func (r *runner) sendNetRS(p *pending) {
 	pkt.Dst = topo.InvalidNode
 	pkt.Backup = r.serverHostOf[backup]
 	pkt.BackupServer = backup
+	pkt.Key = p.key
+	pkt.Write = p.write
 	pkt.CreatedAt = p.created
 	if err := r.net.SendNetRSRequest(pkt, c.host); err != nil {
 		delete(r.pendings, pid)
@@ -771,6 +888,8 @@ func (r *runner) serverHandler(sid int) fabric.HostHandler {
 		reqID := pkt.ReqID
 		rid := pkt.RID
 		rgid := pkt.RGID
+		key := pkt.Key
+		write := pkt.Write
 		clientHost := pkt.Src
 		created := pkt.CreatedAt
 		ticket := srv.Submit(kv.Request{Done: func(sim.Time) {
@@ -789,14 +908,34 @@ func (r *runner) serverHandler(sid int) fabric.HostHandler {
 			resp.Dst = clientHost
 			resp.Server = sid
 			resp.Status = srv.Status()
+			resp.Key = key
+			resp.Write = write
 			resp.CreatedAt = created
 			if err := r.net.SendResponse(resp, host); err != nil {
 				return
+			}
+			if write {
+				r.sendInvalidations(host, reqID, key)
 			}
 		}})
 		if r.cfg.CancelDuplicates {
 			r.tickets[reqID] = ticket
 		}
+	}
+}
+
+// sendInvalidations fans a committed write's coherence messages out from
+// the server's host to every enabled ToR cache, one packet per rack in
+// topology order. With no enabled caches it is a no-op.
+func (r *runner) sendInvalidations(host topo.NodeID, reqID uint64, key uint64) {
+	for _, tor := range r.invalidationToRs {
+		inv := r.net.NewPacket()
+		inv.ReqID = reqID
+		inv.Key = key
+		inv.Write = true
+		inv.Dst = tor
+		// Host→switch routes always exist; an error would be a topology bug.
+		_ = r.net.SendInvalidation(inv, host, tor)
 	}
 }
 
@@ -809,7 +948,11 @@ func (r *runner) clientHandler(c *client) fabric.HostHandler {
 		}
 		delete(r.pendings, pkt.ReqID)
 		now := r.eng.Now()
-		c.sel.OnResponse(pkt.Server, now-ctx.sentAt, pkt.Status)
+		// Cache hits carry the -1 server sentinel: no replica served them,
+		// so there is no feedback to fold into the selector.
+		if pkt.Server >= 0 {
+			c.sel.OnResponse(pkt.Server, now-ctx.sentAt, pkt.Status)
+		}
 		if pkt.RID == wire.DegradedRID {
 			r.degradedResponses++
 		}

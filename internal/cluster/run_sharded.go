@@ -154,6 +154,10 @@ type shardedRunner struct {
 	plan    placement.Plan
 	hasPlan bool
 
+	// invalidationToRs mirrors the sequential runner's write-coherence
+	// fan-out targets.
+	invalidationToRs []topo.NodeID
+
 	errs   []string
 	epochs []EpochRecord
 
@@ -168,7 +172,7 @@ type shardedRunner struct {
 func runSharded(cfg Config) (Result, error) {
 	r := &shardedRunner{
 		cfg:   cfg,
-		netrs: cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP,
+		netrs: cfg.Scheme == SchemeNetRSToR || cfg.Scheme == SchemeNetRSILP || cfg.Scheme == SchemeNetRSCache,
 	}
 	if err := r.setup(); err != nil {
 		return Result{}, err
@@ -282,6 +286,7 @@ func (r *shardedRunner) setup() error {
 		Total:         r.total,
 		ShiftAt:       cfg.DemandShiftAt,
 		ShiftFraction: cfg.DemandShiftFraction,
+		WriteFraction: cfg.WriteFraction,
 		// The scenario's workload shaping lives inside the source, so the
 		// pre-generation pass replays it bit-exactly at any shard count.
 		Modulation: cfg.Scenario.RateModulation(),
@@ -314,6 +319,18 @@ func (r *shardedRunner) setup() error {
 		if err := r.setupControlPlane(deployment.ClientHosts, rate); err != nil {
 			return err
 		}
+	}
+
+	// The cache tier, via the same helpers the sequential runner uses.
+	if cfg.Scheme == SchemeNetCache {
+		installOperatorDBs(r.net, r.ring, r.serverHostOf)
+	}
+	if cfg.IsCacheScheme() {
+		tors, err := enableCaches(cfg, r.net)
+		if err != nil {
+			return err
+		}
+		r.invalidationToRs = tors
 	}
 	return nil
 }
@@ -497,6 +514,12 @@ func (r *shardedRunner) execute() (Result, error) {
 		res.RSNodes = len(r.plan.RSNodes)
 		res.DegradedGroups = len(r.plan.Degraded)
 		res.PlanMethod = r.plan.Method
+	} else if cfg.Scheme == SchemeNetCache {
+		for _, op := range r.net.OperatorsSorted() {
+			if op.Cache() != nil {
+				res.RSNodes++
+			}
+		}
 	} else {
 		res.RSNodes = cfg.Clients
 	}
@@ -513,6 +536,7 @@ func (r *shardedRunner) execute() (Result, error) {
 			res.MaxAccelUtilization = u
 		}
 		res.OperatorSelections += op.Stats().Selections
+		collectCacheStats(op, &res)
 	}
 	return res, nil
 }
@@ -579,6 +603,8 @@ func (r *shardedRunner) onArrival(a *timedRequest) {
 		client:     c,
 		rgid:       rgid,
 		replicas:   replicas,
+		key:        req.Key,
+		write:      req.Write,
 		created:    r.set.Engine(part).Now(),
 		primary:    -1,
 	})
@@ -587,7 +613,7 @@ func (r *shardedRunner) onArrival(a *timedRequest) {
 	// pre-generated index reproduces that sequence without a shared
 	// counter.
 	pid := uint64(req.Index) + 1
-	if r.netrs {
+	if r.netrs || r.cfg.Scheme == SchemeNetCache {
 		r.sendNetRS(part, p, pid)
 		return
 	}
@@ -657,6 +683,8 @@ func (r *shardedRunner) sendNetRS(part int, p *pending, pid uint64) {
 	pkt.Dst = topo.InvalidNode
 	pkt.Backup = r.serverHostOf[backup]
 	pkt.BackupServer = backup
+	pkt.Key = p.key
+	pkt.Write = p.write
 	pkt.CreatedAt = p.created
 	if err := r.net.SendNetRSRequest(pkt, c.host); err != nil {
 		delete(st.pendings, pid)
@@ -679,6 +707,8 @@ func (r *shardedRunner) serverHandler(sid int) fabric.HostHandler {
 		reqID := pkt.ReqID
 		rid := pkt.RID
 		rgid := pkt.RGID
+		key := pkt.Key
+		write := pkt.Write
 		clientHost := pkt.Src
 		created := pkt.CreatedAt
 		srv.Submit(kv.Request{Done: func(sim.Time) {
@@ -694,9 +724,24 @@ func (r *shardedRunner) serverHandler(sid int) fabric.HostHandler {
 			resp.Dst = clientHost
 			resp.Server = sid
 			resp.Status = srv.Status()
+			resp.Key = key
+			resp.Write = write
 			resp.CreatedAt = created
 			if err := r.net.SendResponse(resp, host); err != nil {
 				return
+			}
+			if write {
+				// Invalidation fan-out in the sequential runner's order;
+				// cross-partition deliveries ride the exchange like any
+				// other packet.
+				for _, tor := range r.invalidationToRs {
+					inv := r.net.NewPacketIn(part)
+					inv.ReqID = reqID
+					inv.Key = key
+					inv.Write = true
+					inv.Dst = tor
+					_ = r.net.SendInvalidation(inv, host, tor)
+				}
 			}
 		}})
 	}
@@ -718,7 +763,10 @@ func (r *shardedRunner) clientHandler(c *client, part int) fabric.HostHandler {
 		p := ctx.p
 		st.freeCtx(ctx) // off the map and launched: dead from here on
 		p.refs--
-		c.sel.OnResponse(pkt.Server, now-sentAt, pkt.Status)
+		// Cache hits carry the -1 server sentinel (no replica feedback).
+		if pkt.Server >= 0 {
+			c.sel.OnResponse(pkt.Server, now-sentAt, pkt.Status)
+		}
 		if pkt.RID == wire.DegradedRID {
 			st.degraded++
 		}

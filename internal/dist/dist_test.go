@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"sort"
 	"testing"
@@ -114,9 +116,15 @@ func TestZipfValidation(t *testing.T) {
 	for _, c := range []struct {
 		n     uint64
 		theta float64
-	}{{1, 0.99}, {100, 0}, {100, 1}, {100, -0.5}, {100, math.NaN()}} {
+	}{{1, 0.99}, {100, 0}, {100, -0.5}, {100, math.NaN()}, {100, math.Nextafter(MaxTheta, 2)}, {100, 1.5}, {100, math.Inf(1)}} {
 		if _, err := NewZipf(c.n, c.theta, rng()); err == nil {
 			t.Errorf("NewZipf(%d, %v) accepted", c.n, c.theta)
+		}
+	}
+	// The heavy-skew regime [1, MaxTheta] is in-domain since the cache tier.
+	for _, theta := range []float64{1, 1.1, MaxTheta} {
+		if _, err := NewZipf(100, theta, rng()); err != nil {
+			t.Errorf("NewZipf(100, %v) rejected: %v", theta, err)
 		}
 	}
 }
@@ -192,14 +200,99 @@ func TestZipfScrambledSpreadsHotKeys(t *testing.T) {
 	}
 }
 
+// TestZipfHeavySkewExactVsSampled compares the rejection-inversion branch
+// against exactly computed rank probabilities p(k) = k^-theta / zeta(n,
+// theta) at every supported heavy exponent.
+func TestZipfHeavySkewExactVsSampled(t *testing.T) {
+	const n = 100
+	const draws = 500000
+	for _, theta := range []float64{1, 1.05, 1.1, 1.2} {
+		z, err := NewZipf(n, theta, rng())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			k := z.Draw()
+			if k >= n {
+				t.Fatalf("theta=%v: draw %d out of range", theta, k)
+			}
+			counts[k]++
+		}
+		zn := zetaExact(1, n, theta)
+		// The top ranks carry enough mass for a tight relative check; the
+		// tail is verified in aggregate.
+		tailWant, tailGot := 0.0, 0.0
+		for r := 0; r < n; r++ {
+			want := math.Pow(float64(r+1), -theta) / zn
+			got := float64(counts[r]) / draws
+			if r < 10 {
+				if math.Abs(got-want)/want > 0.05 {
+					t.Fatalf("theta=%v rank %d: sampled %v, exact %v", theta, r, got, want)
+				}
+				continue
+			}
+			tailWant += want
+			tailGot += got
+		}
+		if math.Abs(tailGot-tailWant)/tailWant > 0.05 {
+			t.Fatalf("theta=%v tail mass: sampled %v, exact %v", theta, tailGot, tailWant)
+		}
+	}
+}
+
+func TestZipfHeavySkewScrambledRange(t *testing.T) {
+	const n = 1 << 14
+	z, err := NewZipf(n, 1.1, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.Scrambled()
+	for i := 0; i < 100000; i++ {
+		if k := z.Draw(); k >= n {
+			t.Fatalf("scrambled heavy draw %d out of range", k)
+		}
+	}
+}
+
+// TestZipfThetaBelowOneBitIdentical pins the theta<1 draw sequences: the
+// heavy-skew branch must not perturb the YCSB path by so much as one RNG
+// consumption. The digests were recorded before the rejection sampler
+// landed.
+func TestZipfThetaBelowOneBitIdentical(t *testing.T) {
+	want := map[float64]uint64{
+		0.6:  0x1c8082a51b1f6fb6,
+		0.9:  0xbffac91ebb9c08cd,
+		0.99: 0x370f1c0fe287e562,
+	}
+	for _, theta := range []float64{0.6, 0.9, 0.99} {
+		z, err := NewZipf(1<<20, theta, sim.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		z.Scrambled()
+		h := fnv.New64a()
+		var buf [8]byte
+		for i := 0; i < 10000; i++ {
+			binary.LittleEndian.PutUint64(buf[:], z.Draw())
+			h.Write(buf[:])
+		}
+		if got := h.Sum64(); got != want[theta] {
+			t.Errorf("theta=%v draw digest %#x, want %#x", theta, got, want[theta])
+		}
+	}
+}
+
 func TestZetaLargeNMatchesExact(t *testing.T) {
 	// The Euler–Maclaurin branch engages above 2^16; verify it against an
 	// exact sum at a size where both are computable.
 	const n = 1 << 20
-	approx := zeta(n, 0.99)
-	exact := zetaExact(1, n, 0.99)
-	if rel := math.Abs(approx-exact) / exact; rel > 1e-9 {
-		t.Fatalf("zeta approx relative error %v", rel)
+	for _, theta := range []float64{0.99, 1} {
+		approx := zeta(n, theta)
+		exact := zetaExact(1, n, theta)
+		if rel := math.Abs(approx-exact) / exact; rel > 1e-9 {
+			t.Fatalf("zeta(%v) approx relative error %v", theta, rel)
+		}
 	}
 }
 

@@ -59,6 +59,11 @@ type Packet struct {
 	HasSM bool
 	// Status is the piggybacked server state on responses.
 	Status kv.Status
+	// Key is the accessed key, carried end to end so ToR caches can index
+	// by it; Write marks update requests (cache schemes skip lookups on
+	// writes and invalidate after the server commits).
+	Key   uint64
+	Write bool
 	// CreatedAt is when the client issued the logical request.
 	CreatedAt sim.Time
 
@@ -537,6 +542,28 @@ func (n *Network) SendNetRSRequest(p *Packet, from topo.NodeID) error {
 		return err
 	}
 	return n.Launch(p, from, tor)
+}
+
+// SendInvalidation injects a cache-coherence message at a server host,
+// bound for a ToR switch whose cache must drop the written key. The
+// packet rides the regular forwarding machinery (and, in sharded mode,
+// the exchange), so invalidation delivery respects the same link
+// latencies and lookahead as every other packet.
+func (n *Network) SendInvalidation(p *Packet, from, tor topo.NodeID) error {
+	p.Magic = wire.MagicInvalidate
+	p.Src = from
+	return n.Launch(p, from, tor)
+}
+
+// consume finalizes a packet whose journey legitimately ends at a switch
+// (today: invalidations absorbed by the destination ToR's cache).
+func (n *Network) consume(p *Packet) {
+	part := 0
+	if n.partOf != nil && p.idx < len(p.path) {
+		part = n.partOf[p.path[p.idx]]
+	}
+	n.counters[part].delivered++
+	n.release(p)
 }
 
 // SendDirect injects a packet bound straight for p.Dst — the CliRS flow

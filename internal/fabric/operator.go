@@ -3,10 +3,27 @@ package fabric
 import (
 	"fmt"
 
+	"netrs/internal/cache"
 	"netrs/internal/selection"
 	"netrs/internal/sim"
 	"netrs/internal/topo"
 	"netrs/internal/wire"
+)
+
+// CacheMode selects how a ToR operator's hot-key cache participates in
+// the request pipeline.
+type CacheMode int
+
+const (
+	// CacheModeNone: no cache (the default; every non-cache scheme).
+	CacheModeNone CacheMode = iota
+	// CacheModeStandalone is the NetCache scheme: the client's ToR
+	// answers hits itself and sends misses to the group's fixed primary
+	// replica — no replica selection at all.
+	CacheModeStandalone
+	// CacheModeSelector is the NetRS+Cache scheme: the RSNode answers
+	// hits locally and runs its selector on misses.
+	CacheModeSelector
 )
 
 // Selector is the replica-selection state an accelerator runs; it is the
@@ -105,6 +122,11 @@ type Operator struct {
 	accel   *Accelerator
 	monitor *Monitor
 
+	// cache is the ToR-resident hot-key cache (nil unless a cache scheme
+	// enabled it); cacheMode selects its pipeline role.
+	cache     *cache.Cache
+	cacheMode CacheMode
+
 	groupDB    GroupDB
 	serverHost ServerLocator
 
@@ -171,6 +193,24 @@ func (o *Operator) SetDatabases(db GroupDB, loc ServerLocator) {
 	o.serverHost = loc
 }
 
+// EnableCache attaches a hot-key cache to this (ToR) operator in the
+// given mode. Non-ToR operators reject it: the cache tier lives where
+// requests enter and leave the network.
+func (o *Operator) EnableCache(c *cache.Cache, mode CacheMode) error {
+	if c == nil || mode == CacheModeNone {
+		return fmt.Errorf("nil cache or mode none: %w", ErrInvalidParam)
+	}
+	if o.tier != topo.TierToR {
+		return fmt.Errorf("cache on tier-%d operator %d: %w", o.tier, o.id, ErrInvalidParam)
+	}
+	o.cache = c
+	o.cacheMode = mode
+	return nil
+}
+
+// Cache returns the attached hot-key cache, nil when none.
+func (o *Operator) Cache() *cache.Cache { return o.cache }
+
 // Fail marks the operator as failed: it stops selecting and degrades any
 // request that reaches it (§III-C scenario iii).
 func (o *Operator) Fail() { o.failed = true }
@@ -192,6 +232,8 @@ func (o *Operator) ingress(p *Packet) {
 	case wire.KindMonitor, wire.KindDegradedRequest:
 		o.stampSourceMarker(p)
 		o.forwardOrDeliver(p)
+	case wire.KindInvalidation:
+		o.ingressInvalidation(p)
 	default:
 		// Non-NetRS packets take the regular pipeline: plain forwarding.
 		o.forwardOrDeliver(p)
@@ -201,8 +243,14 @@ func (o *Operator) ingress(p *Packet) {
 // ingressRequest handles packets with the Mreq magic.
 func (o *Operator) ingressRequest(p *Packet) {
 	// ToR switches stamp the RSNode ID on requests entering the network
-	// from their own rack (§IV-B).
+	// from their own rack (§IV-B). Under NetCache the client's ToR owns
+	// the whole request instead: cache hits turn around here, misses go
+	// to the group's fixed primary replica.
 	if o.tier == topo.TierToR && p.RID == 0 && o.inMyRack(p.Src) {
+		if o.cacheMode == CacheModeStandalone {
+			o.serveNetCache(p)
+			return
+		}
 		if !o.stampRID(p) {
 			return // degraded and relaunched, or dropped
 		}
@@ -210,6 +258,13 @@ func (o *Operator) ingressRequest(p *Packet) {
 	if p.RID == o.id {
 		if o.failed {
 			o.degrade(p)
+			return
+		}
+		// NetRS+Cache: the RSNode answers hits out of its cache and only
+		// runs the selector on misses (reads only — writes must reach a
+		// replica to commit).
+		if o.cacheMode == CacheModeSelector && !p.Write && o.cache.Lookup(p.Key) {
+			o.respondFromCache(p)
 			return
 		}
 		o.accel.submitRequest(p)
@@ -259,9 +314,68 @@ func (o *Operator) degrade(p *Packet) {
 	}
 }
 
+// serveNetCache is the NetCache pipeline at the client's ToR: a read hit
+// is answered from the switch, anything else goes to the replica group's
+// fixed primary (RID stays zero, so the response returns directly).
+func (o *Operator) serveNetCache(p *Packet) {
+	if !p.Write && o.cache.Lookup(p.Key) {
+		o.respondFromCache(p)
+		return
+	}
+	replicas, err := o.groupDB(p.RGID)
+	if err != nil || len(replicas) == 0 {
+		o.degrade(p)
+		return
+	}
+	primary := replicas[0]
+	host, err := o.serverHost(primary)
+	if err != nil {
+		o.degrade(p)
+		return
+	}
+	p.Server = primary
+	p.Dst = host
+	p.Magic = wire.Transform(wire.MagicResponse)
+	if err := o.net.relaunch(p, o.sw, host); err != nil {
+		o.net.drop(p)
+	}
+}
+
+// respondFromCache flips a request into its response in the switch
+// pipeline: a cache hit never leaves the rack. Server is the -1 sentinel
+// so the client knows no replica served it (selector state stays clean).
+func (o *Operator) respondFromCache(p *Packet) {
+	p.Magic = wire.MagicResponse
+	p.RID = 0
+	p.Server = -1
+	p.Dst = p.Src
+	p.Src = o.sw
+	if err := o.net.relaunch(p, o.sw, p.Dst); err != nil {
+		o.net.drop(p)
+	}
+}
+
+// ingressInvalidation consumes a coherence message at its destination ToR
+// (dropping the written key from the cache) and forwards it elsewhere.
+func (o *Operator) ingressInvalidation(p *Packet) {
+	if p.idx >= len(p.path)-1 {
+		if o.cache != nil {
+			o.cache.Invalidate(p.Key)
+		}
+		o.net.consume(p)
+		return
+	}
+	o.net.hop(p)
+}
+
 // ingressResponse handles packets with the Mresp magic.
 func (o *Operator) ingressResponse(p *Packet) {
 	o.stampSourceMarker(p)
+	// Cache admission: a read response passing the destination client's
+	// ToR offers its key to the cache (the frequency gate decides).
+	if o.cache != nil && !p.Write && o.inMyRack(p.Dst) {
+		o.cache.Admit(p.Key)
+	}
 	if p.RID == o.id {
 		// The switch's clone-to-accelerator action folds the response into
 		// selector state; the accelerator consumes it synchronously and

@@ -37,9 +37,10 @@ const MaxMagic Magic = 1<<48 - 1
 // non-NetRS for forwarding purposes while staying recognizable to NetRS
 // monitors (§IV-B).
 const (
-	MagicRequest  Magic = 0x4e6574525351 // "NetRSQ"
-	MagicResponse Magic = 0x4e6574525350 // "NetRSP"
-	MagicMonitor  Magic = 0x4e657452534d // "NetRS M"-ish tag
+	MagicRequest    Magic = 0x4e6574525351 // "NetRSQ"
+	MagicResponse   Magic = 0x4e6574525350 // "NetRSP"
+	MagicMonitor    Magic = 0x4e657452534d // "NetRS M"-ish tag
+	MagicInvalidate Magic = 0x4e6574525349 // "NetRSI": cache invalidation
 )
 
 // magicMask is the XOR mask realizing the invertible transform f of
@@ -63,6 +64,7 @@ const (
 	KindMonitor         // response already processed; monitor-visible only
 	KindSelectedRequest // request rebuilt by a NetRS selector: f(Mresp)
 	KindDegradedRequest // request with DRS enabled: f(Mmon)
+	KindInvalidation    // hot-key cache invalidation after a write
 )
 
 // String names the kind.
@@ -80,6 +82,8 @@ func (k Kind) String() string {
 		return "selected-request"
 	case KindDegradedRequest:
 		return "degraded-request"
+	case KindInvalidation:
+		return "invalidation"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -98,6 +102,8 @@ func Classify(m Magic) Kind {
 		return KindSelectedRequest
 	case Transform(MagicMonitor):
 		return KindDegradedRequest
+	case MagicInvalidate:
+		return KindInvalidation
 	default:
 		return KindNonNetRS
 	}
@@ -359,4 +365,59 @@ func UnmarshalResponse(buf []byte) (Response, error) {
 		copy(r.Payload, rest)
 	}
 	return r, nil
+}
+
+// Invalidation is a decoded cache-invalidation message: after a write
+// commits at a replica, one of these fans out to every ToR hot-key cache so
+// stale values never outlive the update. The layout reuses the common
+// header (RID carries the originating server's rack ToR as a debugging
+// aid, RV is unused) followed by the 64-bit key:
+//
+//	invalidation: RID(2) MF(6) RV(2) Key(8)
+type Invalidation struct {
+	RID   uint16
+	Magic Magic
+	RV    uint16
+	// Key is the invalidated key.
+	Key uint64
+}
+
+// invalidationLen is the fixed invalidation layout length.
+const invalidationLen = headerLen + 8
+
+// MarshalInvalidation encodes an invalidation packet into a fresh buffer.
+func MarshalInvalidation(inv Invalidation) ([]byte, error) {
+	return AppendInvalidation(nil, inv)
+}
+
+// AppendInvalidation encodes an invalidation packet, appending to dst
+// (which may be nil, or a recycled buffer resliced to zero length) and
+// returning the extended slice.
+func AppendInvalidation(dst []byte, inv Invalidation) ([]byte, error) {
+	if inv.Magic > MaxMagic {
+		return nil, fmt.Errorf("invalidation magic %x: %w", uint64(inv.Magic), ErrFieldRange)
+	}
+	off := len(dst)
+	dst = grow(dst, invalidationLen)
+	buf := dst[off:]
+	putHeader(buf, header{RID: inv.RID, Magic: inv.Magic, RV: inv.RV})
+	binary.BigEndian.PutUint64(buf[headerLen:], inv.Key)
+	return dst, nil
+}
+
+// UnmarshalInvalidation decodes an invalidation packet.
+func UnmarshalInvalidation(buf []byte) (Invalidation, error) {
+	h, err := parseHeader(buf)
+	if err != nil {
+		return Invalidation{}, err
+	}
+	if len(buf) != invalidationLen {
+		return Invalidation{}, fmt.Errorf("invalidation needs exactly %d bytes, have %d: %w", invalidationLen, len(buf), ErrShortPacket)
+	}
+	return Invalidation{
+		RID:   h.RID,
+		Magic: h.Magic,
+		RV:    h.RV,
+		Key:   binary.BigEndian.Uint64(buf[headerLen:]),
+	}, nil
 }

@@ -14,8 +14,10 @@ func TestMagicConstantsDistinct(t *testing.T) {
 		"Mreq":     MagicRequest,
 		"Mresp":    MagicResponse,
 		"Mmon":     MagicMonitor,
+		"Minv":     MagicInvalidate,
 		"f(Mresp)": Transform(MagicResponse),
 		"f(Mmon)":  Transform(MagicMonitor),
+		"f(Minv)":  Transform(MagicInvalidate),
 	} {
 		if m > MaxMagic {
 			t.Fatalf("%s exceeds 48 bits", name)
@@ -47,6 +49,7 @@ func TestClassify(t *testing.T) {
 		MagicMonitor:             KindMonitor,
 		Transform(MagicResponse): KindSelectedRequest,
 		Transform(MagicMonitor):  KindDegradedRequest,
+		MagicInvalidate:          KindInvalidation,
 		0x1234:                   KindNonNetRS,
 	}
 	for m, want := range cases {
@@ -54,7 +57,7 @@ func TestClassify(t *testing.T) {
 			t.Errorf("Classify(%x) = %v, want %v", uint64(m), got, want)
 		}
 	}
-	for _, k := range []Kind{KindNonNetRS, KindRequest, KindResponse, KindMonitor, KindSelectedRequest, KindDegradedRequest, Kind(42)} {
+	for _, k := range []Kind{KindNonNetRS, KindRequest, KindResponse, KindMonitor, KindSelectedRequest, KindDegradedRequest, KindInvalidation, Kind(42)} {
 		if k.String() == "" {
 			t.Errorf("Kind(%d).String empty", int(k))
 		}
@@ -164,6 +167,45 @@ func TestResponseValidation(t *testing.T) {
 	buf[14] = 0xff // SSL high byte
 	if _, err := UnmarshalResponse(buf); !errors.Is(err, ErrShortPacket) {
 		t.Fatal("overlong SSL accepted")
+	}
+}
+
+func TestInvalidationRoundTrip(t *testing.T) {
+	in := Invalidation{RID: 12, Magic: MagicInvalidate, RV: 0x5a5a, Key: 0xdeadbeefcafef00d}
+	buf, err := MarshalInvalidation(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != invalidationLen {
+		t.Fatalf("encoded length %d, want %d", len(buf), invalidationLen)
+	}
+	if m, err := PeekMagic(buf); err != nil || m != MagicInvalidate {
+		t.Fatalf("PeekMagic = %x, %v", uint64(m), err)
+	}
+	out, err := UnmarshalInvalidation(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestInvalidationValidation(t *testing.T) {
+	if _, err := MarshalInvalidation(Invalidation{Magic: MaxMagic + 1}); !errors.Is(err, ErrFieldRange) {
+		t.Fatal("oversized magic accepted")
+	}
+	if _, err := UnmarshalInvalidation(make([]byte, 5)); !errors.Is(err, ErrShortPacket) {
+		t.Fatal("short invalidation accepted")
+	}
+	// The layout is fixed-length: trailing bytes mean a framing bug
+	// upstream, not a payload.
+	buf, err := MarshalInvalidation(Invalidation{Magic: MagicInvalidate, Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalInvalidation(append(buf, 0)); !errors.Is(err, ErrShortPacket) {
+		t.Fatal("overlong invalidation accepted")
 	}
 }
 

@@ -55,7 +55,7 @@ func Deploy(t *topo.Topology, servers, clients int, rng *sim.RNG) (Deployment, e
 	return d, nil
 }
 
-// Request is one generated read.
+// Request is one generated request.
 type Request struct {
 	// Index is the 0-based emission order.
 	Index int
@@ -63,6 +63,9 @@ type Request struct {
 	Client int
 	// Key is the accessed key.
 	Key uint64
+	// Write marks an update (WriteFraction of emissions); the rest are
+	// reads.
+	Write bool
 }
 
 // SourceConfig parameterizes the request source.
@@ -104,6 +107,11 @@ type SourceConfig struct {
 	// divided by the instantaneous rate factor afterwards — so enabling
 	// modulation consumes no extra RNG and perturbs no other stream.
 	Modulation *RateModulation
+	// WriteFraction is the share of emissions flagged as writes, in
+	// [0, 1). The write coin comes from the dedicated stream 6, derived
+	// only when the fraction is positive, so a read-only run draws the
+	// exact sequences it always has.
+	WriteFraction float64
 	// Spike, when non-nil, redirects a share of the requests emitted inside
 	// a window to one hot key (scenario flash crowds). The base Zipf draw
 	// still happens for every request; the redirect coin comes from the
@@ -185,11 +193,14 @@ func (c SourceConfig) validate() error {
 	if c.Generators < 1 || c.RatePerSec <= 0 || c.Clients < 1 || c.Total < 1 {
 		return fmt.Errorf("source %+v: %w", c, ErrInvalidParam)
 	}
-	if c.Keys < 2 || c.ZipfTheta <= 0 || c.ZipfTheta >= 1 {
+	if c.Keys < 2 || c.ZipfTheta <= 0 || c.ZipfTheta > dist.MaxTheta {
 		return fmt.Errorf("keys=%d theta=%v: %w", c.Keys, c.ZipfTheta, ErrInvalidParam)
 	}
 	if c.DemandSkew < 0 || c.DemandSkew > 1 {
 		return fmt.Errorf("demand skew %v: %w", c.DemandSkew, ErrInvalidParam)
+	}
+	if c.WriteFraction < 0 || c.WriteFraction >= 1 {
+		return fmt.Errorf("write fraction %v: %w", c.WriteFraction, ErrInvalidParam)
 	}
 	if c.DemandSkew > 0 && (c.HotFraction <= 0 || c.HotFraction > 1) {
 		return fmt.Errorf("hot fraction %v: %w", c.HotFraction, ErrInvalidParam)
@@ -230,8 +241,11 @@ type Source struct {
 	spikeRNG   *sim.RNG
 	spikeStart int
 	spikeEnd   int
-	procs      []*dist.Poisson
-	emitted    int
+	// writeRNG draws the write coins (stream 6); nil when WriteFraction
+	// is zero, so read-only runs never derive the stream.
+	writeRNG *sim.RNG
+	procs    []*dist.Poisson
+	emitted  int
 	// tickFn is the shared arrival handler: one func value for every
 	// generator tick, so per-arrival scheduling stays allocation-free.
 	tickFn sim.ArgHandler
@@ -304,6 +318,12 @@ func NewSource(cfg SourceConfig, eng *sim.Engine, rng *sim.RNG, emit func(Reques
 		}
 	}
 
+	if cfg.WriteFraction > 0 {
+		// Stream 6 is reserved for write coins; like the spike stream it
+		// is derived only when the feature is on.
+		s.writeRNG = rng.Stream(6)
+	}
+
 	perGen := cfg.RatePerSec / float64(cfg.Generators)
 	for g := 0; g < cfg.Generators; g++ {
 		proc, err := dist.NewPoisson(perGen, rng.Stream(uint64(100+g)))
@@ -355,6 +375,9 @@ func (s *Source) tick(proc *dist.Poisson) {
 		Index:  s.emitted,
 		Client: client,
 		Key:    key,
+	}
+	if s.writeRNG != nil && s.writeRNG.Float64() < s.cfg.WriteFraction {
+		req.Write = true
 	}
 	s.emitted++
 	s.emit(req)

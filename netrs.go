@@ -13,7 +13,8 @@
 //
 // This package is the public facade. It exposes the experiment
 // configuration, the four schemes of the paper's evaluation (CliRS,
-// CliRS-R95, NetRS-ToR, NetRS-ILP), single-run and repeated-run entry
+// CliRS-R95, NetRS-ToR, NetRS-ILP) plus the in-network cache tier
+// extensions (NetCache, NetRS+Cache), single-run and repeated-run entry
 // points, and sweep definitions that regenerate every figure of the
 // paper's §V. The machinery lives in internal packages:
 //
@@ -22,6 +23,7 @@
 //   - internal/kv — consistent-hash ring and fluctuating replica servers
 //   - internal/c3, internal/selection — the C3 algorithm and baselines
 //   - internal/wire — the NetRS packet format (Fig. 2)
+//   - internal/cache — the deterministic ToR hot-key cache
 //   - internal/fabric — operators, accelerators, monitors, controller
 //   - internal/ilp, internal/placement — the RSNode-placement ILP (§III)
 //   - internal/workload, internal/cluster — workload and experiment wiring
@@ -130,12 +132,17 @@ func SelectorNames() []string {
 // TimelineTable renders a timeline series as a fixed-width text table.
 func TimelineTable(buckets []TimelineBucket) string { return stats.TimelineTable(buckets) }
 
-// The paper's four schemes.
+// The paper's four schemes, plus the in-network cache tier extensions
+// (NetCache serves hits at the client's ToR and forwards misses to a
+// fixed primary; NetRS+Cache serves hits at the RSNode's ToR and runs
+// the replica selector on misses).
 const (
-	SchemeCliRS    = cluster.SchemeCliRS
-	SchemeCliRSR95 = cluster.SchemeCliRSR95
-	SchemeNetRSToR = cluster.SchemeNetRSToR
-	SchemeNetRSILP = cluster.SchemeNetRSILP
+	SchemeCliRS      = cluster.SchemeCliRS
+	SchemeCliRSR95   = cluster.SchemeCliRSR95
+	SchemeNetRSToR   = cluster.SchemeNetRSToR
+	SchemeNetRSILP   = cluster.SchemeNetRSILP
+	SchemeNetCache   = cluster.SchemeNetCache
+	SchemeNetRSCache = cluster.SchemeNetRSCache
 )
 
 // Time is the simulated-time type (integer nanoseconds).
@@ -156,6 +163,10 @@ func DefaultConfig() Config { return cluster.DefaultConfig() }
 
 // Schemes lists the four schemes in the paper's order.
 func Schemes() []Scheme { return cluster.Schemes() }
+
+// AllSchemes lists every scheme: the paper's four followed by the cache
+// tier extensions (NetCache, NetRS+Cache).
+func AllSchemes() []Scheme { return cluster.AllSchemes() }
 
 // ParseScheme resolves a scheme by its printed name.
 func ParseScheme(name string) (Scheme, error) { return cluster.ParseScheme(name) }

@@ -170,3 +170,47 @@ func TestRunSweepAndTable(t *testing.T) {
 		t.Fatal("unknown metric should yield 0")
 	}
 }
+
+func TestRunCacheStudy(t *testing.T) {
+	base := testConfig()
+	base.Requests = 1500
+	base.WriteFraction = 0.05
+	res, err := RunCacheStudy(base, []float64{0.99}, []int64{64 << 10}, []uint64{1}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One theta yields the four baselines plus the two cache schemes; the
+	// flash-crowd panel compares NetRS-ToR, NetCache, and NetRS+Cache.
+	if len(res.Cells) != 6 {
+		t.Fatalf("got %d grid cells, want 6", len(res.Cells))
+	}
+	if len(res.Flash) != 3 {
+		t.Fatalf("got %d flash cells, want 3", len(res.Flash))
+	}
+	cell, ok := res.Lookup("0.99", "64KiB", SchemeNetRSCache)
+	if !ok {
+		t.Fatal("missing NetRS+Cache cell")
+	}
+	if cell.HitRate <= 0 {
+		t.Fatalf("NetRS+Cache hit rate %v, want positive", cell.HitRate)
+	}
+	if base2, ok := res.Lookup("0.99", "-", SchemeNetRSToR); !ok || base2.HitRate != 0 {
+		t.Fatalf("baseline cell missing or caching: %+v ok=%v", base2, ok)
+	}
+	table := res.Table()
+	for _, want := range []string{"CACHE", "zipf theta 0.99", "NetCache", "NetRS+Cache", "HitRate", "flash-crowd", "64KiB"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	// CacheWin never invents a verdict for an absent theta.
+	if _, ok := res.CacheWin("1.10"); ok {
+		t.Fatal("CacheWin invented a cell")
+	}
+	if _, err := RunCacheStudy(base, nil, []int64{1 << 10}, []uint64{1}, RunOptions{}); err == nil {
+		t.Fatal("empty theta list accepted")
+	}
+	if _, err := RunCacheStudy(base, []float64{0.99}, []int64{1 << 10}, nil, RunOptions{}); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}

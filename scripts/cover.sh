@@ -36,5 +36,6 @@ check_floor netrs/internal/cluster 80.3
 check_floor netrs/internal/workload 90.0
 check_floor netrs/internal/selection 90.0
 check_floor netrs/internal/scenario 95.0
+check_floor netrs/internal/cache 90.0
 
 echo "== OK (cover)"
